@@ -1,0 +1,527 @@
+// Benchmarks regenerating the computational kernels behind every table and
+// figure of the paper's evaluation. Each benchmark names the experiment it
+// backs; cmd/mtc-experiments produces the full tables, these measure the
+// hot paths (checking, signature encode/decode, simulation, clustering).
+package mtracecheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtracecheck/internal/check"
+	"mtracecheck/internal/cluster"
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/isa"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+	"mtracecheck/internal/vm"
+)
+
+// fixture bundles a program with collected unique signatures and checkable
+// items, shared by the checking benchmarks.
+type fixture struct {
+	prog    *Program
+	meta    *instrument.Meta
+	builder *graph.Builder
+	items   []check.Item
+	sigs    []sig.Signature
+	vals    []map[int]uint32
+}
+
+// buildFixture collects n SC-reference executions of the given config.
+func buildFixture(b *testing.B, tc TestConfig, n int) *fixture {
+	b.Helper()
+	p, err := testgen.Generate(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := graph.NewBuilder(p, sim.PlatformX86().Model, graph.Options{Forwarding: true})
+	rng := rand.New(rand.NewSource(1))
+	type raw struct {
+		s     sig.Signature
+		edges []graph.Edge
+	}
+	byKey := map[string]raw{}
+	f := &fixture{prog: p, meta: meta, builder: builder}
+	for i := 0; i < n; i++ {
+		rf, ws := testgen.SCReference(p, rng)
+		vals := testgen.LoadValuesOf(p, rf)
+		f.vals = append(f.vals, vals)
+		s, err := meta.EncodeExecution(vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.sigs = append(f.sigs, s)
+		edges, err := builder.DynamicEdges(rf, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byKey[s.Key()] = raw{s: s, edges: edges}
+	}
+	uniq := make([]sig.Signature, 0, len(byKey))
+	for _, r := range byKey {
+		uniq = append(uniq, r.s)
+	}
+	sig.Sort(uniq)
+	for _, s := range uniq {
+		f.items = append(f.items, check.Item{Sig: s, Edges: byKey[s.Key()].edges})
+	}
+	return f
+}
+
+var benchCfg = TestConfig{Threads: 4, OpsPerThread: 50, Words: 32, Seed: 1}
+
+// BenchmarkFig9ConventionalCheck: the per-graph full topological sorting
+// baseline of Fig. 9.
+func BenchmarkFig9ConventionalCheck(b *testing.B) {
+	f := buildFixture(b, benchCfg, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := check.Conventional(f.builder, f.items)
+		if len(res.Violations) != 0 {
+			b.Fatal("unexpected violations")
+		}
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}
+
+// BenchmarkFig9CollectiveCheck: MTraceCheck's collective re-sorting checker
+// on the same graphs — the headline 81% computation reduction.
+func BenchmarkFig9CollectiveCheck(b *testing.B) {
+	f := buildFixture(b, benchCfg, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := check.Collective(f.builder, f.items)
+		if err != nil || len(res.Violations) != 0 {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}
+
+// BenchmarkFig14WindowStats exercises the checker while collecting the
+// Fig. 14 breakdown counters.
+func BenchmarkFig14WindowStats(b *testing.B) {
+	f := buildFixture(b, benchCfg, 1000)
+	b.ResetTimer()
+	var affected int64
+	for i := 0; i < b.N; i++ {
+		res, err := check.Collective(f.builder, f.items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, gs := range res.PerGraph {
+			affected += int64(gs.Affected)
+		}
+	}
+	_ = affected
+}
+
+// BenchmarkFig8UniqueInterleavings: one simulated platform iteration plus
+// signature collection — the production rate of Fig. 8's data.
+func BenchmarkFig8UniqueInterleavings(b *testing.B) {
+	p, err := testgen.Generate(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := sim.PlatformX86()
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := sim.NewRunner(plat, p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := sig.NewSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := meta.EncodeExecution(ex.LoadValues)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set.Add(s)
+	}
+	b.ReportMetric(float64(set.Len())/float64(b.N), "unique/iter")
+}
+
+// BenchmarkFig10SignatureComputation: interpreting the instrumented code
+// (signature branch/add chains) for one execution — the overhead component
+// of Fig. 10.
+func BenchmarkFig10SignatureComputation(b *testing.B) {
+	f := buildFixture(b, benchCfg, 50)
+	gp, err := instrument.Generate(f.meta, isa.EncodingRISC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	threads := make([]*vm.Thread, len(gp.Instrumented))
+	for ti := range threads {
+		threads[ti] = vm.NewThread(gp.Instrumented[ti], vm.DefaultCostModel())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := f.vals[i%len(f.vals)]
+		lookup := func(id int) (uint32, error) { return vals[id], nil }
+		for _, th := range threads {
+			if _, err := th.Run(lookup, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig10SignatureSorting: host-side sorting of the collected
+// signatures (the third component of Fig. 10).
+func BenchmarkFig10SignatureSorting(b *testing.B) {
+	f := buildFixture(b, benchCfg, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sigs := make([]sig.Signature, len(f.sigs))
+		copy(sigs, f.sigs)
+		b.StartTimer()
+		sig.Sort(sigs)
+	}
+}
+
+// BenchmarkFig11InstrumentationAnalysis: the static analysis producing the
+// candidate sets, weights, and signature layout behind Fig. 11's
+// intrusiveness numbers.
+func BenchmarkFig11InstrumentationAnalysis(b *testing.B) {
+	p, err := testgen.Generate(TestConfig{Threads: 7, OpsPerThread: 200, Words: 64, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := instrument.Analyze(p, 32, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12CodeGeneration: emitting the instrumented and baseline code
+// variants measured in Fig. 12.
+func BenchmarkFig12CodeGeneration(b *testing.B) {
+	p, err := testgen.Generate(TestConfig{Threads: 7, OpsPerThread: 200, Words: 64, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, err := instrument.Analyze(p, 32, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp, err := instrument.Generate(meta, isa.EncodingRISC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o, n, _ := gp.CodeSizes(); n <= o {
+			b.Fatal("instrumented not larger")
+		}
+	}
+}
+
+// BenchmarkAlg1SignatureDecode: the paper's Algorithm 1 — reconstructing
+// reads-from relations from a signature.
+func BenchmarkAlg1SignatureDecode(b *testing.B) {
+	f := buildFixture(b, benchCfg, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.meta.Decode(f.sigs[i%len(f.sigs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6KMedoids: the k-medoids limit study kernel.
+func BenchmarkFig6KMedoids(b *testing.B) {
+	p, err := testgen.Generate(TestConfig{Threads: 2, OpsPerThread: 50, Words: 32, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	seen := map[string]cluster.Point{}
+	for i := 0; i < 400; i++ {
+		rf, _ := testgen.SCReference(p, rng)
+		pt := cluster.Point{}
+		for k, v := range rf {
+			pt[k] = v
+		}
+		seen[sigKeyOf(rf)] = pt
+	}
+	pts := make([]cluster.Point, 0, len(seen))
+	for _, pt := range seen {
+		pts = append(pts, pt)
+	}
+	dist := cluster.DistanceMatrix(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMedoids(dist, 10, rng, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sigKeyOf(rf map[int]int) string {
+	// Stable fingerprint for deduplicating reference executions.
+	buf := make([]byte, 0, len(rf)*8)
+	max := 0
+	for k := range rf {
+		if k > max {
+			max = k
+		}
+	}
+	for k := 0; k <= max; k++ {
+		if v, ok := rf[k]; ok {
+			buf = append(buf, byte(k), byte(k>>8), byte(v), byte(v>>8))
+		}
+	}
+	return string(buf)
+}
+
+// BenchmarkTable3BugDetection: one buggy-platform iteration with signature
+// collection — the detection loop of the §7 case studies.
+func BenchmarkTable3BugDetection(b *testing.B) {
+	tc := TestConfig{Threads: 4, OpsPerThread: 50, Words: 8, WordsPerLine: 4, Seed: 1}
+	p, err := testgen.Generate(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := sim.PlatformGem5(mem.Bugs{StaleSMInv: true}, sim.Bugs{})
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := sim.NewRunner(plat, p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := meta.EncodeExecution(ex.LoadValues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimIterationARM / X86: raw platform iteration throughput — the
+// "tests execution" stage of Fig. 1.
+func BenchmarkSimIterationARM(b *testing.B) { benchSim(b, sim.PlatformARM()) }
+
+// BenchmarkSimIterationX86 measures the TSO platform.
+func BenchmarkSimIterationX86(b *testing.B) { benchSim(b, sim.PlatformX86()) }
+
+func benchSim(b *testing.B, plat sim.Platform) {
+	b.Helper()
+	p, err := testgen.Generate(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := sim.NewRunner(plat, p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simFixture collects real simulated executions (unlike buildFixture's
+// uniform-random SC reference, which is the adversarial maximally-diverse
+// case): real platform timing clusters executions, which is the regime the
+// collective checker exploits.
+func simFixture(b *testing.B, tc TestConfig, plat sim.Platform, iters int) *fixture {
+	b.Helper()
+	p, err := testgen.Generate(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := graph.NewBuilder(p, plat.Model, graph.Options{
+		Forwarding: true, WS: graph.WSStatic,
+	})
+	runner, err := sim.NewRunner(plat, p, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type raw struct {
+		s     sig.Signature
+		edges []graph.Edge
+	}
+	byKey := map[string]raw{}
+	f := &fixture{prog: p, meta: meta, builder: builder}
+	for i := 0; i < iters; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := meta.EncodeExecution(ex.LoadValues)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, seen := byKey[s.Key()]; seen {
+			continue
+		}
+		cands, err := meta.Decode(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rf := make(graph.RF, len(cands))
+		for id, c := range cands {
+			rf[id] = c.Store
+		}
+		edges, err := builder.DynamicEdges(rf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byKey[s.Key()] = raw{s: s, edges: edges}
+	}
+	uniq := make([]sig.Signature, 0, len(byKey))
+	for _, r := range byKey {
+		uniq = append(uniq, r.s)
+	}
+	sig.Sort(uniq)
+	for _, s := range uniq {
+		f.items = append(f.items, check.Item{Sig: s, Edges: byKey[s.Key()].edges})
+	}
+	return f
+}
+
+// BenchmarkFig9ConventionalCheckSimData / CollectiveCheckSimData: the Fig. 9
+// comparison on realistic (platform-clustered) execution sets, where the
+// similarity assumption holds — the representative regime.
+func BenchmarkFig9ConventionalCheckSimData(b *testing.B) {
+	f := simFixture(b, TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1},
+		sim.PlatformX86(), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		check.Conventional(f.builder, f.items)
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}
+
+func BenchmarkFig9CollectiveCheckSimData(b *testing.B) {
+	f := simFixture(b, TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1},
+		sim.PlatformX86(), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.Collective(f.builder, f.items); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}
+
+// BenchmarkAblationObservedWSCheck: collective checking with observed-ws
+// graphs (larger diffs than the static default).
+func BenchmarkAblationObservedWSCheck(b *testing.B) {
+	p, err := testgen.Generate(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := graph.NewBuilder(p, sim.PlatformX86().Model, graph.Options{
+		Forwarding: true, WS: graph.WSObserved,
+	})
+	rng := rand.New(rand.NewSource(1))
+	type raw struct {
+		s     sig.Signature
+		edges []graph.Edge
+	}
+	byKey := map[string]raw{}
+	for i := 0; i < 1000; i++ {
+		rf, ws := testgen.SCReference(p, rng)
+		s, err := meta.EncodeExecution(testgen.LoadValuesOf(p, rf))
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges, err := builder.DynamicEdges(rf, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byKey[s.Key()] = raw{s: s, edges: edges}
+	}
+	uniq := make([]sig.Signature, 0, len(byKey))
+	for _, r := range byKey {
+		uniq = append(uniq, r.s)
+	}
+	sig.Sort(uniq)
+	items := make([]check.Item, 0, len(uniq))
+	for _, s := range uniq {
+		items = append(items, check.Item{Sig: s, Edges: byKey[s.Key()].edges})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.Collective(builder, items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPrunedAnalysis: §8 static pruning cost/benefit at
+// analysis time.
+func BenchmarkAblationPrunedAnalysis(b *testing.B) {
+	p, err := testgen.Generate(TestConfig{Threads: 7, OpsPerThread: 200, Words: 64, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pruner := instrument.SkewPruner(p, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := instrument.Analyze(p, 32, pruner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPKIncrementalCheck: the Pearce–Kelly extension on the adversarial
+// high-diversity fixture.
+func BenchmarkPKIncrementalCheck(b *testing.B) {
+	f := buildFixture(b, benchCfg, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.Incremental(f.builder, f.items); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}
+
+// BenchmarkPKIncrementalCheckSimData: the same on realistic platform data.
+func BenchmarkPKIncrementalCheckSimData(b *testing.B) {
+	f := simFixture(b, TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1},
+		sim.PlatformX86(), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.Incremental(f.builder, f.items); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}

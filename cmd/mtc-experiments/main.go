@@ -1,0 +1,126 @@
+// Command mtc-experiments regenerates the paper's evaluation tables and
+// figures on the simulated platform and prints them as text or Markdown.
+//
+// Usage:
+//
+//	mtc-experiments -exp all                  # everything, default scale
+//	mtc-experiments -exp fig8 -iters 4096     # one figure, custom scale
+//	mtc-experiments -exp table3 -quick        # smoke scale
+//	mtc-experiments -exp all -markdown > out.md
+//
+// Experiments: platforms, fig6, fig8, fig9 (includes fig14), fig10, fig11,
+// fig12, table3, litmus, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mtracecheck/internal/experiments"
+	"mtracecheck/internal/report"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (platforms, fig6, fig8, fig9, fig10, fig11, fig12, table3, litmus, all)")
+		iters    = flag.Int("iters", 0, "override iterations per test run")
+		tests    = flag.Int("tests", 0, "override tests per configuration")
+		seed     = flag.Int64("seed", 1, "master seed")
+		quick    = flag.Bool("quick", false, "smoke-test scale")
+		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *iters > 0 {
+		cfg.Iterations = *iters
+	}
+	if *tests > 0 {
+		cfg.Tests = *tests
+	}
+	cfg.Seed = *seed
+
+	render := func(t *report.Table) {
+		if *markdown {
+			if err := t.WriteMarkdown(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := t.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	run := func(name string, fn func() ([]*report.Table, error)) {
+		start := time.Now()
+		tables, err := fn()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		for _, t := range tables {
+			render(t)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	one := func(fn func(experiments.Config) (*report.Table, error)) func() ([]*report.Table, error) {
+		return func() ([]*report.Table, error) {
+			t, err := fn(cfg)
+			return []*report.Table{t}, err
+		}
+	}
+	all := map[string]func() ([]*report.Table, error){
+		"platforms": func() ([]*report.Table, error) {
+			return []*report.Table{experiments.Platforms()}, nil
+		},
+		"fig6":  one(experiments.Fig6),
+		"fig8":  one(experiments.Fig8),
+		"fig10": one(experiments.Fig10),
+		"fig11": one(experiments.Fig11),
+		"fig12": one(experiments.Fig12),
+		"fig9": func() ([]*report.Table, error) {
+			f9, f14, err := experiments.Fig9And14(cfg)
+			return []*report.Table{f9, f14}, err
+		},
+		"table3":     one(experiments.Table3),
+		"litmus":     one(experiments.Litmus),
+		"ws":         one(experiments.WSAblation),
+		"prune":      one(experiments.PruneAblation),
+		"scaling":    one(experiments.ScalingAblation),
+		"fr":         one(experiments.FRAblation),
+		"saturation": one(experiments.Saturation),
+		"atomicity":  one(experiments.Atomicity),
+		"dynprune":   one(experiments.DynPrune),
+		"bias":       one(experiments.Bias),
+	}
+
+	order := []string{"platforms", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"table3", "litmus", "ws", "prune", "scaling", "fr", "saturation", "atomicity", "dynprune", "bias"}
+	switch {
+	case *exp == "all":
+		for _, name := range order {
+			run(name, all[name])
+		}
+	default:
+		name := strings.ToLower(*exp)
+		if name == "fig14" {
+			name = "fig9" // fig14 is produced alongside fig9
+		}
+		fn, ok := all[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want one of %v)", *exp, order))
+		}
+		run(name, fn)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtc-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,260 @@
+// Command mtracecheck runs the full MTraceCheck validation pipeline on one
+// constrained-random test configuration: generate, instrument, execute for
+// many iterations on the simulated platform, and check the collected
+// signatures collectively.
+//
+// Usage:
+//
+//	mtracecheck -isa ARM -threads 4 -ops 100 -words 64 -iters 2048
+//	mtracecheck -isa x86 -threads 4 -ops 50 -words 8 -wpl 4 -bug sm-inv
+//
+// The -bug flag injects one of the paper's §7 defects (sm-inv, lsq-skip,
+// wb-race) into the platform, switching to the gem5-like preset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtracecheck"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+func main() {
+	var (
+		isa     = flag.String("isa", "x86", "platform flavor: x86 (TSO) or ARM (weak)")
+		threads = flag.Int("threads", 4, "test threads")
+		ops     = flag.Int("ops", 50, "memory operations per thread")
+		words   = flag.Int("words", 64, "distinct shared words")
+		wpl     = flag.Int("wpl", 1, "shared words per cache line (false sharing)")
+		loads   = flag.Float64("loads", 0.5, "load fraction (rest are stores)")
+		fences  = flag.Float64("fences", 0, "fence insertion probability")
+		iters   = flag.Int("iters", 2048, "test iterations")
+		seed    = flag.Int64("seed", 1, "random seed")
+		osMode  = flag.Bool("os", false, "run under simulated OS scheduling")
+		checker = flag.String("checker", "collective", "checker: collective, conventional, or incremental (Pearce–Kelly)")
+		bug     = flag.String("bug", "", "inject a bug: sm-inv, lsq-skip, or wb-race")
+		verbose = flag.Bool("v", false, "print violation details")
+		sigsOut = flag.String("sigs-out", "", "write the collected unique signatures to this file")
+		dotOut  = flag.String("dot", "", "write the first violation's constraint graph (DOT) to this file")
+		traceTo = flag.String("trace", "", "write one traced iteration's op timeline (TSV) to this file")
+		progIn  = flag.String("prog", "", "run this saved test program instead of generating one")
+		progOut = flag.String("dump-prog", "", "write the generated test program (text format) to this file")
+	)
+	flag.Parse()
+
+	plat, err := platform(*isa, *bug)
+	if err != nil {
+		fatal(err)
+	}
+	if *osMode {
+		plat.OS = sim.OSConfig{Enabled: true, Quantum: 400, QuantumJitter: 120, Migrate: true}
+	}
+	opts := mtracecheck.Options{
+		Platform:   plat,
+		Iterations: *iters,
+		Seed:       *seed,
+	}
+	switch *checker {
+	case "collective":
+	case "conventional":
+		opts.Checker = mtracecheck.CheckerConventional
+	case "incremental":
+		opts.Checker = mtracecheck.CheckerIncremental
+	default:
+		fatal(fmt.Errorf("unknown checker %q", *checker))
+	}
+	cfg := mtracecheck.TestConfig{
+		Threads:      *threads,
+		OpsPerThread: *ops,
+		Words:        *words,
+		WordsPerLine: *wpl,
+		LoadRatio:    *loads,
+		FenceProb:    *fences,
+		Seed:         *seed,
+	}
+
+	var report *mtracecheck.Report
+	if *progIn != "" {
+		p, err := loadProgram(*progIn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mtracecheck: %s (%d threads, %d ops) on %s (%s), %d iterations\n",
+			p.Name, p.NumThreads(), p.NumOps(), plat.Name, mtracecheck.ModelName(plat), *iters)
+		report, err = mtracecheck.RunProgram(p, opts)
+		if err != nil {
+			reportRunError(report, err)
+		}
+	} else {
+		if *progOut != "" {
+			if err := saveProgram(*progOut, cfg); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("test program written to %s\n", *progOut)
+		}
+		fmt.Printf("mtracecheck: %s-%d-%d-%d on %s (%s), %d iterations\n",
+			*isa, *threads, *ops, *words, plat.Name, mtracecheck.ModelName(plat), *iters)
+		var err error
+		report, err = mtracecheck.Run(cfg, opts)
+		if err != nil {
+			reportRunError(report, err)
+		}
+	}
+	err = error(nil)
+	fmt.Printf("unique interleavings: %d / %d iterations (%.1f%%)\n",
+		report.UniqueSignatures, report.Iterations,
+		100*float64(report.UniqueSignatures)/float64(report.Iterations))
+	fmt.Printf("execution signature:  %d bytes\n", report.SignatureBytes)
+	fmt.Printf("simulated cycles:     %d total\n", report.TotalCycles)
+	c, nr, inc := report.CheckStats.Counts()
+	if c+nr+inc > 0 {
+		fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
+			c, nr, inc, report.CheckStats.SortedVertices)
+	}
+	if *traceTo != "" {
+		if err := dumpTrace(*traceTo, cfg, opts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline written to %s\n", *traceTo)
+	}
+	if *sigsOut != "" {
+		if err := dumpSignatures(*sigsOut, cfg, opts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("signatures written to %s\n", *sigsOut)
+	}
+	if *dotOut != "" && len(report.Violations) > 0 {
+		if err := dumpDOT(*dotOut, report, report.Violations[0], opts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("violation graph written to %s\n", *dotOut)
+	}
+	if report.Failed() {
+		fmt.Printf("RESULT: FAIL — %d graph violations, %d assertion failures\n",
+			len(report.Violations), len(report.AssertionFailures))
+		if *verbose {
+			for _, v := range report.Violations {
+				fmt.Printf("  violation: signature %v, cycle through ops %v\n", v.Sig, v.Cycle)
+				for _, opID := range v.Cycle {
+					op := report.Program.OpByID(int(opID))
+					fmt.Printf("    op %d: thread %d  %s\n", op.ID, op.Thread, op)
+				}
+			}
+			for _, e := range report.AssertionFailures {
+				fmt.Printf("  assert: %v\n", e)
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: PASS — all observed interleavings consistent with the model")
+}
+
+func platform(isa, bug string) (mtracecheck.Platform, error) {
+	var memBugs mem.Bugs
+	var simBugs sim.Bugs
+	switch bug {
+	case "":
+	case "sm-inv":
+		memBugs.StaleSMInv = true
+	case "lsq-skip":
+		simBugs.LQSquashSkip = true
+	case "wb-race":
+		memBugs.WBRaceDeadlock = true
+	default:
+		return mtracecheck.Platform{}, fmt.Errorf("unknown bug %q", bug)
+	}
+	if bug != "" {
+		return mtracecheck.PlatformGem5(memBugs, simBugs), nil
+	}
+	return sim.ForISA(isa)
+}
+
+// dumpSignatures re-collects the test's signatures (same seed, hence the
+// same executions) and writes them in the binary device-to-host format.
+func dumpSignatures(path string, cfg mtracecheck.TestConfig, opts mtracecheck.Options) error {
+	p, err := testgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	uniques, err := mtracecheck.CollectSignatures(p, opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return mtracecheck.SaveSignatures(f, nil, uniques)
+}
+
+// dumpTrace runs a single traced iteration and writes its timeline.
+func dumpTrace(path string, cfg mtracecheck.TestConfig, opts mtracecheck.Options) error {
+	p, err := testgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
+	if err != nil {
+		return err
+	}
+	runner.Trace = true
+	ex, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sim.FormatTimeline(f, p, ex)
+}
+
+func dumpDOT(path string, report *mtracecheck.Report, v mtracecheck.Violation,
+	opts mtracecheck.Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return mtracecheck.WriteViolationDOT(f, report, v, opts)
+}
+
+// reportRunError prints a crash (a finding in itself) or a hard error.
+func reportRunError(report *mtracecheck.Report, err error) {
+	if report != nil {
+		fmt.Printf("CRASH after %d iterations: %v\n", report.Iterations, err)
+		os.Exit(2)
+	}
+	fatal(err)
+}
+
+// loadProgram reads a saved test program.
+func loadProgram(path string) (*mtracecheck.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return prog.Parse(f)
+}
+
+// saveProgram writes the generated program in the text format.
+func saveProgram(path string, cfg mtracecheck.TestConfig) error {
+	p, err := testgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(prog.Format(p)), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtracecheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtracecheck"
+)
+
+func TestPlatformSelection(t *testing.T) {
+	cases := []struct {
+		isa, bug string
+		wantName string
+		wantErr  bool
+	}{
+		{"x86", "", "x86-64 Core2Quad", false},
+		{"ARM", "", "ARMv7 Exynos5422", false},
+		{"x86", "sm-inv", "gem5 8-core x86", false},
+		{"x86", "lsq-skip", "gem5 8-core x86", false},
+		{"ARM", "wb-race", "gem5 8-core x86", false},
+		{"mips", "", "", true},
+		{"x86", "bogus", "", true},
+	}
+	for _, c := range cases {
+		p, err := platform(c.isa, c.bug)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("platform(%q, %q): no error", c.isa, c.bug)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("platform(%q, %q): %v", c.isa, c.bug, err)
+			continue
+		}
+		if p.Name != c.wantName {
+			t.Errorf("platform(%q, %q) = %q, want %q", c.isa, c.bug, p.Name, c.wantName)
+		}
+	}
+}
+
+func TestDumpSignaturesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sigs.bin")
+	cfg := mtracecheck.TestConfig{Threads: 2, OpsPerThread: 20, Words: 4, Seed: 1}
+	opts := mtracecheck.Options{Iterations: 30, Seed: 2}
+	if err := dumpSignatures(path, cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	uniques, err := mtracecheck.LoadSignatures(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uniques) == 0 {
+		t.Fatal("no signatures written")
+	}
+	total := 0
+	for _, u := range uniques {
+		total += u.Count
+	}
+	if total != 30 {
+		t.Errorf("total observations = %d, want 30", total)
+	}
+}

@@ -1,0 +1,3 @@
+module mtracecheck
+
+go 1.22

@@ -1,0 +1,49 @@
+package check
+
+// bucketQueue pops ready vertices in ascending priority-class order with
+// O(1) amortized operations — a counting-sort replacement for a heap, valid
+// because the word-major priorities form a small static set of classes.
+// Within a class, pops are FIFO. When a push lands in a class below the
+// current cursor, the cursor moves back.
+type bucketQueue struct {
+	buckets [][]int32
+	heads   []int
+	cur     int
+	size    int
+}
+
+func newBucketQueue(classes int) *bucketQueue {
+	return &bucketQueue{
+		buckets: make([][]int32, classes),
+		heads:   make([]int, classes),
+		cur:     classes,
+	}
+}
+
+func (q *bucketQueue) reset() {
+	for c := range q.buckets {
+		q.buckets[c] = q.buckets[c][:0]
+		q.heads[c] = 0
+	}
+	q.cur = len(q.buckets)
+	q.size = 0
+}
+
+func (q *bucketQueue) push(class int, v int32) {
+	q.buckets[class] = append(q.buckets[class], v)
+	if class < q.cur {
+		q.cur = class
+	}
+	q.size++
+}
+
+// pop returns the lowest-class ready vertex; call only when size > 0.
+func (q *bucketQueue) pop() int32 {
+	for q.heads[q.cur] >= len(q.buckets[q.cur]) {
+		q.cur++
+	}
+	v := q.buckets[q.cur][q.heads[q.cur]]
+	q.heads[q.cur]++
+	q.size--
+	return v
+}

@@ -1,0 +1,253 @@
+// Package check implements MTraceCheck's violation checking (paper §4):
+// the conventional baseline that topologically sorts every unique
+// execution's constraint graph from scratch, and the collective checker
+// that exploits structural similarity between graphs of adjacent sorted
+// signatures, re-sorting only the window of vertices spanned by newly
+// introduced backward edges (§4.2).
+//
+// Window correctness (the proof the paper omits for space): let pos be a
+// valid topological order of the previous graph and let the window [lo, hi]
+// span every new backward edge — lo is the minimum position among backward
+// edge heads, hi the maximum among backward-edge tails. Any edge entering
+// the window from a position above hi would have been a backward edge with
+// its head inside the window (old edges are forward; new backward edges
+// have tails at positions ≤ hi by construction), and any edge leaving the
+// window to a position below lo would likewise contradict lo's minimality.
+// Hence no constraint crosses into the window from above or out of it
+// below: re-sorting the window's vertices among their own positions
+// preserves validity, and any cycle must lie entirely within the window.
+package check
+
+import (
+	"fmt"
+
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/sig"
+)
+
+// Item is one unique execution to check: its signature (for ordering and
+// reporting) and its dynamic constraint edges.
+type Item struct {
+	Sig   sig.Signature
+	Edges []graph.Edge
+}
+
+// Violation reports one failed graph.
+type Violation struct {
+	Index int           // position within the checked sequence
+	Sig   sig.Signature // offending signature
+	Cycle []int32       // one cyclic dependency (operation IDs)
+}
+
+// Kind classifies how a graph was validated by the collective checker
+// (paper Fig. 14's breakdown).
+type Kind uint8
+
+const (
+	// KindComplete is a full from-scratch topological sort.
+	KindComplete Kind = iota
+	// KindNoResort means no new backward edges: validated for free.
+	KindNoResort
+	// KindIncremental means a bounded window was re-sorted.
+	KindIncremental
+)
+
+// GraphStat records the checking effort for one graph.
+type GraphStat struct {
+	Kind     Kind
+	Affected int // vertices re-sorted (window size; N for complete)
+}
+
+// Result aggregates a checking run.
+type Result struct {
+	Total      int
+	Violations []Violation
+	PerGraph   []GraphStat // collective checker only
+	// SortedVertices counts every vertex visited by a topological (re)sort —
+	// the computation metric behind Fig. 9's speedup.
+	SortedVertices int64
+}
+
+// Complete, NoResort, and Incremental count graphs per validation kind.
+func (r *Result) Counts() (complete, noResort, incremental int) {
+	for _, s := range r.PerGraph {
+		switch s.Kind {
+		case KindComplete:
+			complete++
+		case KindNoResort:
+			noResort++
+		case KindIncremental:
+			incremental++
+		}
+	}
+	return
+}
+
+// debugValidate, when set (tests only), is invoked with each graph the
+// collective checker validated incrementally and the full order it
+// maintains, so tests can assert the order remains a valid topological sort.
+var debugValidate func(g *graph.Graph, order []int32)
+
+// Conventional checks every item with an independent full topological sort
+// — the baseline MTraceCheck compares against (tsort in the paper). Vertex
+// data structures are recycled across graphs, edges rebuilt per graph.
+func Conventional(b *graph.Builder, items []Item) *Result {
+	res := &Result{Total: len(items)}
+	w := newWorkspace(b)
+	for i, it := range items {
+		w.setDyn(it.Edges)
+		res.SortedVertices += int64(w.n)
+		if _, ok := w.fullSort(false); !ok {
+			res.Violations = append(res.Violations, Violation{
+				Index: i, Sig: it.Sig, Cycle: b.FromDynamic(it.Edges).FindCycle(),
+			})
+		}
+	}
+	return res
+}
+
+// Collective checks items in ascending-signature order using topological
+// re-sorting. Items must be sorted by signature (as produced by
+// sig.Dedup); Collective returns an error otherwise, since the similarity
+// assumption underpins the windowing.
+func Collective(b *graph.Builder, items []Item) (*Result, error) {
+	res := &Result{Total: len(items)}
+	if len(items) == 0 {
+		return res, nil
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Sig.Compare(items[i].Sig) > 0 {
+			return nil, fmt.Errorf("check: items not in ascending signature order at %d", i)
+		}
+	}
+
+	n := b.NumOps()
+	pos := make([]int32, n)   // vertex -> position in current valid order
+	order := make([]int32, n) // position -> vertex
+	havePos := false
+	var baseEdges []graph.Edge // dynamic edges of the last valid graph
+	var diffBuf []graph.Edge   // reused new-edge scratch
+	w := newWorkspace(b)
+
+	for i, it := range items {
+		if !havePos {
+			// First graph (or recovery after a cyclic graph): complete sort.
+			res.SortedVertices += int64(n)
+			w.setDyn(it.Edges)
+			full, ok := w.fullSort(true)
+			if !ok {
+				res.Violations = append(res.Violations, Violation{
+					Index: i, Sig: it.Sig, Cycle: b.FromDynamic(it.Edges).FindCycle(),
+				})
+				res.PerGraph = append(res.PerGraph, GraphStat{Kind: KindComplete, Affected: n})
+				continue
+			}
+			copy(order, full)
+			for p, v := range order {
+				pos[v] = int32(p)
+			}
+			havePos = true
+			baseEdges = it.Edges
+			res.PerGraph = append(res.PerGraph, GraphStat{Kind: KindComplete, Affected: n})
+			continue
+		}
+
+		// New edges relative to the last valid graph; removed edges only
+		// relax constraints and are ignored (§4.2).
+		diffBuf = diffEdges(diffBuf[:0], it.Edges, baseEdges)
+		added := diffBuf
+		lo, hi := int32(-1), int32(-1)
+		for _, e := range added {
+			pu, pv := pos[e.U], pos[e.V]
+			if pu > pv { // backward edge
+				if lo < 0 || pv < lo {
+					lo = pv
+				}
+				if pu > hi {
+					hi = pu
+				}
+			}
+		}
+		if lo < 0 {
+			// Every new edge is forward: the existing order already proves
+			// this graph consistent.
+			res.PerGraph = append(res.PerGraph, GraphStat{Kind: KindNoResort})
+			baseEdges = it.Edges
+			continue
+		}
+
+		window := int(hi - lo + 1)
+		res.SortedVertices += int64(window)
+		w.setDyn(it.Edges)
+		if window*4 >= n*3 {
+			// The window spans almost the whole order: a from-scratch sort
+			// is cheaper than window bookkeeping and, since any cycle is
+			// confined to the window, delivers the same verdict.
+			full, ok := w.fullSort(true)
+			if !ok {
+				res.Violations = append(res.Violations, Violation{
+					Index: i, Sig: it.Sig, Cycle: b.FromDynamic(it.Edges).FindCycle(),
+				})
+				res.PerGraph = append(res.PerGraph, GraphStat{Kind: KindIncremental, Affected: window})
+				continue
+			}
+			copy(order, full)
+			for p, v := range order {
+				pos[v] = int32(p)
+			}
+			baseEdges = it.Edges
+			res.PerGraph = append(res.PerGraph, GraphStat{Kind: KindIncremental, Affected: window})
+			if debugValidate != nil {
+				debugValidate(b.FromDynamic(it.Edges), order)
+			}
+			continue
+		}
+		sub, ok := w.windowSort(order, pos, lo, hi)
+		if !ok {
+			res.Violations = append(res.Violations, Violation{
+				Index: i, Sig: it.Sig, Cycle: b.FromDynamic(it.Edges).FindCycle(),
+			})
+			res.PerGraph = append(res.PerGraph, GraphStat{Kind: KindIncremental, Affected: window})
+			// pos still describes the last valid graph; keep using it.
+			continue
+		}
+		// Install the re-sorted window.
+		for k, v := range sub {
+			p := lo + int32(k)
+			order[p] = v
+			pos[v] = p
+		}
+		baseEdges = it.Edges
+		res.PerGraph = append(res.PerGraph, GraphStat{Kind: KindIncremental, Affected: window})
+		if debugValidate != nil {
+			debugValidate(b.FromDynamic(it.Edges), order)
+		}
+	}
+	return res, nil
+}
+
+// diffEdges appends the edges of cur not present in prev to out; both
+// inputs are sorted (graph.DynamicEdges order).
+func diffEdges(out, cur, prev []graph.Edge) []graph.Edge {
+	i, j := 0, 0
+	for i < len(cur) {
+		switch {
+		case j >= len(prev) || less(cur[i], prev[j]):
+			out = append(out, cur[i])
+			i++
+		case less(prev[j], cur[i]):
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func less(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}

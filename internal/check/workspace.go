@@ -1,0 +1,195 @@
+package check
+
+import "mtracecheck/internal/graph"
+
+// workspace holds the recycled vertex data structures both checkers run on
+// (the paper recycles vertex structures across graphs while edge structures
+// are rebuilt per graph, §6.2). One workspace serves one program's builder.
+type workspace struct {
+	n       int
+	static  [][]int32
+	dyn     [][]int32 // per-vertex dynamic out-edges of the current graph
+	touched []int32   // vertices whose dyn entry is non-empty
+	indeg   []int32
+	out     []int32
+	queue   []int32 // FIFO scratch for the unprioritized baseline sort
+	classOf []int32 // vertex priority class (word-major)
+	bq      *bucketQueue
+	ladj    [][]int32 // recycled window-local adjacency
+}
+
+func newWorkspace(b *graph.Builder) *workspace {
+	n := b.NumOps()
+	g := b.FromDynamic(nil) // borrow the shared static adjacency
+	classOf, classes := b.WordClass()
+	return &workspace{
+		n:       n,
+		static:  g.Static,
+		dyn:     make([][]int32, n),
+		indeg:   make([]int32, n),
+		out:     make([]int32, 0, n),
+		queue:   make([]int32, 0, n),
+		classOf: classOf,
+		bq:      newBucketQueue(classes),
+		ladj:    make([][]int32, n),
+	}
+}
+
+// setDyn installs one graph's dynamic edges, clearing the previous graph's.
+func (w *workspace) setDyn(edges []graph.Edge) {
+	for _, u := range w.touched {
+		w.dyn[u] = w.dyn[u][:0]
+	}
+	w.touched = w.touched[:0]
+	for _, e := range edges {
+		if len(w.dyn[e.U]) == 0 {
+			w.touched = append(w.touched, e.U)
+		}
+		w.dyn[e.U] = append(w.dyn[e.U], e.V)
+	}
+}
+
+// fullSort runs Kahn's algorithm over the whole current graph, returning a
+// topological order (valid until the next sort) and whether one exists.
+//
+// The prioritized variant is the collective checker's key heuristic: ready
+// vertices pop in word-major class order, clustering each shared word's
+// stores and loads into a contiguous region whenever the program-order
+// edges permit (always under RMO, where no cross-word po edges exist
+// without fences). Every dynamic edge — rf, fr, ws — connects operations on
+// the same word, so the edge changes between adjacent sorted signatures
+// tend to fall inside word regions, keeping re-sort windows small. Under
+// stronger models the po chains stretch the clusters apart — which is
+// exactly why the paper's collective-checking benefit is smaller on x86
+// than on ARM.
+func (w *workspace) fullSort(prioritized bool) ([]int32, bool) {
+	indeg := w.indeg
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	for u := 0; u < w.n; u++ {
+		for _, v := range w.static[u] {
+			indeg[v]++
+		}
+		for _, v := range w.dyn[u] {
+			indeg[v]++
+		}
+	}
+	out := w.out[:0]
+	if !prioritized {
+		// Plain FIFO Kahn: the conventional baseline needs no particular
+		// tie-breaking.
+		queue := w.queue[:0]
+		for v := int32(0); v < int32(w.n); v++ {
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			out = append(out, u)
+			for _, v := range w.static[u] {
+				if indeg[v]--; indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range w.dyn[u] {
+				if indeg[v]--; indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+		w.queue = queue[:0]
+		w.out = out
+		return out, len(out) == w.n
+	}
+	bq := w.bq
+	bq.reset()
+	for v := int32(0); v < int32(w.n); v++ {
+		if indeg[v] == 0 {
+			bq.push(int(w.classOf[v]), v)
+		}
+	}
+	for bq.size > 0 {
+		u := bq.pop()
+		out = append(out, u)
+		for _, v := range w.static[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				bq.push(int(w.classOf[v]), v)
+			}
+		}
+		for _, v := range w.dyn[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				bq.push(int(w.classOf[v]), v)
+			}
+		}
+	}
+	w.out = out
+	return out, len(out) == w.n
+}
+
+// windowSort topologically re-sorts the vertices at positions [lo, hi] of
+// order against the current graph, with the same word-major tie-breaking as
+// the prioritized fullSort. Window positions are contiguous, so a window
+// vertex's local index is pos[v]-lo; crossing edges impose no
+// window-internal constraints (see the package comment's proof sketch).
+// The induced adjacency is materialized once into recycled buffers so the
+// pop phase runs without membership checks.
+func (w *workspace) windowSort(order, pos []int32, lo, hi int32) ([]int32, bool) {
+	size := int32(hi - lo + 1)
+	verts := order[lo : hi+1]
+	indeg := w.indeg[:size]
+	for k := range indeg {
+		indeg[k] = 0
+	}
+	ladj := w.ladj[:size]
+	usize := uint32(size)
+	for k, u := range verts {
+		edges := ladj[k][:0]
+		for _, v := range w.static[u] {
+			if lv := uint32(pos[v] - lo); lv < usize {
+				edges = append(edges, int32(lv))
+				indeg[lv]++
+			}
+		}
+		for _, v := range w.dyn[u] {
+			if lv := uint32(pos[v] - lo); lv < usize {
+				edges = append(edges, int32(lv))
+				indeg[lv]++
+			}
+		}
+		ladj[k] = edges
+	}
+	bq := w.bq
+	bq.reset()
+	for k := int32(0); k < size; k++ {
+		if indeg[k] == 0 {
+			bq.push(int(w.classOf[verts[k]]), k)
+		}
+	}
+	out := w.out[:0]
+	for bq.size > 0 {
+		lu := bq.pop()
+		out = append(out, verts[lu])
+		for _, lv := range ladj[lu] {
+			if indeg[lv]--; indeg[lv] == 0 {
+				bq.push(int(w.classOf[verts[lv]]), lv)
+			}
+		}
+	}
+	w.out = out
+	if len(out) != int(size) {
+		return nil, false
+	}
+	return out, true
+}
+
+// succs calls fn for every successor of u in the current graph.
+func (w *workspace) succs(u int32, fn func(v int32)) {
+	for _, v := range w.static[u] {
+		fn(v)
+	}
+	for _, v := range w.dyn[u] {
+		fn(v)
+	}
+}

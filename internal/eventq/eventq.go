@@ -1,0 +1,95 @@
+// Package eventq provides the discrete-event scheduler underlying the
+// simulated validation platform: a time-ordered queue of callbacks with a
+// monotonic clock. Events at equal times run in scheduling order (FIFO), so
+// simulations are fully deterministic for a given seed.
+package eventq
+
+import "container/heap"
+
+// Time is a simulation timestamp in abstract cycles.
+type Time int64
+
+// Queue is a discrete-event scheduler. The zero value is not ready for use;
+// call New.
+type Queue struct {
+	h   eventHeap
+	now Time
+	seq int64
+}
+
+// New returns an empty queue with the clock at zero.
+func New() *Queue { return &Queue{} }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current simulation time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// (before Now) runs the event at the current time instead; time never moves
+// backwards.
+func (q *Queue) At(at Time, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay Time, fn func()) { q.At(q.now+delay, fn) }
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(event)
+	q.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil processes events until the queue is empty, done returns true, or
+// maxEvents events have run. It returns the number of events processed.
+// A maxEvents of 0 means no limit. The done predicate is checked after each
+// event.
+func (q *Queue) RunUntil(done func() bool, maxEvents int) int {
+	n := 0
+	for len(q.h) > 0 {
+		if done != nil && done() {
+			return n
+		}
+		if maxEvents > 0 && n >= maxEvents {
+			return n
+		}
+		q.Step()
+		n++
+	}
+	return n
+}
+
+// Drain processes all pending events (bounded by maxEvents when non-zero)
+// and returns the number processed.
+func (q *Queue) Drain(maxEvents int) int { return q.RunUntil(nil, maxEvents) }

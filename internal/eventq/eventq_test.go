@@ -1,0 +1,128 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	q.Drain(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now = %d, want 30", q.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func() { got = append(got, i) })
+	}
+	q.Drain(0)
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("equal-time events out of scheduling order: %v", got)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	q := New()
+	var fired Time = -1
+	q.At(100, func() {
+		q.After(5, func() { fired = q.Now() })
+	})
+	q.Drain(0)
+	if fired != 105 {
+		t.Errorf("After fired at %d, want 105", fired)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	q := New()
+	var fired Time = -1
+	q.At(50, func() {
+		q.At(10, func() { fired = q.Now() }) // in the past
+	})
+	q.Drain(0)
+	if fired != 50 {
+		t.Errorf("past event fired at %d, want 50", fired)
+	}
+}
+
+func TestRunUntilPredicate(t *testing.T) {
+	q := New()
+	count := 0
+	for i := 0; i < 100; i++ {
+		q.At(Time(i), func() { count++ })
+	}
+	n := q.RunUntil(func() bool { return count >= 10 }, 0)
+	if count != 10 || n != 10 {
+		t.Errorf("count=%d n=%d, want 10/10", count, n)
+	}
+	if q.Len() != 90 {
+		t.Errorf("Len = %d, want 90", q.Len())
+	}
+}
+
+func TestRunUntilMaxEvents(t *testing.T) {
+	q := New()
+	count := 0
+	for i := 0; i < 100; i++ {
+		q.At(Time(i), func() { count++ })
+	}
+	if n := q.Drain(7); n != 7 || count != 7 {
+		t.Errorf("n=%d count=%d, want 7/7", n, count)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := New()
+	var fired []Time
+	for i := 0; i < 1000; i++ {
+		at := Time(rng.Intn(500))
+		q.At(at, func() { fired = append(fired, at) })
+	}
+	q.Drain(0)
+	if len(fired) != 1000 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("time went backwards at %d: %d < %d", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	q := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 50 {
+			depth++
+			q.After(1, recurse)
+		}
+	}
+	q.At(0, recurse)
+	q.Drain(0)
+	if depth != 50 || q.Now() != 50 {
+		t.Errorf("depth=%d now=%d", depth, q.Now())
+	}
+}

@@ -1,0 +1,565 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mtracecheck/internal/check"
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/report"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+// collectMode is collect with an explicit write-serialization mode and an
+// optional pruner, for the ablation studies.
+func collectMode(p *prog.Program, plat sim.Platform, iters int, seed int64,
+	ws graph.WSMode, pruner instrument.Pruner) (*collected, error) {
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, pruner)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(plat, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	set := sig.NewSet()
+	wsBySig := map[string]graph.WS{}
+	asserts := 0
+	for i := 0; i < iters; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			return nil, err
+		}
+		s, err := meta.EncodeExecution(ex.LoadValues)
+		if err != nil {
+			asserts++
+			continue
+		}
+		if set.Add(s) {
+			wsBySig[s.Key()] = ex.WS
+		}
+	}
+	builder := graph.NewBuilder(p, plat.Model, graph.Options{
+		Forwarding: plat.Atomicity.AllowsForwarding(),
+		WS:         ws,
+	})
+	uniques := set.Sorted()
+	items := make([]check.Item, 0, len(uniques))
+	for _, u := range uniques {
+		cands, err := meta.Decode(u.Sig)
+		if err != nil {
+			return nil, err
+		}
+		rf := make(graph.RF, len(cands))
+		for id, c := range cands {
+			rf[id] = c.Store
+		}
+		edges, err := builder.DynamicEdges(rf, wsBySig[u.Sig.Key()])
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, check.Item{Sig: u.Sig, Edges: edges})
+	}
+	return &collected{meta: meta, builder: builder, uniques: uniques,
+		items: items, asserts: asserts}, nil
+}
+
+// WSAblation quantifies the static-vs-observed write-serialization choice
+// (DESIGN.md §2): bug detections caught by each mode on the bug-2 platform,
+// and the checking-effort difference on a clean platform. Static ws — the
+// paper's "gathered statically" mode — provably misses cross-thread
+// serialization violations; observed ws catches them at the cost of larger
+// graph diffs.
+func WSAblation(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Ablation: static vs observed write serialization",
+		Caption: fmt.Sprintf("bug-2 campaign: %d tests × %d iterations; effort row: clean x86-4-50-64.",
+			cfg.Table3Tests, cfg.Table3Iters),
+		Header: []string{"metric", "static ws (paper mode)", "observed ws"},
+	}
+	tcBug := testgen.Config{Threads: 7, OpsPerThread: 200, Words: 32, WordsPerLine: 16}
+	plat := sim.PlatformGem5(mem.Bugs{}, sim.Bugs{LQSquashSkip: true})
+	detect := func(ws graph.WSMode) (tests, sigs int, err error) {
+		for test := 0; test < cfg.Table3Tests; test++ {
+			tc := tcBug
+			tc.Seed = cfg.Seed + int64(test)
+			p, err := testgen.Generate(tc)
+			if err != nil {
+				return 0, 0, err
+			}
+			col, err := collectMode(p, plat, cfg.Table3Iters, tc.Seed+1, ws, nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := check.Collective(col.builder, col.items)
+			if err != nil {
+				return 0, 0, err
+			}
+			if len(res.Violations)+col.asserts > 0 {
+				tests++
+				sigs += len(res.Violations)
+			}
+		}
+		return tests, sigs, nil
+	}
+	sTests, sSigs, err := detect(graph.WSStatic)
+	if err != nil {
+		return nil, err
+	}
+	oTests, oSigs, err := detect(graph.WSObserved)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("bug-2 tests detecting", fmt.Sprintf("%d/%d", sTests, cfg.Table3Tests),
+		fmt.Sprintf("%d/%d", oTests, cfg.Table3Tests))
+	t.AddRow("bug-2 violating signatures", sSigs, oSigs)
+
+	// Checking-effort comparison on a clean test.
+	tcClean := testgen.Config{Threads: 4, OpsPerThread: 50, Words: 64, Seed: cfg.Seed}
+	p, err := testgen.Generate(tcClean)
+	if err != nil {
+		return nil, err
+	}
+	x86 := sim.PlatformX86()
+	for _, mode := range []struct {
+		name string
+		ws   graph.WSMode
+	}{{"static ws (paper mode)", graph.WSStatic}, {"observed ws", graph.WSObserved}} {
+		col, err := collectMode(p, x86, cfg.Iterations, cfg.Seed, mode.ws, nil)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := check.Collective(col.builder, col.items)
+		if err != nil {
+			return nil, err
+		}
+		_ = res
+		_ = start
+		var edges int
+		for _, it := range col.items {
+			edges += len(it.Edges)
+		}
+		t.AddRow(fmt.Sprintf("clean run dyn edges/graph (%s)", mode.name),
+			fmt.Sprintf("%.1f", float64(edges)/float64(max(1, len(col.items)))), "")
+		t.AddRow(fmt.Sprintf("clean run sorted vertices (%s)", mode.name),
+			res.SortedVertices, "")
+	}
+	return t, nil
+}
+
+// PruneAblation quantifies §8's static pruning: signature and code size
+// with and without a skew-bounded candidate pruner, plus the runtime
+// assertion failures that would reveal an unsound (too tight) bound.
+func PruneAblation(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Ablation: static candidate pruning (§8)",
+		Caption: fmt.Sprintf("%d iterations per cell; asserts >0 would mean the skew bound is unsound on this platform.",
+			cfg.Iterations),
+		Header: []string{"config", "pruner", "sig bytes", "code kB", "asserts"},
+	}
+	cfgs := []testgen.Config{
+		{Threads: 4, OpsPerThread: 100, Words: 32, Seed: cfg.Seed, Label: "x86-4-100-32"},
+		{Threads: 7, OpsPerThread: 200, Words: 64, Seed: cfg.Seed, Label: "ARM-7-200-64"},
+	}
+	plats := []sim.Platform{sim.PlatformX86(), sim.PlatformARM()}
+	for i, tc := range cfgs {
+		p, err := testgen.Generate(tc)
+		if err != nil {
+			return nil, err
+		}
+		plat := plats[i]
+		enc := encodingFor(testgen.ISAX86)
+		if i == 1 {
+			enc = encodingFor(testgen.ISAARM)
+		}
+		for _, pr := range []struct {
+			name  string
+			prune instrument.Pruner
+		}{
+			{"none", nil},
+			{"skew≤192", instrument.SkewPruner(p, 192)},
+			{"skew≤96", instrument.SkewPruner(p, 96)},
+			{"skew≤32", instrument.SkewPruner(p, 32)},
+		} {
+			meta, err := instrument.Analyze(p, plat.RegWidthBits, pr.prune)
+			if err != nil {
+				return nil, err
+			}
+			gp, err := instrument.Generate(meta, enc)
+			if err != nil {
+				return nil, err
+			}
+			_, inst, _ := gp.CodeSizes()
+			col, err := collectMode(p, plat, cfg.Iterations, cfg.Seed+9, graph.WSStatic, pr.prune)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(tc.Label, pr.name, meta.SignatureBytes(),
+				fmt.Sprintf("%.1f", float64(inst)/1024), col.asserts)
+		}
+	}
+	return t, nil
+}
+
+// ScalingAblation sweeps the iteration count on one configuration, showing
+// how signature-space density drives the collective checker's advantage —
+// the similarity mechanism behind the paper's Fig. 9 results at 65536
+// iterations.
+func ScalingAblation(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Ablation: collective-checking advantage vs iteration count",
+		Header: []string{"iterations", "unique sigs", "no-resort", "sorted verts (coll)", "sorted verts (conv)", "reduction"},
+	}
+	tc := testgen.Config{Threads: 4, OpsPerThread: 50, Words: 64, Seed: cfg.Seed}
+	p, err := testgen.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	for _, iters := range []int{256, 1024, 4096} {
+		col, err := collectMode(p, sim.PlatformX86(), iters, cfg.Seed, graph.WSStatic, nil)
+		if err != nil {
+			return nil, err
+		}
+		conv := check.Conventional(col.builder, col.items)
+		coll, err := check.Collective(col.builder, col.items)
+		if err != nil {
+			return nil, err
+		}
+		_, noResort, _ := coll.Counts()
+		t.AddRow(iters, len(col.items), noResort, coll.SortedVertices, conv.SortedVertices,
+			report.Percent(float64(conv.SortedVertices-coll.SortedVertices), float64(conv.SortedVertices)))
+	}
+	return t, nil
+}
+
+// FRAblation explains the paper's Fig. 14 ARM result: with from-read edges
+// omitted (the construction implied by §8's "stores do not depend on any
+// load operations"), every dynamic edge is store→load, stores sort ahead of
+// loads, and virtually no graph needs re-sorting — at the price of
+// blindness to fr-dependent violations such as CoRR.
+func FRAblation(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Ablation: from-read edges and the ARM no-resort result (Fig. 14)",
+		Caption: fmt.Sprintf("%d iterations per config; dropping fr edges trades CoRR-class detection for near-free checking.",
+			cfg.Iterations),
+		Header: []string{"config", "fr edges", "no-resort", "incremental", "sorted verts", "vs conventional"},
+	}
+	for _, label := range []string{"ARM-2-100-32", "ARM-4-50-64", "ARM-7-50-64"} {
+		var tc testgen.Config
+		switch label {
+		case "ARM-2-100-32":
+			tc = testgen.Config{Threads: 2, OpsPerThread: 100, Words: 32}
+		case "ARM-4-50-64":
+			tc = testgen.Config{Threads: 4, OpsPerThread: 50, Words: 64}
+		case "ARM-7-50-64":
+			tc = testgen.Config{Threads: 7, OpsPerThread: 50, Words: 64}
+		}
+		tc.Seed = cfg.Seed
+		p, err := testgen.Generate(tc)
+		if err != nil {
+			return nil, err
+		}
+		plat := sim.PlatformARM()
+		for _, dropFR := range []bool{false, true} {
+			meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+			if err != nil {
+				return nil, err
+			}
+			runner, err := sim.NewRunner(plat, p, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			set := sig.NewSet()
+			for i := 0; i < cfg.Iterations; i++ {
+				ex, err := runner.Run()
+				if err != nil {
+					return nil, err
+				}
+				if s, err := meta.EncodeExecution(ex.LoadValues); err == nil {
+					set.Add(s)
+				}
+			}
+			builder := graph.NewBuilder(p, plat.Model, graph.Options{
+				Forwarding: true, WS: graph.WSStatic, DropFR: dropFR,
+			})
+			items := make([]check.Item, 0, set.Len())
+			for _, u := range set.Sorted() {
+				cands, err := meta.Decode(u.Sig)
+				if err != nil {
+					return nil, err
+				}
+				rf := make(graph.RF, len(cands))
+				for id, c := range cands {
+					rf[id] = c.Store
+				}
+				edges, err := builder.DynamicEdges(rf, nil)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, check.Item{Sig: u.Sig, Edges: edges})
+			}
+			conv := check.Conventional(builder, items)
+			coll, err := check.Collective(builder, items)
+			if err != nil {
+				return nil, err
+			}
+			_, noResort, incremental := coll.Counts()
+			mode := "full (ours)"
+			if dropFR {
+				mode = "dropped (paper-ARM)"
+			}
+			t.AddRow(label, mode, noResort, incremental, coll.SortedVertices,
+				report.Percent(float64(coll.SortedVertices), float64(conv.SortedVertices)))
+		}
+	}
+	return t, nil
+}
+
+// Saturation reproduces the paper's §6.1 iteration-count sensitivity study
+// (ARM-2-200-32: 54% unique at 65536 iterations vs 30% at 1M): the fraction
+// of unique interleavings falls as the iteration budget grows, because the
+// underlying distribution has finite support.
+func Saturation(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Sensitivity: unique-interleaving fraction vs iteration count (§6.1)",
+		Caption: "ARM-2-50-32 (the paper used ARM-2-200-32; our simulator's 2-200 configs " +
+			"have effectively unbounded interleaving support, so the finite-support " +
+			"effect shows on the smaller config).",
+		Header: []string{"iterations", "unique", "fraction"},
+	}
+	tc := testgen.Config{Threads: 2, OpsPerThread: 50, Words: 32, Seed: cfg.Seed}
+	p, err := testgen.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	plat := sim.PlatformARM()
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(plat, p, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	set := sig.NewSet()
+	checkpoints := []int{cfg.Iterations, cfg.Iterations * 4, cfg.Iterations * 16}
+	done := 0
+	for _, target := range checkpoints {
+		for ; done < target; done++ {
+			ex, err := runner.Run()
+			if err != nil {
+				return nil, err
+			}
+			if s, err := meta.EncodeExecution(ex.LoadValues); err == nil {
+				set.Add(s)
+			}
+		}
+		t.AddRow(target, set.Len(), report.Percent(float64(set.Len()), float64(target)))
+	}
+	return t, nil
+}
+
+// Atomicity examines store atomicity (§8): on a single-copy platform
+// (no store-to-load forwarding) the forwarded-read outcome of the n6 litmus
+// disappears — a load can no longer see its own store before global
+// visibility — while the store-buffering outcome persists (SB needs no
+// same-address forwarding). The checker soundly includes intra-thread rf
+// edges only on the single-copy platform; including them under multi-copy
+// atomicity is the paper's §8 false-positive footnote (unit-tested in
+// internal/graph).
+func Atomicity(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Ablation: store atomicity (§8)",
+		Header: []string{"platform", "litmus", "observed", "violations"},
+	}
+	n6 := prog.NewBuilder("n6", 2, prog.DefaultLayout()).
+		Thread().Store(0).Load(0).Load(1).
+		Thread().Store(1).Load(1).Load(0).
+		MustBuild()
+	sb, err := testgen.LitmusByName("SB")
+	if err != nil {
+		return nil, err
+	}
+	type subject struct {
+		name    string
+		prog    *prog.Program
+		outcome testgen.Outcome
+	}
+	subjects := []subject{
+		{"SB (r0=r1=0)", sb.Prog, sb.Interesting},
+		{"n6 (forwarded reads)", n6, testgen.Outcome{
+			n6.Threads[0].Ops[1].ID: n6.Threads[0].Ops[0].Value,
+			n6.Threads[0].Ops[2].ID: prog.InitialValue,
+			n6.Threads[1].Ops[1].ID: n6.Threads[1].Ops[0].Value,
+			n6.Threads[1].Ops[2].ID: prog.InitialValue,
+		}},
+	}
+	for _, atom := range []mcm.Atomicity{mcm.MultiCopy, mcm.SingleCopy} {
+		plat := sim.PlatformX86()
+		plat.Atomicity = atom
+		for _, sub := range subjects {
+			meta, err := instrument.Analyze(sub.prog, plat.RegWidthBits, nil)
+			if err != nil {
+				return nil, err
+			}
+			runner, err := sim.NewRunner(plat, sub.prog, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			builder := graph.NewBuilder(sub.prog, plat.Model, graph.Options{
+				Forwarding: atom.AllowsForwarding(),
+				WS:         graph.WSStatic,
+			})
+			observed, violations := 0, 0
+			set := sig.NewSet()
+			for i := 0; i < cfg.Iterations; i++ {
+				ex, err := runner.Run()
+				if err != nil {
+					return nil, err
+				}
+				if sub.outcome.Matches(ex.LoadValues) {
+					observed++
+				}
+				if s, err := meta.EncodeExecution(ex.LoadValues); err == nil {
+					set.Add(s)
+				}
+			}
+			for _, u := range set.Sorted() {
+				cands, err := meta.Decode(u.Sig)
+				if err != nil {
+					return nil, err
+				}
+				rf := graph.RF{}
+				for id, c := range cands {
+					rf[id] = c.Store
+				}
+				g, err := builder.BuildGraph(rf, nil)
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := g.TopoSort(); !ok {
+					violations++
+				}
+			}
+			t.AddRow(atom.String(), sub.name, observed, violations)
+		}
+	}
+	return t, nil
+}
+
+// DynPrune evaluates §8's dynamic (frontier) pruning on TSO platforms.
+// Two findings: the information saved by the frontier is small on
+// constrained-random tests (each load's candidates come mostly from stores
+// the frontier has no grounds to exclude), and — because the frontier
+// encodes per-location coherence itself — ld→ld violations from the bug-2
+// platform are caught inline by the assert chain at encode time, before any
+// graph checking. The paper anticipated the costs ("signature decoding
+// becomes complicated as the length of signatures varies"); this measures
+// the benefit side.
+func DynPrune(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Ablation: dynamic (frontier) pruning (§8)",
+		Caption: fmt.Sprintf("%d iterations per config on the TSO platform; sizes in words excluding headers.",
+			cfg.Iterations),
+		Header: []string{"config", "static bits", "dynamic bits (avg)", "shrink", "inline asserts (bug 2)"},
+	}
+	cfgs := []testgen.Config{
+		{Threads: 4, OpsPerThread: 100, Words: 8, Seed: cfg.Seed, Label: "x86-4-100-8"},
+		{Threads: 7, OpsPerThread: 200, Words: 32, WordsPerLine: 16, Seed: cfg.Seed, Label: "x86-7-200-32"},
+	}
+	for _, tc := range cfgs {
+		p, err := testgen.Generate(tc)
+		if err != nil {
+			return nil, err
+		}
+		plat := sim.PlatformX86()
+		plat.Cores = 8
+		plat.AllocOrder = nil
+		meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := instrument.NewDynamicEncoder(meta, plat.Model)
+		if err != nil {
+			return nil, err
+		}
+		runner, err := sim.NewRunner(plat, p, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var dynBits float64
+		count := 0
+		for i := 0; i < cfg.Iterations; i++ {
+			ex, err := runner.Run()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := enc.Encode(ex.LoadValues); err != nil {
+				return nil, fmt.Errorf("%s: clean platform asserted: %w", tc.Label, err)
+			}
+			bits, err := enc.InformationBits(ex.LoadValues)
+			if err != nil {
+				return nil, err
+			}
+			dynBits += bits
+			count++
+		}
+		// Same test on the bug-2 platform: frontier asserts fire inline.
+		buggy := sim.PlatformGem5(mem.Bugs{}, sim.Bugs{LQSquashSkip: true})
+		brunner, err := sim.NewRunner(buggy, p, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		asserts := 0
+		for i := 0; i < cfg.Iterations; i++ {
+			ex, err := brunner.Run()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := enc.Encode(ex.LoadValues); err != nil {
+				asserts++
+			}
+		}
+		staticBits := meta.InformationBits()
+		avg := dynBits / float64(count)
+		t.AddRow(tc.Label, fmt.Sprintf("%.1f", staticBits), fmt.Sprintf("%.1f", avg),
+			report.Percent(staticBits-avg, staticBits),
+			asserts)
+	}
+	return t, nil
+}
+
+// Bias examines contention-biased test generation (a minimal instance of
+// the advanced generation the paper's §9 surveys): concentrating accesses
+// on a hot word subset raises interleaving diversity — and hence coverage —
+// per iteration budget on otherwise low-diversity configurations.
+func Bias(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Extension: contention-biased generation vs uniform (§9)",
+		Caption: fmt.Sprintf("%d iterations per cell on the TSO platform.", cfg.Iterations),
+		Header:  []string{"config", "hot-word bias", "unique interleavings"},
+	}
+	base := []testgen.Config{
+		{Threads: 2, OpsPerThread: 50, Words: 32, Seed: cfg.Seed, Label: "x86-2-50-32"},
+		{Threads: 4, OpsPerThread: 50, Words: 64, Seed: cfg.Seed, Label: "x86-4-50-64"},
+	}
+	for _, tc := range base {
+		for _, bias := range []float64{0, 0.5, 0.9} {
+			c := tc
+			c.HotWordBias = bias
+			col, err := collect(c, sim.PlatformX86(), cfg.Iterations, cfg.Seed+3)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(tc.Label, fmt.Sprintf("%.1f", bias), len(col.uniques))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"mtracecheck/internal/mcm"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := lb()
+	b := NewBuilder(p, mcm.SC, Options{})
+	g, err := b.BuildGraph(RF{0: 3, 2: 1}, WS{0: {3}, 1: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := g.FindCycle()
+	if len(cycle) == 0 {
+		t.Fatal("expected a cycle in the LB outcome under SC")
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, p, cycle); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph constraints {",
+		"subgraph cluster_t0",
+		"subgraph cluster_t1",
+		"ld 0x0", "st 0x1",
+		"style=dashed", // dynamic edge
+		"style=solid",  // po edge
+		"color=red",    // highlighted cycle
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Every operation appears as a node.
+	for _, op := range p.Ops() {
+		if !strings.Contains(out, nodeName(op.ID)) {
+			t.Errorf("missing node for op %d", op.ID)
+		}
+	}
+}
+
+func nodeName(id int) string {
+	return "n" + string(rune('0'+id))
+}
+
+func TestWriteDOTNoHighlight(t *testing.T) {
+	p := lb()
+	b := NewBuilder(p, mcm.RMO, Options{})
+	g, err := b.BuildGraph(RF{0: -1, 2: -1}, WS{0: {3}, 1: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "color=red") {
+		t.Error("unexpected highlight without a cycle")
+	}
+}

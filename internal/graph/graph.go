@@ -1,0 +1,484 @@
+// Package graph builds and checks constraint graphs for test executions
+// (paper §2): vertices are the program's operations; edges are the
+// program-order constraints the memory consistency model enforces (computed
+// statically, shared by all executions of a test) plus the dynamic
+// reads-from (rf), from-read (fr), and write-serialization (ws) edges
+// observed in one execution. An execution violates the MCM exactly when its
+// constraint graph has a cycle, i.e. no topological sort exists.
+package graph
+
+import (
+	"fmt"
+
+	"sort"
+
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/prog"
+)
+
+// Edge is one directed constraint: U happens before V. U and V are
+// operation IDs.
+type Edge struct {
+	U, V int32
+}
+
+// RF maps each load op ID to the store op ID it read, or -1 for the initial
+// value.
+type RF = map[int]int
+
+// WS maps each shared word to its stores' op IDs in write-serialization
+// (coherence) order.
+type WS = map[int][]int
+
+// Options tunes edge construction for the platform's store atomicity.
+type Options struct {
+	// Forwarding marks a platform with store-to-load forwarding (multi-copy
+	// or weaker atomicity): a load may read its own thread's latest store
+	// from the store buffer before that store is globally visible.
+	//
+	// On such platforms the intra-thread same-address store→load ordering
+	// cannot be assumed: neither a static po edge nor an rf edge is added
+	// for a load that read its own store — treating them as ordered
+	// produces the false positives of the paper's §8 footnote. Coherence is
+	// still enforced precisely: when a load did NOT read its own latest
+	// preceding store, forwarding cannot have occurred, so a dynamic
+	// store→load edge is added conditionally (the TSOtool/Arvind–Maessen
+	// treatment).
+	Forwarding bool
+
+	// WS selects how write-serialization constraints enter the graph.
+	WS WSMode
+
+	// DropFR omits every from-read edge (all load→store constraints),
+	// emulating the constraint graphs the paper evidently used on its ARM
+	// system: §8 observes that with tsort "stores do not depend on any load
+	// operations in absence of memory barriers", which only holds when no
+	// fr edges enter the graph — and it is what makes the paper's ARM
+	// checking need almost no re-sorting (every dynamic edge is then
+	// store→load and stores sort first). The cost is blindness to
+	// fr-dependent violations (e.g. CoRR); see the `fr` ablation.
+	DropFR bool
+}
+
+// WSMode selects the source of write-serialization (ws) edges.
+type WSMode uint8
+
+const (
+	// WSStatic is the paper's mode: write serialization is "gathered
+	// statically during the instrumentation process" (§3.2). Only
+	// statically known ws facts are used — same-thread same-word store
+	// order (already part of the static po edges) — and fr edges are
+	// derived from rf alone: a load reading store s precedes s's next
+	// same-thread same-word store, and a load reading the initial value
+	// precedes every thread's first store to the word. Cross-thread store
+	// serialization is not constrained, which admits the false-negative
+	// class the paper acknowledges ("if some dependency edges are missing,
+	// false negatives may result", §2) but makes the constraint graph a
+	// pure function of the signature — the property the collective
+	// checker's similarity windows rely on.
+	WSStatic WSMode = iota
+	// WSObserved additionally uses the per-execution coherence order
+	// recorded by the platform harness: full ws chains and precise fr
+	// edges. More violations are detectable; adjacent graphs differ more.
+	WSObserved
+)
+
+// Builder constructs constraint graphs for many executions of one program
+// under one model, amortizing the static program-order edges.
+type Builder struct {
+	prog    *prog.Program
+	model   mcm.Model
+	opts    Options
+	n       int
+	static  [][]int32 // static adjacency: po (model) + same-address + fences
+	statCnt int
+	// lastOwnStore maps a load op ID to the latest preceding same-thread
+	// same-word store op ID (used for conditional forwarding edges).
+	lastOwnStore map[int]int
+	// nextOwnStore maps a store op ID to the next same-thread same-word
+	// store op ID (static fr targets in WSStatic mode).
+	nextOwnStore map[int]int
+	// firstStores maps a word to each thread's first store to it (static
+	// fr targets for initial-value reads in WSStatic mode).
+	firstStores map[int][]int
+}
+
+// NewBuilder precomputes the static (execution-independent) edges.
+func NewBuilder(p *prog.Program, model mcm.Model, opts Options) *Builder {
+	b := &Builder{prog: p, model: model, opts: opts, n: p.NumOps()}
+	b.static = make([][]int32, b.n)
+	b.lastOwnStore = make(map[int]int)
+	b.nextOwnStore = make(map[int]int)
+	b.firstStores = make(map[int][]int)
+	for _, th := range p.Threads {
+		b.buildThreadPO(th.Ops)
+		latest := map[int]int{}
+		seenFirst := map[int]bool{}
+		for _, op := range th.Ops {
+			switch op.Kind {
+			case prog.Load:
+				if st, ok := latest[op.Word]; ok {
+					b.lastOwnStore[op.ID] = st
+				}
+			case prog.Store:
+				if st, ok := latest[op.Word]; ok {
+					b.nextOwnStore[st] = op.ID
+				}
+				latest[op.Word] = op.ID
+				if !seenFirst[op.Word] {
+					seenFirst[op.Word] = true
+					b.firstStores[op.Word] = append(b.firstStores[op.Word], op.ID)
+				}
+			}
+		}
+	}
+	for _, out := range b.static {
+		b.statCnt += len(out)
+	}
+	return b
+}
+
+// ordered reports whether program order between ops a (earlier) and b
+// (later) of one thread is preserved: by the model's kind matrix, by
+// same-address coherence, or by fence semantics. Same-address store→load
+// pairs are excluded on forwarding platforms — the load may be satisfied
+// from the store buffer before the store is globally visible; the ordering
+// is reinstated per execution by DynamicEdges when no forwarding occurred.
+func (b *Builder) ordered(a, c prog.Op) bool {
+	if a.Kind == prog.Fence || c.Kind == prog.Fence {
+		return true
+	}
+	if a.Word == c.Word {
+		if b.opts.Forwarding && a.Kind == prog.Store && c.Kind == prog.Load {
+			return false
+		}
+		return b.model.OrderedSameAddr(a.Kind, c.Kind)
+	}
+	return b.model.Ordered(a.Kind, c.Kind)
+}
+
+// buildThreadPO emits a transitive reduction of the thread's preserved
+// program order: an edge (i,j) is skipped when some k between them is
+// ordered after i and before j, as the two shorter edges imply the longer
+// one (induction on span length keeps reachability intact).
+func (b *Builder) buildThreadPO(ops []prog.Op) {
+	n := len(ops)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !b.ordered(ops[i], ops[j]) {
+				continue
+			}
+			implied := false
+			for k := i + 1; k < j; k++ {
+				if b.ordered(ops[i], ops[k]) && b.ordered(ops[k], ops[j]) {
+					implied = true
+					break
+				}
+			}
+			if !implied {
+				u, v := int32(ops[i].ID), int32(ops[j].ID)
+				b.static[u] = append(b.static[u], v)
+			}
+		}
+	}
+}
+
+// NumOps returns the vertex count.
+func (b *Builder) NumOps() int { return b.n }
+
+// StaticEdgeCount returns the number of static (po) edges.
+func (b *Builder) StaticEdgeCount() int { return b.statCnt }
+
+// DynamicEdges computes the execution-dependent edges — rf, fr, and ws — in
+// deterministic sorted order (suitable for set-diffing by the collective
+// checker).
+//
+//   - ws: consecutive stores per word in coherence order.
+//   - rf: source store → load (skipped intra-thread unless opted in).
+//   - fr: load → the immediate ws-successor of the store it read; reads of
+//     the initial value precede the word's first store. Transitivity
+//     through the ws chain covers later stores.
+func (b *Builder) DynamicEdges(rf RF, ws WS) ([]Edge, error) {
+	var edges []Edge
+	observed := b.opts.WS == WSObserved
+	wsPos := make(map[int]int, 64) // store ID -> position within its word's order
+	if observed {
+		for _, stores := range ws {
+			for i, s := range stores {
+				wsPos[s] = i
+				if i > 0 {
+					edges = append(edges, Edge{int32(stores[i-1]), int32(s)})
+				}
+			}
+		}
+	}
+	for loadID, storeID := range rf {
+		load := b.prog.OpByID(loadID)
+		if load.Kind != prog.Load {
+			return nil, fmt.Errorf("graph: rf references non-load op %d", loadID)
+		}
+		if storeID < 0 {
+			// Read the initial value: the load precedes every store to the
+			// word. Observed mode: the first store in coherence order
+			// suffices (ws chains cover the rest). Static mode: each
+			// thread's first store to the word. (DropFR omits these
+			// load→store constraints entirely.)
+			if b.opts.DropFR {
+				// no fr edges
+			} else if observed {
+				if chain := ws[load.Word]; len(chain) > 0 {
+					edges = append(edges, Edge{int32(loadID), int32(chain[0])})
+				}
+			} else {
+				for _, st := range b.firstStores[load.Word] {
+					edges = append(edges, Edge{int32(loadID), int32(st)})
+				}
+			}
+			if own, ok := b.lastOwnStore[loadID]; ok && b.opts.Forwarding {
+				// Reading the initial value despite an own preceding store
+				// is a uniprocessor violation; the reinstated edge (plus the
+				// fr edge above) exposes it as a cycle.
+				edges = append(edges, Edge{int32(own), int32(loadID)})
+			}
+			continue
+		}
+		st := b.prog.OpByID(storeID)
+		if st.Kind != prog.Store || st.Word != load.Word {
+			return nil, fmt.Errorf("graph: rf store %d incompatible with load %d", storeID, loadID)
+		}
+		if st.Thread != load.Thread {
+			edges = append(edges, Edge{int32(storeID), int32(loadID)})
+		} else if !b.opts.Forwarding {
+			// Single-copy atomicity: the read implies global visibility.
+			edges = append(edges, Edge{int32(storeID), int32(loadID)})
+		}
+		if b.opts.Forwarding {
+			// No forwarding happened if the load read anything other than
+			// its own latest preceding store: reinstate the same-address
+			// store→load program order for this execution.
+			if own, ok := b.lastOwnStore[loadID]; ok && own != storeID {
+				edges = append(edges, Edge{int32(own), int32(loadID)})
+			}
+		}
+		// from-read: the load precedes whatever overwrites the store it
+		// read. Observed mode: the immediate coherence-order successor.
+		// Static mode: the store's next same-thread same-word store.
+		if b.opts.DropFR {
+			continue
+		}
+		if observed {
+			pos, ok := wsPos[storeID]
+			if !ok {
+				return nil, fmt.Errorf("graph: rf store %d missing from ws of word %d", storeID, load.Word)
+			}
+			if chain := ws[load.Word]; pos+1 < len(chain) {
+				edges = append(edges, Edge{int32(loadID), int32(chain[pos+1])})
+			}
+		} else if next, ok := b.nextOwnStore[storeID]; ok {
+			edges = append(edges, Edge{int32(loadID), int32(next)})
+		}
+	}
+	sortEdges(edges)
+	return dedupEdges(edges), nil
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}
+
+// dedupEdges removes duplicates from a sorted edge slice in place.
+func dedupEdges(edges []Edge) []Edge {
+	if len(edges) == 0 {
+		return edges
+	}
+	out := edges[:1]
+	for _, e := range edges[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Graph is one execution's constraint graph: shared static adjacency plus
+// this execution's dynamic edges.
+type Graph struct {
+	N       int
+	Static  [][]int32
+	Dynamic []Edge
+	dynAdj  [][]int32
+}
+
+// BuildGraph assembles the graph for one execution.
+func (b *Builder) BuildGraph(rf RF, ws WS) (*Graph, error) {
+	dyn, err := b.DynamicEdges(rf, ws)
+	if err != nil {
+		return nil, err
+	}
+	return b.FromDynamic(dyn), nil
+}
+
+// FromDynamic assembles a graph from precomputed dynamic edges.
+func (b *Builder) FromDynamic(dyn []Edge) *Graph {
+	g := &Graph{N: b.n, Static: b.static, Dynamic: dyn}
+	g.dynAdj = make([][]int32, b.n)
+	for _, e := range dyn {
+		g.dynAdj[e.U] = append(g.dynAdj[e.U], e.V)
+	}
+	return g
+}
+
+// Out calls fn for every successor of u.
+func (g *Graph) Out(u int32, fn func(v int32)) {
+	for _, v := range g.Static[u] {
+		fn(v)
+	}
+	for _, v := range g.dynAdj[u] {
+		fn(v)
+	}
+}
+
+// EdgeCount returns the total number of edges.
+func (g *Graph) EdgeCount() int {
+	n := len(g.Dynamic)
+	for _, out := range g.Static {
+		n += len(out)
+	}
+	return n
+}
+
+// TopoSort returns a topological order of the graph (Kahn's algorithm) and
+// whether one exists; ok == false means the graph is cyclic — an MCM
+// violation.
+func (g *Graph) TopoSort() (order []int32, ok bool) {
+	indeg := make([]int32, g.N)
+	for u := int32(0); u < int32(g.N); u++ {
+		g.Out(u, func(v int32) { indeg[v]++ })
+	}
+	queue := make([]int32, 0, g.N)
+	for v := int32(0); v < int32(g.N); v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order = make([]int32, 0, g.N)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		g.Out(u, func(v int32) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		})
+	}
+	return order, len(order) == g.N
+}
+
+// FindCycle returns the operations of one cycle when the graph is cyclic
+// (for diagnostics in the style of the paper's Fig. 13), or nil.
+func (g *Graph) FindCycle() []int32 {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, g.N)
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int32
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		color[u] = gray
+		found := false
+		g.Out(u, func(v int32) {
+			if found {
+				return
+			}
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					found = true
+				}
+			case gray:
+				// Back edge u->v closes a cycle v -> ... -> u -> v.
+				cyc := []int32{v}
+				for x := u; x != v && x >= 0; x = parent[x] {
+					cyc = append(cyc, x)
+				}
+				// Reverse into forward order v, ..., u.
+				for i, j := 1, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
+				}
+				cycle = cyc
+				found = true
+			}
+		})
+		color[u] = black
+		return found
+	}
+	for v := int32(0); v < int32(g.N); v++ {
+		if color[v] == white && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// VerifyOrder checks that order is a valid topological sort of g: a
+// permutation of all vertices with every edge pointing forward. Used by
+// tests and by the collective checker's self-checks.
+func (g *Graph) VerifyOrder(order []int32) error {
+	if len(order) != g.N {
+		return fmt.Errorf("graph: order has %d vertices, want %d", len(order), g.N)
+	}
+	pos := make([]int32, g.N)
+	seen := make([]bool, g.N)
+	for i, v := range order {
+		if v < 0 || int(v) >= g.N || seen[v] {
+			return fmt.Errorf("graph: order is not a permutation (vertex %d)", v)
+		}
+		seen[v] = true
+		pos[v] = int32(i)
+	}
+	var bad error
+	for u := int32(0); u < int32(g.N); u++ {
+		g.Out(u, func(v int32) {
+			if bad == nil && pos[u] >= pos[v] {
+				bad = fmt.Errorf("graph: edge %d->%d not forward in order", u, v)
+			}
+		})
+	}
+	return bad
+}
+
+// WordClass returns a per-operation priority class grouping operations by
+// the shared word they access: fences first (class 0), then per word its
+// stores (class 1+2w) followed by its loads (class 2+2w). NumWordClasses
+// gives the class count. The collective checker pops ready vertices in
+// class order, clustering each word's operations in its topological orders
+// whenever program order permits; all dynamic edges are word-local, so edge
+// changes between similar executions tend to stay inside small windows.
+func (b *Builder) WordClass() (classOf []int32, classes int) {
+	classOf = make([]int32, b.n)
+	for _, op := range b.prog.Ops() {
+		switch op.Kind {
+		case prog.Fence:
+			classOf[op.ID] = 0
+		case prog.Store:
+			classOf[op.ID] = int32(1 + 2*op.Word)
+		case prog.Load:
+			classOf[op.ID] = int32(2 + 2*op.Word)
+		}
+	}
+	return classOf, 2*b.prog.NumWords + 1
+}

@@ -1,0 +1,270 @@
+// Package instrument implements MTraceCheck's observability-enhancing code
+// instrumentation (paper §3): static analysis of each load's candidate store
+// set, weight and multiplier assignment with multi-word overflow handling
+// (§3.2), signature encoding of an execution's reads-from pattern, the
+// signature decoding procedure (Algorithm 1), and generation of instrumented
+// pseudo-ISA code — including the register-flushing baseline the paper
+// compares against for intrusiveness (Fig. 11).
+package instrument
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/sig"
+)
+
+// Candidate is one value a load could observe: a specific store's unique
+// value, or the initial memory value.
+type Candidate struct {
+	Value uint32 // observable value; prog.InitialValue for the initial value
+	Store int    // source store op ID; -1 for the initial value
+}
+
+// Pruner optionally filters candidate sets using extra microarchitectural
+// knowledge (paper §8, "static pruning"). Returning false removes the
+// candidate. A nil Pruner keeps the paper's conservative default: every
+// memory operation may be reordered independently.
+type Pruner func(load prog.Op, c Candidate) bool
+
+// LoadInfo is the instrumentation metadata for one load: its candidates in
+// weight order, its weight multiplier, and which per-thread signature word
+// it contributes to. The candidate at index i carries weight i×Multiplier.
+type LoadInfo struct {
+	Op         prog.Op
+	Candidates []Candidate
+	Multiplier uint64
+	WordIndex  int
+}
+
+// ThreadMeta aggregates a thread's loads (in program order) and the number
+// of signature words the thread produces. Threads with no loads still emit
+// one (always-zero) word, as in the paper's Fig. 3 ("thread 2 always stores
+// sig=0 to memory").
+type ThreadMeta struct {
+	Loads []LoadInfo
+	Words int
+}
+
+// Meta is the full instrumentation metadata for a program: the paper's
+// "multipliers" and "store_maps" tables plus word-layout information.
+type Meta struct {
+	Prog         *prog.Program
+	RegWidthBits int
+	Threads      []ThreadMeta
+}
+
+// capacity returns the number of distinct values one signature word can
+// hold (2^width, saturated to MaxUint64 for width 64).
+func capacity(widthBits int) uint64 {
+	if widthBits >= 64 {
+		return math.MaxUint64
+	}
+	return 1 << uint(widthBits)
+}
+
+// Analyze computes per-load candidate sets and assigns weights (paper §3.1).
+//
+// A load's candidates are the latest preceding same-thread store to its word
+// (or the initial value when none exists) plus every other thread's store to
+// that word. Weights use consecutive multiples: the first load in a word has
+// multiplier 1, and each subsequent load's multiplier is the previous
+// multiplier times the previous load's candidate count, guaranteeing a 1:1
+// mapping between signature values and reads-from patterns. When a word
+// would overflow the register width, a fresh word starts and the multiplier
+// resets (§3.2).
+func Analyze(p *prog.Program, regWidthBits int, prune Pruner) (*Meta, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if regWidthBits != 32 && regWidthBits != 64 {
+		return nil, fmt.Errorf("instrument: register width %d not 32 or 64", regWidthBits)
+	}
+	cap64 := capacity(regWidthBits)
+	meta := &Meta{Prog: p, RegWidthBits: regWidthBits}
+	for ti, th := range p.Threads {
+		tm := ThreadMeta{Words: 1}
+		var product uint64 = 1
+		lastOwnStore := map[int]prog.Op{} // word -> latest own store so far
+		for _, op := range th.Ops {
+			switch op.Kind {
+			case prog.Store:
+				lastOwnStore[op.Word] = op
+				continue
+			case prog.Fence:
+				continue
+			}
+			// Candidate set: own latest store or initial, then other
+			// threads' stores in ID order.
+			var cands []Candidate
+			if own, ok := lastOwnStore[op.Word]; ok {
+				cands = append(cands, Candidate{Value: own.Value, Store: own.ID})
+			} else {
+				cands = append(cands, Candidate{Value: prog.InitialValue, Store: -1})
+			}
+			for _, st := range p.StoresToWord(op.Word) {
+				if st.Thread != ti {
+					cands = append(cands, Candidate{Value: st.Value, Store: st.ID})
+				}
+			}
+			if prune != nil {
+				kept := cands[:0]
+				for _, c := range cands {
+					if prune(op, c) {
+						kept = append(kept, c)
+					}
+				}
+				cands = kept
+			}
+			if len(cands) == 0 {
+				return nil, fmt.Errorf("instrument: load %d pruned to an empty candidate set", op.ID)
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].Store < cands[j].Store })
+
+			n := uint64(len(cands))
+			li := LoadInfo{Op: op, Candidates: cands}
+			if n > 1 && product > cap64/n {
+				// Word overflow: spill and start a fresh word (§3.2).
+				tm.Words++
+				product = 1
+			}
+			li.Multiplier = product
+			li.WordIndex = tm.Words - 1
+			product *= n
+			tm.Loads = append(tm.Loads, li)
+		}
+		meta.Threads = append(meta.Threads, tm)
+	}
+	return meta, nil
+}
+
+// TotalWords returns the execution signature's total word count.
+func (m *Meta) TotalWords() int {
+	n := 0
+	for _, t := range m.Threads {
+		n += t.Words
+	}
+	return n
+}
+
+// SignatureBytes returns the execution signature size in bytes at the
+// platform's register width (the quantity inside the bars of Fig. 11).
+func (m *Meta) SignatureBytes() int { return m.TotalWords() * m.RegWidthBits / 8 }
+
+// wordsBefore returns the number of signature words of threads preceding ti.
+func (m *Meta) wordsBefore(ti int) int {
+	n := 0
+	for i := 0; i < ti; i++ {
+		n += m.Threads[i].Words
+	}
+	return n
+}
+
+// EncodeExecution computes the execution signature for observed load values
+// (load op ID → value), exactly as the instrumented code would at runtime.
+// A value outside a load's candidate set returns an AssertionError — the
+// instrumentation's inline assertion (paper §3.1) that catches, e.g.,
+// program-order violations without any graph checking.
+func (m *Meta) EncodeExecution(loadValues map[int]uint32) (sig.Signature, error) {
+	words := make([]uint64, m.TotalWords())
+	base := 0
+	for _, tm := range m.Threads {
+		for _, li := range tm.Loads {
+			v, ok := loadValues[li.Op.ID]
+			if !ok {
+				return sig.Signature{}, fmt.Errorf("instrument: no observed value for load %d", li.Op.ID)
+			}
+			idx := -1
+			for i, c := range li.Candidates {
+				if c.Value == v {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return sig.Signature{}, &AssertionError{Load: li.Op, Value: v}
+			}
+			// Within a thread the first word is most significant: word 0 of
+			// the thread sits at offset 0.
+			words[base+li.WordIndex] += li.Multiplier * uint64(idx)
+		}
+		base += tm.Words
+	}
+	return sig.New(words), nil
+}
+
+// AssertionError reports a loaded value outside the statically computed
+// candidate set — caught instantly by the instrumented code's assert chain.
+type AssertionError struct {
+	Load  prog.Op
+	Value uint32
+}
+
+func (e *AssertionError) Error() string {
+	return fmt.Sprintf("instrument: assertion failed: load %d (%s, thread %d) observed value %d outside its candidate set",
+		e.Load.ID, e.Load, e.Load.Thread, e.Value)
+}
+
+// Decode reconstructs the reads-from relation from an execution signature
+// (paper Algorithm 1): per thread, per word, loads are walked from last to
+// first, dividing by each load's multiplier. The result maps every load op
+// ID to its observed Candidate.
+func (m *Meta) Decode(s sig.Signature) (map[int]Candidate, error) {
+	if s.Len() != m.TotalWords() {
+		return nil, fmt.Errorf("instrument: signature has %d words, metadata expects %d",
+			s.Len(), m.TotalWords())
+	}
+	rf := make(map[int]Candidate)
+	base := 0
+	for _, tm := range m.Threads {
+		// Split the thread's loads by word, then decode each word from its
+		// last load to its first.
+		byWord := make([][]LoadInfo, tm.Words)
+		for _, li := range tm.Loads {
+			byWord[li.WordIndex] = append(byWord[li.WordIndex], li)
+		}
+		for w, loads := range byWord {
+			remaining := s.Word(base + w)
+			for i := len(loads) - 1; i >= 0; i-- {
+				li := loads[i]
+				idx := remaining / li.Multiplier
+				remaining %= li.Multiplier
+				if idx >= uint64(len(li.Candidates)) {
+					return nil, fmt.Errorf("instrument: signature word %d decodes load %d to index %d of %d candidates",
+						base+w, li.Op.ID, idx, len(li.Candidates))
+				}
+				rf[li.Op.ID] = li.Candidates[idx]
+			}
+			if remaining != 0 {
+				return nil, fmt.Errorf("instrument: signature word %d has residue %d after decoding",
+					base+w, remaining)
+			}
+		}
+		base += tm.Words
+	}
+	return rf, nil
+}
+
+// Cardinality returns the paper's §3.2 estimate of per-thread signature
+// cardinality, {1 + (S/A)(T-1)}^L, and the bits needed to represent it.
+func Cardinality(threads, storesPerThread, loadsPerThread, sharedWords int) (values float64, bits float64) {
+	perLoad := 1 + float64(storesPerThread)/float64(sharedWords)*float64(threads-1)
+	values = math.Pow(perLoad, float64(loadsPerThread))
+	bits = float64(loadsPerThread) * math.Log2(perLoad)
+	return values, bits
+}
+
+// InformationBits returns the information content of the static signature
+// encoding: the log2 of the number of distinct reads-from patterns it can
+// represent (Σ log2 of candidate counts over all loads).
+func (m *Meta) InformationBits() float64 {
+	var bits float64
+	for _, tm := range m.Threads {
+		for _, li := range tm.Loads {
+			bits += math.Log2(float64(len(li.Candidates)))
+		}
+	}
+	return bits
+}

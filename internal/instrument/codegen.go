@@ -1,0 +1,177 @@
+package instrument
+
+import (
+	"fmt"
+
+	"mtracecheck/internal/isa"
+	"mtracecheck/internal/prog"
+)
+
+// Register conventions for generated code.
+const (
+	// RegLoad receives every test load's value.
+	RegLoad isa.Reg = 0
+	// RegSig accumulates the current signature word (the paper's "sig"
+	// variable in Fig. 4). Completed words spill to the thread's private
+	// signature area and the register is reused — the multi-word mechanism
+	// of §3.2.
+	RegSig isa.Reg = 8
+)
+
+// PrivateBase is the start of the thread-private (non-shared, uncoherent)
+// region holding spilled signature words and register-flush logs. Accesses
+// to it are exactly the paper's "memory accesses unrelated to the test".
+const PrivateBase uint64 = 0x8000_0000
+
+// privateStride separates consecutive threads' private areas.
+const privateStride uint64 = 1 << 20
+
+// SigSlotAddr returns the private address of a thread's w-th spilled
+// signature word.
+func SigSlotAddr(thread, w int) uint64 {
+	return PrivateBase + uint64(thread)*privateStride + uint64(w)*8
+}
+
+// FlushSlotAddr returns the private address of a thread's i-th register
+// flush (baseline instrumentation).
+func FlushSlotAddr(thread, i int) uint64 {
+	return PrivateBase + uint64(thread)*privateStride + (privateStride / 2) + uint64(i)*8
+}
+
+// Program bundles the three code variants of one test for a platform
+// encoding: the bare test, the MTraceCheck-instrumented test, and the
+// register-flushing baseline (paper's intrusiveness comparison, Fig. 11).
+type Program struct {
+	Meta     *Meta
+	Encoding isa.Encoding
+	// Original is the uninstrumented test code, one slice per thread.
+	Original [][]isa.Instr
+	// Instrumented adds the signature branch/accumulate chains (Fig. 4).
+	Instrumented [][]isa.Instr
+	// Flush is the register-flushing baseline: every loaded value is stored
+	// back to a private log slot immediately.
+	Flush [][]isa.Instr
+}
+
+// Generate materializes all three code variants.
+func Generate(meta *Meta, enc isa.Encoding) (*Program, error) {
+	gp := &Program{Meta: meta, Encoding: enc}
+	for ti := range meta.Prog.Threads {
+		orig, err := genOriginal(meta.Prog, ti)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := genInstrumented(meta, ti)
+		if err != nil {
+			return nil, err
+		}
+		flush, err := genFlush(meta.Prog, ti)
+		if err != nil {
+			return nil, err
+		}
+		gp.Original = append(gp.Original, orig)
+		gp.Instrumented = append(gp.Instrumented, inst)
+		gp.Flush = append(gp.Flush, flush)
+	}
+	return gp, nil
+}
+
+// emitTestOp appends the bare code for one test operation.
+func emitTestOp(a *isa.Asm, p *prog.Program, op prog.Op) {
+	a.SetTestOp(op.ID)
+	switch op.Kind {
+	case prog.Load:
+		a.LD(RegLoad, p.Layout.AddrOf(op.Word))
+	case prog.Store:
+		a.ST(p.Layout.AddrOf(op.Word), uint64(op.Value))
+	case prog.Fence:
+		a.FENCE()
+	}
+	a.SetTestOp(-1)
+}
+
+func genOriginal(p *prog.Program, ti int) ([]isa.Instr, error) {
+	a := isa.NewAsm()
+	for _, op := range p.Threads[ti].Ops {
+		emitTestOp(a, p, op)
+	}
+	a.HALT()
+	return a.Assemble()
+}
+
+// genInstrumented emits the paper's Fig. 4 shape: the signature register is
+// zeroed up front; each load is followed by a compare/branch chain that adds
+// the observed candidate's weight (zero-weight additions are elided) and
+// asserts when no candidate matches; completed words spill to the private
+// signature area; the final word is stored at the end.
+func genInstrumented(meta *Meta, ti int) ([]isa.Instr, error) {
+	p := meta.Prog
+	tm := meta.Threads[ti]
+	a := isa.NewAsm()
+	a.MOVI(RegSig, 0)
+
+	loadIdx := 0
+	curWord := 0
+	spilled := 0
+	for _, op := range p.Threads[ti].Ops {
+		if op.Kind == prog.Load && loadIdx < len(tm.Loads) && tm.Loads[loadIdx].Op.ID == op.ID {
+			li := tm.Loads[loadIdx]
+			loadIdx++
+			if li.WordIndex != curWord {
+				// Spill the completed word and restart accumulation (§3.2).
+				a.STR(SigSlotAddr(ti, spilled), RegSig)
+				spilled++
+				a.MOVI(RegSig, 0)
+				curWord = li.WordIndex
+			}
+			emitTestOp(a, p, op)
+			done := fmt.Sprintf("done_%d", op.ID)
+			for ci, c := range li.Candidates {
+				next := fmt.Sprintf("chk_%d_%d", op.ID, ci+1)
+				a.CMPI(RegLoad, uint64(c.Value))
+				a.BNE(next)
+				if w := li.Multiplier * uint64(ci); w != 0 {
+					a.ADDI(RegSig, w)
+				}
+				a.B(done)
+				a.Label(next)
+			}
+			a.FAIL() // value outside the candidate set: assert error
+			a.Label(done)
+			continue
+		}
+		emitTestOp(a, p, op)
+	}
+	// Store the final signature word.
+	a.STR(SigSlotAddr(ti, spilled), RegSig)
+	a.HALT()
+	return a.Assemble()
+}
+
+// genFlush emits the register-flushing baseline: each load's value is
+// immediately stored to the next private log slot (as in TSOtool), doubling
+// the test's memory operations.
+func genFlush(p *prog.Program, ti int) ([]isa.Instr, error) {
+	a := isa.NewAsm()
+	flushes := 0
+	for _, op := range p.Threads[ti].Ops {
+		emitTestOp(a, p, op)
+		if op.Kind == prog.Load {
+			a.STR(FlushSlotAddr(ti, flushes), RegLoad)
+			flushes++
+		}
+	}
+	a.HALT()
+	return a.Assemble()
+}
+
+// CodeSizes reports total code bytes per variant under the bundle's
+// encoding (paper Fig. 12).
+func (gp *Program) CodeSizes() (original, instrumented, flush int) {
+	for ti := range gp.Original {
+		original += gp.Encoding.CodeSize(gp.Original[ti])
+		instrumented += gp.Encoding.CodeSize(gp.Instrumented[ti])
+		flush += gp.Encoding.CodeSize(gp.Flush[ti])
+	}
+	return original, instrumented, flush
+}

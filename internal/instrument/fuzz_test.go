@@ -1,0 +1,78 @@
+package instrument
+
+import (
+	"testing"
+
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/testgen"
+)
+
+// FuzzDecode feeds arbitrary signature words to the Algorithm 1 decoder:
+// it must either decode cleanly or reject with an error — never panic, and
+// anything it accepts must re-encode to the same signature (decode/encode
+// inverse property).
+func FuzzDecode(f *testing.F) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 3, OpsPerThread: 30, Words: 4, Seed: 11})
+	meta, err := Analyze(p, 64, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2), uint64(3))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, w0, w1, w2 uint64) {
+		s := sig.New([]uint64{w0, w1, w2})
+		cands, err := meta.Decode(s)
+		if err != nil {
+			return // rejected: fine
+		}
+		vals := make(map[int]uint32, len(cands))
+		for id, c := range cands {
+			vals[id] = c.Value
+		}
+		back, err := meta.EncodeExecution(vals)
+		if err != nil {
+			t.Fatalf("decoded values failed to re-encode: %v", err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("decode/encode mismatch: %v -> %v", s, back)
+		}
+	})
+}
+
+// FuzzEncodeValues feeds arbitrary load values to the encoder: any accepted
+// execution must round-trip through Decode.
+func FuzzEncodeValues(f *testing.F) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 2, OpsPerThread: 20, Words: 2, Seed: 13})
+	meta, err := Analyze(p, 32, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var loadIDs []int
+	for _, tm := range meta.Threads {
+		for _, li := range tm.Loads {
+			loadIDs = append(loadIDs, li.Op.ID)
+		}
+	}
+	f.Add(uint32(0), uint32(1), uint32(7))
+	f.Fuzz(func(t *testing.T, a, b, c uint32) {
+		vals := make(map[int]uint32, len(loadIDs))
+		pick := []uint32{a, b, c}
+		for i, id := range loadIDs {
+			vals[id] = pick[i%len(pick)]
+		}
+		s, err := meta.EncodeExecution(vals)
+		if err != nil {
+			return // value outside candidate set: the assert path
+		}
+		back, err := meta.Decode(s)
+		if err != nil {
+			t.Fatalf("encoded signature failed to decode: %v", err)
+		}
+		for id, v := range vals {
+			if back[id].Value != v {
+				t.Fatalf("load %d: decoded %d, encoded %d", id, back[id].Value, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package instrument
+
+import "mtracecheck/internal/prog"
+
+// SkewPruner returns a static candidate pruner (paper §8, "static pruning")
+// that drops remote-store candidates whose program position is further than
+// maxSkew operations from the load's own position.
+//
+// The bound models microarchitectural knowledge the paper alludes to: with
+// barrier-started iterations, bounded start skew, and LSQ-bounded numbers of
+// outstanding operations, two free-running threads cannot drift arbitrarily
+// far apart within one iteration, so a load cannot observe a remote store
+// "from the distant future" nor miss every store "from the distant past"
+// except through its own thread's last write. Own-thread candidates and the
+// initial value are always kept.
+//
+// Pruning trades signature and code size for a soundness obligation: if the
+// platform's real skew exceeds maxSkew, the instrumentation's inline assert
+// fires (an AssertionError at encode time) rather than corrupting
+// signatures — the same fail-loud behaviour the paper's assert chains give.
+func SkewPruner(p *prog.Program, maxSkew int) Pruner {
+	return func(load prog.Op, c Candidate) bool {
+		if c.Store < 0 {
+			return true // the initial value is always observable
+		}
+		st := p.OpByID(c.Store)
+		if st.Thread == load.Thread {
+			return true // own-thread candidate: program order, not skew
+		}
+		d := st.Index - load.Index
+		if d < 0 {
+			d = -d
+		}
+		return d <= maxSkew
+	}
+}

@@ -1,0 +1,130 @@
+package mcm
+
+import (
+	"testing"
+
+	"mtracecheck/internal/prog"
+)
+
+func TestOrderedMatrix(t *testing.T) {
+	// want[model][first][second] for first,second in {Load, Store}.
+	type pair struct{ a, b prog.OpKind }
+	ordered := map[Model]map[pair]bool{
+		SC: {
+			{prog.Load, prog.Load}: true, {prog.Load, prog.Store}: true,
+			{prog.Store, prog.Load}: true, {prog.Store, prog.Store}: true,
+		},
+		TSO: {
+			{prog.Load, prog.Load}: true, {prog.Load, prog.Store}: true,
+			{prog.Store, prog.Load}: false, {prog.Store, prog.Store}: true,
+		},
+		PSO: {
+			{prog.Load, prog.Load}: true, {prog.Load, prog.Store}: true,
+			{prog.Store, prog.Load}: false, {prog.Store, prog.Store}: false,
+		},
+		RMO: {
+			{prog.Load, prog.Load}: false, {prog.Load, prog.Store}: false,
+			{prog.Store, prog.Load}: false, {prog.Store, prog.Store}: false,
+		},
+	}
+	for m, table := range ordered {
+		for p, want := range table {
+			if got := m.Ordered(p.a, p.b); got != want {
+				t.Errorf("%v.Ordered(%v, %v) = %v, want %v", m, p.a, p.b, got, want)
+			}
+		}
+	}
+}
+
+func TestFencesOrderEverything(t *testing.T) {
+	kinds := []prog.OpKind{prog.Load, prog.Store, prog.Fence}
+	for _, m := range Models {
+		for _, k := range kinds {
+			if !m.Ordered(prog.Fence, k) {
+				t.Errorf("%v: fence->%v not ordered", m, k)
+			}
+			if !m.Ordered(k, prog.Fence) {
+				t.Errorf("%v: %v->fence not ordered", m, k)
+			}
+		}
+	}
+}
+
+func TestSameAddrAlwaysOrdered(t *testing.T) {
+	kinds := []prog.OpKind{prog.Load, prog.Store}
+	for _, m := range Models {
+		for _, a := range kinds {
+			for _, b := range kinds {
+				if !m.OrderedSameAddr(a, b) {
+					t.Errorf("%v.OrderedSameAddr(%v, %v) = false", m, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestWeakerThanHierarchy(t *testing.T) {
+	// SC < TSO < PSO < RMO in weakness.
+	chain := []Model{SC, TSO, PSO, RMO}
+	for i, weak := range chain {
+		for j, strong := range chain {
+			want := i > j
+			if got := weak.WeakerThan(strong); got != want {
+				t.Errorf("%v.WeakerThan(%v) = %v, want %v", weak, strong, got, want)
+			}
+		}
+	}
+}
+
+func TestRelaxationCounts(t *testing.T) {
+	want := map[Model]int{SC: 0, TSO: 1, PSO: 2, RMO: 4}
+	for m, n := range want {
+		if got := len(m.Relaxations()); got != n {
+			t.Errorf("%v: %d relaxations (%v), want %d", m, got, m.Relaxations(), n)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	good := map[string]Model{
+		"sc": SC, "SC": SC,
+		"tso": TSO, "x86": TSO, "X86-TSO": TSO,
+		"rmo": RMO, "weak": RMO, "arm": RMO,
+		"pso": PSO, " TSO ": TSO,
+	}
+	for s, want := range good {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse accepted bogus model name")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, m := range Models {
+		back, err := Parse(m.String())
+		if err != nil || back != m {
+			t.Errorf("Parse(%v.String()) = %v, %v", m, back, err)
+		}
+	}
+}
+
+func TestAtomicity(t *testing.T) {
+	if SingleCopy.AllowsForwarding() {
+		t.Error("single-copy must not forward")
+	}
+	if !MultiCopy.AllowsForwarding() || !NonMultiCopy.AllowsForwarding() {
+		t.Error("multi-copy and non-multi-copy must forward")
+	}
+	names := map[Atomicity]string{
+		MultiCopy: "multi-copy", SingleCopy: "single-copy", NonMultiCopy: "non-multi-copy",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package mem
+
+import "fmt"
+
+// lineState is a cache line's MESI stable state.
+type lineState uint8
+
+const (
+	stateI lineState = iota
+	stateS
+	stateE
+	stateM
+)
+
+func (s lineState) String() string {
+	switch s {
+	case stateI:
+		return "I"
+	case stateS:
+		return "S"
+	case stateE:
+		return "E"
+	case stateM:
+		return "M"
+	default:
+		return fmt.Sprintf("lineState(%d)", uint8(s))
+	}
+}
+
+// cacheLine is one L1 way.
+type cacheLine struct {
+	base    uint64
+	state   lineState
+	data    []uint32
+	lastUse int64 // monotonic use counter for LRU
+	pending bool  // reserved by an outstanding mshr
+}
+
+// memReq is one load or store presented to the cache.
+type memReq struct {
+	isWrite bool
+	addr    uint64
+	val     uint32
+	done    func(uint32) // loads: value; stores: called with 0
+}
+
+// mshr tracks one outstanding miss or upgrade for a line, including every
+// request that arrived for the line while the transaction was in flight.
+type mshr struct {
+	base     uint64
+	set, way int
+	wantM    bool // some queued request needs write permission
+	queued   []memReq
+}
+
+// cache is one core's private L1 controller.
+type cache struct {
+	sys     *System
+	id      int
+	sets    [][]cacheLine
+	mshrs   map[uint64]*mshr
+	wb      map[uint64][]uint32 // writeback buffer: PutM sent, WBAck pending
+	stalled []memReq            // requests waiting for a free way
+	useCtr  int64
+}
+
+func newCache(s *System, id int) *cache {
+	c := &cache{sys: s, id: id, mshrs: make(map[uint64]*mshr), wb: make(map[uint64][]uint32)}
+	c.sets = make([][]cacheLine, s.cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, s.cfg.Ways)
+	}
+	return c
+}
+
+func (c *cache) reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLine{}
+		}
+	}
+	c.mshrs = make(map[uint64]*mshr)
+	c.wb = make(map[uint64][]uint32)
+	c.stalled = nil
+	c.useCtr = 0
+}
+
+func (c *cache) setIndex(base uint64) int {
+	return int((base / uint64(c.sys.cfg.LineSize)) % uint64(c.sys.cfg.Sets))
+}
+
+// lookup returns the resident line for base, or nil.
+func (c *cache) lookup(base uint64) *cacheLine {
+	set := c.sets[c.setIndex(base)]
+	for i := range set {
+		if set[i].base == base && (set[i].state != stateI || set[i].pending) {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *cache) touch(ln *cacheLine) {
+	c.useCtr++
+	ln.lastUse = c.useCtr
+}
+
+// access presents a load or store to the cache.
+func (c *cache) access(req memReq) {
+	base := c.sys.lineBase(req.addr)
+	idx := c.sys.wordIndex(req.addr)
+
+	// Coalesce into an existing transaction for the line.
+	if m, ok := c.mshrs[base]; ok {
+		m.queued = append(m.queued, req)
+		if req.isWrite && !m.wantM {
+			// The original transaction was read-only; an upgrade will be
+			// issued when the fill arrives (see fill).
+			m.wantM = true
+		}
+		return
+	}
+
+	ln := c.lookup(base)
+	if ln != nil && ln.state != stateI {
+		c.touch(ln)
+		if !req.isWrite {
+			// Load hit.
+			c.sys.stats.Hits++
+			c.sys.q.After(c.sys.cfg.TagLat, func() {
+				// Re-check: the line may have been invalidated between tag
+				// access and data return; real hardware replays the access.
+				if cur := c.lookup(base); cur != nil && cur.state != stateI && cur.base == base {
+					req.done(cur.data[idx])
+				} else {
+					c.access(req)
+				}
+			})
+			return
+		}
+		switch ln.state {
+		case stateE, stateM:
+			// Store hit with write permission (silent E→M upgrade).
+			c.sys.stats.Hits++
+			c.sys.q.After(c.sys.cfg.TagLat, func() {
+				if cur := c.lookup(base); cur != nil && (cur.state == stateE || cur.state == stateM) {
+					cur.state = stateM
+					cur.data[idx] = req.val
+					req.done(0)
+				} else {
+					c.access(req)
+				}
+			})
+			return
+		case stateS:
+			// Upgrade: keep the Shared data resident, request M.
+			c.sys.stats.Misses++
+			m := &mshr{base: base, set: c.setIndex(base), way: c.wayOf(ln), wantM: true,
+				queued: []memReq{req}}
+			ln.pending = true
+			c.mshrs[base] = m
+			c.sys.send(-1, message{typ: msgGetM, from: c.id, base: base})
+			return
+		}
+	}
+
+	// Miss: reserve a way, evicting if necessary.
+	c.sys.stats.Misses++
+	set := c.setIndex(base)
+	way := c.pickVictim(set)
+	if way < 0 {
+		c.sys.stats.Stalls++
+		c.stalled = append(c.stalled, req)
+		return
+	}
+	c.evict(set, way)
+	ln = &c.sets[set][way]
+	*ln = cacheLine{base: base, state: stateI, pending: true}
+	c.touch(ln)
+	m := &mshr{base: base, set: set, way: way, wantM: req.isWrite, queued: []memReq{req}}
+	c.mshrs[base] = m
+	typ := msgGetS
+	if req.isWrite {
+		typ = msgGetM
+	}
+	c.sys.send(-1, message{typ: typ, from: c.id, base: base})
+}
+
+func (c *cache) wayOf(ln *cacheLine) int {
+	set := c.sets[c.setIndex(ln.base)]
+	for i := range set {
+		if &set[i] == ln {
+			return i
+		}
+	}
+	panic("mem: wayOf on foreign line")
+}
+
+// pickVictim returns an evictable way in the set: an invalid way if any,
+// else the least recently used non-pending way, else -1.
+func (c *cache) pickVictim(set int) int {
+	best, bestUse := -1, int64(1<<62)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.pending {
+			continue
+		}
+		if ln.state == stateI {
+			return i
+		}
+		if ln.lastUse < bestUse {
+			best, bestUse = i, ln.lastUse
+		}
+	}
+	return best
+}
+
+// evict removes the line in (set, way); dirty lines go to the writeback
+// buffer and a PutM is sent. Clean lines are dropped silently (MESI).
+func (c *cache) evict(set, way int) {
+	ln := &c.sets[set][way]
+	if ln.state == stateM {
+		data := make([]uint32, len(ln.data))
+		copy(data, ln.data)
+		c.wb[ln.base] = data
+		c.sys.stats.Writebacks++
+		c.sys.send(-1, message{typ: msgPutM, from: c.id, base: ln.base, data: data, dirty: true})
+	}
+	ln.state = stateI
+	ln.data = nil
+}
+
+// retryStalled re-presents stalled requests after a way freed up.
+func (c *cache) retryStalled() {
+	if len(c.stalled) == 0 {
+		return
+	}
+	reqs := c.stalled
+	c.stalled = nil
+	for _, r := range reqs {
+		c.access(r)
+	}
+}
+
+// receive handles a protocol message addressed to this cache.
+func (c *cache) receive(m message) {
+	switch m.typ {
+	case msgDataS, msgDataE, msgDataM:
+		c.fill(m)
+	case msgInv:
+		c.invalidate(m.base, true)
+		c.sys.send(-1, message{typ: msgInvAck, from: c.id, base: m.base})
+	case msgFwdGetS:
+		c.forward(m.base, false)
+	case msgFwdGetM:
+		c.forward(m.base, true)
+	case msgWBAck:
+		delete(c.wb, m.base)
+	default:
+		panic(fmt.Sprintf("mem: cache %d received %v", c.id, m))
+	}
+}
+
+// invalidate drops any copy of the line and notifies the core unless bug 1
+// suppresses the notification for lines with an outstanding upgrade.
+func (c *cache) invalidate(base uint64, mayBeSMTransient bool) {
+	notify := true
+	if mayBeSMTransient && c.sys.cfg.Bugs.StaleSMInv {
+		if m, ok := c.mshrs[base]; ok && m.wantM {
+			// Bug 1: invalidation during the S→M transient fails to squash
+			// the core's already-performed loads.
+			notify = false
+		}
+	}
+	if ln := c.lookup(base); ln != nil && ln.state != stateI {
+		ln.state = stateI
+		ln.data = nil
+		c.sys.stats.Invalidations++
+	}
+	if notify && c.sys.invalHook != nil {
+		c.sys.invalHook(c.id, base)
+	}
+}
+
+// forward services FwdGetS/FwdGetM: supply the line to the directory from
+// the live copy or the writeback buffer.
+func (c *cache) forward(base uint64, isGetM bool) {
+	if ln := c.lookup(base); ln != nil && (ln.state == stateE || ln.state == stateM) {
+		data := make([]uint32, len(ln.data))
+		copy(data, ln.data)
+		dirty := ln.state == stateM
+		if isGetM {
+			ln.state = stateI
+			ln.data = nil
+			c.sys.stats.Invalidations++
+			if c.sys.invalHook != nil {
+				c.sys.invalHook(c.id, base)
+			}
+			c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: data, dirty: dirty})
+		} else {
+			ln.state = stateS
+			c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: data,
+				dirty: dirty, keepsCopy: true})
+		}
+		return
+	}
+	if data, ok := c.wb[base]; ok {
+		if c.sys.cfg.Bugs.WBRaceDeadlock {
+			// Bug 3: the owner ignores forwarded requests racing with its
+			// writeback; the directory waits forever.
+			return
+		}
+		out := make([]uint32, len(data))
+		copy(out, data)
+		c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: out, dirty: true})
+		return
+	}
+	// Silently dropped clean line (E→I): memory is up to date.
+	if isGetM && c.sys.invalHook != nil {
+		c.sys.invalHook(c.id, base)
+	}
+	c.sys.send(-1, message{typ: msgOwnerNoData, from: c.id, base: base})
+}
+
+// fill completes an outstanding transaction with data and permission.
+func (c *cache) fill(m message) {
+	tx, ok := c.mshrs[m.base]
+	if !ok {
+		panic(fmt.Sprintf("mem: cache %d fill for line %#x without mshr", c.id, m.base))
+	}
+	ln := &c.sets[tx.set][tx.way]
+	if ln.base != m.base {
+		panic(fmt.Sprintf("mem: cache %d fill slot holds %#x, want %#x", c.id, ln.base, m.base))
+	}
+	ln.data = make([]uint32, len(m.data))
+	copy(ln.data, m.data)
+	switch m.typ {
+	case msgDataS:
+		ln.state = stateS
+	case msgDataE:
+		ln.state = stateE
+	case msgDataM:
+		ln.state = stateM
+	}
+	c.touch(ln)
+	// Acknowledge the fill so the directory can unblock the line.
+	c.sys.send(-1, message{typ: msgFillAck, from: c.id, base: m.base})
+
+	// Replay queued requests in arrival order. A write encountered while
+	// holding only Shared permission re-issues the transaction as GetM.
+	for len(tx.queued) > 0 {
+		req := tx.queued[0]
+		idx := c.sys.wordIndex(req.addr)
+		if req.isWrite {
+			if ln.state == stateS {
+				c.sys.send(-1, message{typ: msgGetM, from: c.id, base: m.base})
+				return // mshr stays; remaining requests replay on DataM
+			}
+			ln.state = stateM
+			ln.data[idx] = req.val
+		}
+		tx.queued = tx.queued[1:]
+		v := ln.data[idx]
+		done := req.done
+		if req.isWrite {
+			v = 0
+		}
+		c.sys.q.After(c.sys.cfg.TagLat, func() { done(v) })
+	}
+	ln.pending = false
+	delete(c.mshrs, m.base)
+	c.retryStalled()
+}

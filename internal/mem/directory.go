@@ -1,0 +1,232 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"mtracecheck/internal/eventq"
+)
+
+// dirState is the directory's stable view of one line.
+type dirState uint8
+
+const (
+	dirU  dirState = iota // uncached: memory is the only copy
+	dirS                  // shared by one or more caches, memory clean
+	dirEM                 // owned (Exclusive or Modified) by one cache
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirU:
+		return "U"
+	case dirS:
+		return "S"
+	case dirEM:
+		return "EM"
+	default:
+		return fmt.Sprintf("dirState(%d)", uint8(s))
+	}
+}
+
+// dirLine is the directory entry for one line. A busy entry is servicing a
+// transaction that awaits owner data, invalidation acks, or the grantee's
+// fill acknowledgment; further requests queue FIFO behind it (blocking
+// directory). Holding the line busy until the fill is consumed guarantees a
+// forwarded request can never observe an owner whose grant is still in
+// flight.
+type dirLine struct {
+	state      dirState
+	owner      int
+	sharers    map[int]bool
+	busy       bool
+	cur        message // request in service while busy
+	acksNeeded int
+	queue      []message
+}
+
+// directory is the single home node of all lines.
+type directory struct {
+	sys   *System
+	lines map[uint64]*dirLine
+}
+
+func newDirectory(s *System) *directory {
+	return &directory{sys: s, lines: make(map[uint64]*dirLine)}
+}
+
+func (d *directory) reset() { d.lines = make(map[uint64]*dirLine) }
+
+func (d *directory) line(base uint64) *dirLine {
+	l, ok := d.lines[base]
+	if !ok {
+		l = &dirLine{state: dirU, sharers: make(map[int]bool)}
+		d.lines[base] = l
+	}
+	return l
+}
+
+func (d *directory) busyLines() int {
+	n := 0
+	for _, l := range d.lines {
+		if l.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// receive dispatches a message arriving at the directory.
+func (d *directory) receive(m message) {
+	l := d.line(m.base)
+	switch m.typ {
+	case msgGetS, msgGetM, msgPutM:
+		if l.busy {
+			l.queue = append(l.queue, m)
+			return
+		}
+		d.service(l, m)
+	case msgInvAck:
+		if !l.busy || l.acksNeeded <= 0 {
+			panic(fmt.Sprintf("mem: unexpected InvAck for line %#x", m.base))
+		}
+		l.acksNeeded--
+		if l.acksNeeded == 0 {
+			// All sharers gone: grant M to the requester from memory.
+			req := l.cur.from
+			l.sharers = map[int]bool{}
+			l.state = dirEM
+			l.owner = req
+			d.grant(req, msgDataM, m.base, 0)
+		}
+	case msgOwnerData, msgOwnerNoData:
+		if !l.busy {
+			panic(fmt.Sprintf("mem: owner response for idle line %#x", m.base))
+		}
+		if m.typ == msgOwnerData && m.dirty {
+			copy(d.sys.memLine(m.base), m.data)
+		}
+		req := l.cur.from
+		switch l.cur.typ {
+		case msgGetS:
+			l.state = dirS
+			l.sharers = map[int]bool{req: true}
+			if m.keepsCopy {
+				l.sharers[m.from] = true
+			}
+			d.grant(req, msgDataS, m.base, 0)
+		case msgGetM:
+			l.state = dirEM
+			l.owner = req
+			l.sharers = map[int]bool{}
+			d.grant(req, msgDataM, m.base, 0)
+		default:
+			panic(fmt.Sprintf("mem: owner response while servicing %v", l.cur.typ))
+		}
+	case msgFillAck:
+		if !l.busy || l.cur.from != m.from {
+			panic(fmt.Sprintf("mem: unexpected FillAck from %d for line %#x", m.from, m.base))
+		}
+		d.unblock(l)
+	default:
+		panic(fmt.Sprintf("mem: directory received %v", m))
+	}
+}
+
+// grant sends a fill carrying the current memory copy of the line, after
+// the directory occupancy plus any extra (memory) latency.
+func (d *directory) grant(to int, typ msgType, base uint64, extra int) {
+	data := make([]uint32, d.sys.wordsPerLine())
+	copy(data, d.sys.memLine(base))
+	msg := message{typ: typ, from: -1, base: base, data: data}
+	delay := d.sys.cfg.DirLat + eventq.Time(extra)
+	d.sys.q.After(delay, func() { d.sys.send(to, msg) })
+}
+
+// service handles one request on an idle line. GetS/GetM always leave the
+// line busy: either awaiting an owner response / invalidation acks, or (once
+// a grant is sent) awaiting the grantee's FillAck.
+func (d *directory) service(l *dirLine, m message) {
+	switch m.typ {
+	case msgGetS:
+		l.busy = true
+		l.cur = m
+		switch l.state {
+		case dirU:
+			l.state = dirEM
+			l.owner = m.from
+			d.grant(m.from, msgDataE, m.base, int(d.sys.cfg.MemLat))
+		case dirS:
+			l.sharers[m.from] = true
+			d.grant(m.from, msgDataS, m.base, 0)
+		case dirEM:
+			if l.owner == m.from {
+				// The owner silently dropped a clean line and re-requested:
+				// memory is current.
+				d.grant(m.from, msgDataE, m.base, 0)
+				return
+			}
+			d.sys.send(l.owner, message{typ: msgFwdGetS, from: -1, base: m.base})
+		}
+	case msgGetM:
+		l.busy = true
+		l.cur = m
+		switch l.state {
+		case dirU:
+			l.state = dirEM
+			l.owner = m.from
+			d.grant(m.from, msgDataM, m.base, int(d.sys.cfg.MemLat))
+		case dirS:
+			others := make([]int, 0, len(l.sharers))
+			for s := range l.sharers {
+				if s != m.from {
+					others = append(others, s)
+				}
+			}
+			// Deterministic fan-out order: map iteration order must not
+			// influence message sequencing (and hence simulated timing).
+			sort.Ints(others)
+			if len(others) == 0 {
+				l.state = dirEM
+				l.owner = m.from
+				l.sharers = map[int]bool{}
+				d.grant(m.from, msgDataM, m.base, 0)
+				return
+			}
+			l.acksNeeded = len(others)
+			for _, s := range others {
+				d.sys.send(s, message{typ: msgInv, from: -1, base: m.base})
+			}
+		case dirEM:
+			if l.owner == m.from {
+				// Owner silently dropped clean line, now writing.
+				d.grant(m.from, msgDataM, m.base, 0)
+				return
+			}
+			d.sys.send(l.owner, message{typ: msgFwdGetM, from: -1, base: m.base})
+		}
+	case msgPutM:
+		if l.state == dirEM && l.owner == m.from {
+			copy(d.sys.memLine(m.base), m.data)
+			l.state = dirU
+			l.owner = 0
+			l.sharers = map[int]bool{}
+		}
+		// Stale PutM (ownership already transferred via a forward): the data
+		// was already supplied to the directory by the writeback buffer.
+		d.sys.send(m.from, message{typ: msgWBAck, from: -1, base: m.base})
+	}
+}
+
+// unblock finishes the busy transaction and drains queued requests until the
+// line blocks again or the queue empties.
+func (d *directory) unblock(l *dirLine) {
+	l.busy = false
+	l.cur = message{}
+	l.acksNeeded = 0
+	for !l.busy && len(l.queue) > 0 {
+		m := l.queue[0]
+		l.queue = l.queue[1:]
+		d.service(l, m)
+	}
+}

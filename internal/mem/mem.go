@@ -1,0 +1,289 @@
+// Package mem implements the coherent memory substrate of the simulated
+// validation platform: per-core private L1 caches kept coherent by a
+// blocking directory-based MESI protocol with explicit messages, transient
+// states, writeback races, and configurable latencies.
+//
+// The package stands in for the cache hierarchies of the paper's silicon
+// platforms (Core 2 Quad, Exynos 5422) and for gem5's MESI implementation in
+// the bug-injection case studies (§7). Two of the paper's three injected
+// bugs live here:
+//
+//   - Bug 1 ("protocol issue"): an invalidation received while a line is in
+//     the Shared→Modified transient does not notify the core, so younger
+//     loads that performed early against the stale Shared data are never
+//     squashed — a ld→ld ordering violation (the Peekaboo problem).
+//   - Bug 3 ("race in cache coherence protocol"): an owner that has a
+//     writeback (PutM) in flight ignores forwarded requests for that line,
+//     deadlocking the directory — every affected run crashes, as in the
+//     paper's Table 3.
+//
+// (Bug 2, the load-queue issue, lives in package sim.)
+//
+// Timing: every message takes NetLat plus a uniformly random jitter cycles;
+// cache hits take TagLat; the directory adds DirLat and memory fills MemLat.
+// Timing variability — hit vs. miss vs. line ping-pong — is what produces
+// the non-deterministic interleavings the paper measures, so latencies are
+// deliberately coarse but state-dependent.
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mtracecheck/internal/eventq"
+)
+
+// Bugs selects injectable protocol defects (paper §7).
+type Bugs struct {
+	// StaleSMInv is bug 1: skip the core notification for invalidations
+	// that arrive while the line has an outstanding upgrade (S→M).
+	StaleSMInv bool
+	// WBRaceDeadlock is bug 3: the owner ignores FwdGetS/FwdGetM for lines
+	// sitting in its writeback buffer, deadlocking the protocol.
+	WBRaceDeadlock bool
+}
+
+// Config parameterizes the memory system.
+type Config struct {
+	Cores    int
+	LineSize int // bytes per line
+	WordSize int // bytes per word (4)
+	Sets     int // L1 sets
+	Ways     int // L1 ways
+
+	TagLat eventq.Time // L1 hit latency
+	NetLat eventq.Time // per-message network latency
+	DirLat eventq.Time // directory occupancy per request
+	MemLat eventq.Time // backing-memory access latency
+	Jitter int         // max extra cycles added per message (uniform)
+
+	Bugs Bugs
+}
+
+// DefaultConfig returns a 4-core, 32 KiB (256-set, 2-way) configuration with
+// latencies loosely modeled on the paper's desktop platform.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores: cores, LineSize: 64, WordSize: 4, Sets: 256, Ways: 2,
+		TagLat: 2, NetLat: 12, DirLat: 4, MemLat: 60, Jitter: 6,
+	}
+}
+
+// TinyCacheConfig shrinks the L1 to 1 KiB 2-way (8 sets), the calibration
+// the paper uses for bugs 1 and 3 to intensify evictions under a small
+// working set.
+func TinyCacheConfig(cores int) Config {
+	c := DefaultConfig(cores)
+	c.Sets, c.Ways = 8, 2
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("mem: %d cores", c.Cores)
+	case c.LineSize <= 0 || c.WordSize <= 0 || c.LineSize%c.WordSize != 0:
+		return fmt.Errorf("mem: bad line/word sizes %d/%d", c.LineSize, c.WordSize)
+	case c.Sets < 1 || c.Ways < 1:
+		return fmt.Errorf("mem: bad geometry %d sets × %d ways", c.Sets, c.Ways)
+	case c.TagLat < 0 || c.NetLat < 0 || c.DirLat < 0 || c.MemLat < 0 || c.Jitter < 0:
+		return fmt.Errorf("mem: negative latency")
+	}
+	return nil
+}
+
+// Stats counts memory-system activity.
+type Stats struct {
+	Loads, Stores int64 // completed operations
+	Hits, Misses  int64
+	Messages      int64
+	Invalidations int64
+	Writebacks    int64
+	Stalls        int64 // requests stalled for a free way
+}
+
+// System is the coherent memory system. It is single-goroutine: all methods
+// must be called from event callbacks of the owning queue or between runs.
+type System struct {
+	cfg    Config
+	q      *eventq.Queue
+	rng    *rand.Rand
+	caches []*cache
+	dir    *directory
+	memory map[uint64][]uint32 // line base → word values
+	stats  Stats
+
+	outstanding int // incomplete Read/Write operations
+
+	// invalHook, when set, is called whenever a cache loses read permission
+	// on a line it had granted loads from (Inv or FwdGetM). The execution
+	// engine uses it to squash speculatively performed loads.
+	invalHook func(core int, base uint64)
+}
+
+// NewSystem builds a memory system scheduling on q and drawing jitter from
+// rng (which must not be shared with concurrent users).
+func NewSystem(q *eventq.Queue, cfg Config, rng *rand.Rand) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, q: q, rng: rng, memory: make(map[uint64][]uint32)}
+	s.dir = newDirectory(s)
+	for i := 0; i < cfg.Cores; i++ {
+		s.caches = append(s.caches, newCache(s, i))
+	}
+	return s, nil
+}
+
+// SetInvalHook registers the invalidation callback (see System doc).
+func (s *System) SetInvalHook(fn func(core int, base uint64)) { s.invalHook = fn }
+
+// Stats returns a snapshot of activity counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Outstanding returns the number of incomplete Read/Write operations; a
+// drained event queue with Outstanding > 0 indicates a protocol deadlock.
+func (s *System) Outstanding() int { return s.outstanding }
+
+func (s *System) lineBase(addr uint64) uint64 {
+	return addr - addr%uint64(s.cfg.LineSize)
+}
+
+func (s *System) wordIndex(addr uint64) int {
+	return int(addr%uint64(s.cfg.LineSize)) / s.cfg.WordSize
+}
+
+func (s *System) wordsPerLine() int { return s.cfg.LineSize / s.cfg.WordSize }
+
+// memLine returns the backing-store copy of the line, allocating zeroes.
+func (s *System) memLine(base uint64) []uint32 {
+	l, ok := s.memory[base]
+	if !ok {
+		l = make([]uint32, s.wordsPerLine())
+		s.memory[base] = l
+	}
+	return l
+}
+
+// netDelay returns one message's latency including jitter.
+func (s *System) netDelay() eventq.Time {
+	d := s.cfg.NetLat
+	if s.cfg.Jitter > 0 {
+		d += eventq.Time(s.rng.Intn(s.cfg.Jitter + 1))
+	}
+	return d
+}
+
+// send delivers m to the directory (to == -1) or to cache to after the
+// network delay.
+func (s *System) send(to int, m message) {
+	s.stats.Messages++
+	s.q.After(s.netDelay(), func() {
+		if to < 0 {
+			s.dir.receive(m)
+		} else {
+			s.caches[to].receive(m)
+		}
+	})
+}
+
+// Read issues a load of the word at addr on behalf of core. done is invoked
+// at completion time with the loaded value.
+func (s *System) Read(core int, addr uint64, done func(uint32)) {
+	s.outstanding++
+	s.caches[core].access(memReq{addr: addr, done: func(v uint32) {
+		s.outstanding--
+		s.stats.Loads++
+		done(v)
+	}})
+}
+
+// Write issues a store of val to the word at addr on behalf of core. done is
+// invoked when the store has obtained write permission and updated the line
+// (i.e. the store is globally visible).
+func (s *System) Write(core int, addr uint64, val uint32, done func()) {
+	s.outstanding++
+	s.caches[core].access(memReq{isWrite: true, addr: addr, val: val, done: func(uint32) {
+		s.outstanding--
+		s.stats.Stores++
+		done()
+	}})
+}
+
+// PeekWord returns the globally committed value of the word at addr,
+// preferring a dirty cached copy over backing memory. For use at quiescent
+// points (between iterations, in tests).
+func (s *System) PeekWord(addr uint64) uint32 {
+	base, idx := s.lineBase(addr), s.wordIndex(addr)
+	for _, c := range s.caches {
+		if ln := c.lookup(base); ln != nil && ln.state == stateM {
+			return ln.data[idx]
+		}
+	}
+	return s.memLine(base)[idx]
+}
+
+// Quiescent reports whether no operations or writebacks are in flight.
+func (s *System) Quiescent() bool {
+	if s.outstanding != 0 || s.dir.busyLines() != 0 {
+		return false
+	}
+	for _, c := range s.caches {
+		if len(c.mshrs) != 0 || len(c.wb) != 0 || len(c.stalled) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset restores the initial state (all memory zero, caches empty) between
+// test iterations. The system must be quiescent.
+func (s *System) Reset() error {
+	if !s.Quiescent() {
+		return fmt.Errorf("mem: Reset while not quiescent (%d outstanding)", s.outstanding)
+	}
+	s.memory = make(map[uint64][]uint32)
+	for _, c := range s.caches {
+		c.reset()
+	}
+	s.dir.reset()
+	return nil
+}
+
+// CheckInvariants verifies the single-writer/multiple-reader property and
+// cache/directory agreement at a quiescent point. Intended for tests.
+func (s *System) CheckInvariants() error {
+	if !s.Quiescent() {
+		return fmt.Errorf("mem: CheckInvariants while not quiescent")
+	}
+	type holder struct {
+		core  int
+		state lineState
+	}
+	byLine := make(map[uint64][]holder)
+	for _, c := range s.caches {
+		for si := range c.sets {
+			for wi := range c.sets[si] {
+				ln := &c.sets[si][wi]
+				if ln.state != stateI {
+					byLine[ln.base] = append(byLine[ln.base], holder{c.id, ln.state})
+				}
+			}
+		}
+	}
+	for base, hs := range byLine {
+		writers, readers := 0, 0
+		for _, h := range hs {
+			if h.state == stateM || h.state == stateE {
+				writers++
+			} else {
+				readers++
+			}
+		}
+		if writers > 1 || (writers == 1 && readers > 0) {
+			return fmt.Errorf("mem: SWMR violated on line %#x: %+v", base, hs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,398 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtracecheck/internal/eventq"
+)
+
+// newSys builds a system for tests; jitter 0 keeps scenarios deterministic
+// unless a test wants variability.
+func newSys(t *testing.T, cores int, cfg Config) (*eventq.Queue, *System) {
+	t.Helper()
+	q := eventq.New()
+	s, err := NewSystem(q, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cores
+	return q, s
+}
+
+func drain(t *testing.T, q *eventq.Queue, s *System) {
+	t.Helper()
+	q.Drain(2_000_000)
+	if s.Outstanding() != 0 {
+		t.Fatalf("deadlock: %d operations outstanding with empty queue", s.Outstanding())
+	}
+}
+
+func TestReadInitialValue(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Jitter = 0
+	q, s := newSys(t, 1, cfg)
+	var got uint32 = 99
+	s.Read(0, 0x1000, func(v uint32) { got = v })
+	drain(t, q, s)
+	if got != 0 {
+		t.Errorf("initial read = %d, want 0", got)
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Jitter = 0
+	q, s := newSys(t, 1, cfg)
+	var got uint32
+	s.Write(0, 0x1000, 7, func() {
+		s.Read(0, 0x1000, func(v uint32) { got = v })
+	})
+	drain(t, q, s)
+	if got != 7 {
+		t.Errorf("read after write = %d, want 7", got)
+	}
+	if s.PeekWord(0x1000) != 7 {
+		t.Errorf("PeekWord = %d, want 7", s.PeekWord(0x1000))
+	}
+}
+
+func TestCrossCoreVisibility(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 0
+	q, s := newSys(t, 2, cfg)
+	var got uint32
+	s.Write(0, 0x2000, 42, func() {
+		s.Read(1, 0x2000, func(v uint32) { got = v })
+	})
+	drain(t, q, s)
+	if got != 42 {
+		t.Errorf("cross-core read = %d, want 42", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameLineDifferentWords(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 0
+	q, s := newSys(t, 2, cfg)
+	var a, b uint32
+	s.Write(0, 0x3000, 1, func() {
+		s.Write(1, 0x3004, 2, func() {
+			s.Read(0, 0x3004, func(v uint32) { a = v })
+			s.Read(1, 0x3000, func(v uint32) { b = v })
+		})
+	})
+	drain(t, q, s)
+	if a != 2 || b != 1 {
+		t.Errorf("word values = %d,%d; want 2,1", a, b)
+	}
+}
+
+// TestSerializedOracle issues fully serialized random traffic and demands
+// exact last-writer semantics — the strongest protocol correctness check.
+func TestSerializedOracle(t *testing.T) {
+	cfgs := map[string]Config{
+		"default": DefaultConfig(4),
+		"tiny":    TinyCacheConfig(4), // forces evictions, PutM, WBAck, silent drops
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			cfg.Jitter = 3
+			q, s := newSys(t, 4, cfg)
+			rng := rand.New(rand.NewSource(99))
+			expect := map[uint64]uint32{}
+			addrs := make([]uint64, 24)
+			for i := range addrs {
+				addrs[i] = 0x8000 + uint64(i)*4 // 6 lines with 4 words each... (16-word lines: 2 lines)
+			}
+			for i := 0; i < 3000; i++ {
+				core := rng.Intn(4)
+				addr := addrs[rng.Intn(len(addrs))]
+				if rng.Intn(2) == 0 {
+					val := uint32(i + 1)
+					s.Write(core, addr, val, func() {})
+					expect[addr] = val
+				} else {
+					want := expect[addr]
+					s.Read(core, addr, func(v uint32) {
+						if v != want {
+							t.Errorf("serialized read of %#x = %d, want %d", addr, v, want)
+						}
+					})
+				}
+				drain(t, q, s) // serialize: complete before next op
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+			for addr, want := range expect {
+				if got := s.PeekWord(addr); got != want {
+					t.Errorf("final %#x = %d, want %d", addr, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentTrafficCompletes floods the system with concurrent requests
+// and checks that everything completes, values are plausible (every read
+// returns the initial value or some written value for that address), and
+// invariants hold afterwards.
+func TestConcurrentTrafficCompletes(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		cfg := TinyCacheConfig(4)
+		cfg.Jitter = 8
+		q := eventq.New()
+		s, err := NewSystem(q, cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 7))
+		written := map[uint64]map[uint32]bool{}
+		type obs struct {
+			addr uint64
+			val  uint32
+		}
+		var reads []obs
+		for i := 0; i < 2000; i++ {
+			core := rng.Intn(4)
+			addr := 0x8000 + uint64(rng.Intn(16))*4
+			if rng.Intn(2) == 0 {
+				val := uint32(i + 1)
+				if written[addr] == nil {
+					written[addr] = map[uint32]bool{}
+				}
+				written[addr][val] = true
+				s.Write(core, addr, val, func() {})
+			} else {
+				addr := addr
+				s.Read(core, addr, func(v uint32) { reads = append(reads, obs{addr, v}) })
+			}
+		}
+		q.Drain(20_000_000)
+		if s.Outstanding() != 0 {
+			t.Fatalf("seed %d: deadlock, %d outstanding", seed, s.Outstanding())
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, r := range reads {
+			if r.val == 0 {
+				continue // initial value
+			}
+			if !written[r.addr][r.val] {
+				t.Fatalf("seed %d: read of %#x returned %d, never written there", seed, r.addr, r.val)
+			}
+		}
+	}
+}
+
+func TestInvalHookFiresOnRemoteWrite(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 0
+	q, s := newSys(t, 2, cfg)
+	var hooks []int
+	s.SetInvalHook(func(core int, base uint64) { hooks = append(hooks, core) })
+	// Core 0 and 1 both read (line Shared), then core 1 writes: core 0 must
+	// be notified.
+	s.Read(0, 0x4000, func(uint32) {})
+	s.Read(1, 0x4000, func(uint32) {})
+	drain(t, q, s)
+	hooks = nil
+	s.Write(1, 0x4000, 5, func() {})
+	drain(t, q, s)
+	found := false
+	for _, c := range hooks {
+		if c == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("invalidation hook not delivered to core 0; hooks=%v", hooks)
+	}
+}
+
+func TestInvalHookFiresOnFwdGetM(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 0
+	q, s := newSys(t, 2, cfg)
+	var hooks []int
+	s.SetInvalHook(func(core int, base uint64) { hooks = append(hooks, core) })
+	s.Write(0, 0x5000, 1, func() {}) // core 0 owns M
+	drain(t, q, s)
+	hooks = nil
+	s.Write(1, 0x5000, 2, func() {}) // FwdGetM to core 0
+	drain(t, q, s)
+	if len(hooks) != 1 || hooks[0] != 0 {
+		t.Errorf("hooks = %v, want [0]", hooks)
+	}
+}
+
+// TestBug1SuppressesHook sets up the S→M transient race: both cores share
+// the line, then both upgrade concurrently. The loser receives an Inv while
+// its GetM is outstanding; with bug 1 its squash notification is swallowed.
+func TestBug1SuppressesHook(t *testing.T) {
+	run := func(bugs Bugs) (hookCount int) {
+		cfg := DefaultConfig(2)
+		cfg.Jitter = 0
+		cfg.Bugs = bugs
+		q := eventq.New()
+		s, _ := NewSystem(q, cfg, rand.New(rand.NewSource(1)))
+		s.SetInvalHook(func(core int, base uint64) { hookCount++ })
+		s.Read(0, 0x6000, func(uint32) {})
+		s.Read(1, 0x6000, func(uint32) {})
+		q.Drain(0)
+		// Concurrent upgrades: one wins, the other is invalidated mid-upgrade.
+		s.Write(0, 0x6000, 1, func() {})
+		s.Write(1, 0x6000, 2, func() {})
+		q.Drain(0)
+		if s.Outstanding() != 0 {
+			t.Fatal("deadlock in upgrade race")
+		}
+		return hookCount
+	}
+	correct := run(Bugs{})
+	buggy := run(Bugs{StaleSMInv: true})
+	if buggy >= correct {
+		t.Errorf("bug 1 did not suppress notifications: correct=%d buggy=%d", correct, buggy)
+	}
+}
+
+// TestBug3Deadlocks drives eviction/write races with bug 3 enabled until a
+// protocol deadlock appears, and verifies the same traffic completes with
+// the bug disabled.
+func TestBug3Deadlocks(t *testing.T) {
+	traffic := func(bugs Bugs, seed int64) (outstanding int) {
+		cfg := TinyCacheConfig(4)
+		cfg.Jitter = 8
+		cfg.Bugs = bugs
+		q := eventq.New()
+		s, _ := NewSystem(q, cfg, rand.New(rand.NewSource(seed)))
+		rng := rand.New(rand.NewSource(seed))
+		// Many lines mapping onto 8 sets force dirty evictions; concurrent
+		// writers force forwards that race the writebacks.
+		for i := 0; i < 1500; i++ {
+			core := rng.Intn(4)
+			addr := 0x8000 + uint64(rng.Intn(64))*64 // line-granular, 64 lines over 8 sets
+			if rng.Intn(3) == 0 {
+				s.Read(core, addr, func(uint32) {})
+			} else {
+				s.Write(core, addr, uint32(i+1), func() {})
+			}
+		}
+		q.Drain(50_000_000)
+		return s.Outstanding()
+	}
+	deadlocked := false
+	for seed := int64(1); seed <= 10; seed++ {
+		if traffic(Bugs{}, seed) != 0 {
+			t.Fatalf("seed %d: bug-free protocol deadlocked", seed)
+		}
+		if traffic(Bugs{WBRaceDeadlock: true}, seed) != 0 {
+			deadlocked = true
+		}
+	}
+	if !deadlocked {
+		t.Error("bug 3 never produced a deadlock across 10 seeds")
+	}
+}
+
+func TestReset(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 0
+	q, s := newSys(t, 2, cfg)
+	s.Write(0, 0x7000, 9, func() {})
+	drain(t, q, s)
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint32 = 99
+	s.Read(1, 0x7000, func(v uint32) { got = v })
+	drain(t, q, s)
+	if got != 0 {
+		t.Errorf("read after Reset = %d, want 0", got)
+	}
+}
+
+func TestResetRejectsInFlight(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Jitter = 0
+	_, s := newSys(t, 1, cfg)
+	s.Read(0, 0x1000, func(uint32) {})
+	if err := s.Reset(); err == nil {
+		t.Error("Reset accepted in-flight operation")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Cores: 1, LineSize: 64, WordSize: 0, Sets: 1, Ways: 1},
+		{Cores: 1, LineSize: 63, WordSize: 4, Sets: 1, Ways: 1},
+		{Cores: 1, LineSize: 64, WordSize: 4, Sets: 0, Ways: 1},
+		{Cores: 1, LineSize: 64, WordSize: 4, Sets: 1, Ways: 1, NetLat: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 0
+	q, s := newSys(t, 2, cfg)
+	s.Write(0, 0x9000, 1, func() {})
+	drain(t, q, s)
+	s.Read(0, 0x9000, func(uint32) {})
+	drain(t, q, s)
+	st := s.Stats()
+	if st.Loads != 1 || st.Stores != 1 {
+		t.Errorf("Loads/Stores = %d/%d, want 1/1", st.Loads, st.Stores)
+	}
+	if st.Misses == 0 || st.Hits == 0 || st.Messages == 0 {
+		t.Errorf("expected nonzero misses/hits/messages: %+v", st)
+	}
+}
+
+// TestDirectMappedOracle repeats the serialized last-writer oracle on a
+// direct-mapped (1-way) cache, maximizing conflict evictions.
+func TestDirectMappedOracle(t *testing.T) {
+	cfg := TinyCacheConfig(4)
+	cfg.Ways = 1
+	cfg.Jitter = 5
+	q, s := newSys(t, 4, cfg)
+	rng := rand.New(rand.NewSource(123))
+	expect := map[uint64]uint32{}
+	for i := 0; i < 2000; i++ {
+		core := rng.Intn(4)
+		addr := 0x8000 + uint64(rng.Intn(32))*64 // 32 distinct lines over 8 direct-mapped sets
+		if rng.Intn(2) == 0 {
+			val := uint32(i + 1)
+			s.Write(core, addr, val, func() {})
+			expect[addr] = val
+		} else {
+			want := expect[addr]
+			s.Read(core, addr, func(v uint32) {
+				if v != want {
+					t.Errorf("read %#x = %d, want %d", addr, v, want)
+				}
+			})
+		}
+		drain(t, q, s)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if s.Stats().Writebacks == 0 {
+		t.Error("direct-mapped stress produced no writebacks")
+	}
+}

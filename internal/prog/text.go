@@ -1,0 +1,165 @@
+package prog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format for test programs, for saving generated tests and writing
+// directed ones by hand:
+//
+//	# any comment
+//	words 4
+//	layout line=64 word=4 perline=1
+//	thread: st 0; ld 1; fence; ld 0
+//	thread: ld 0; st 1
+//
+// The layout line is optional (DefaultLayout applies). Word operands are
+// decimal or 0x-prefixed shared-word indices. Store values and operation IDs
+// are assigned automatically (they are structural, not part of the format).
+
+// Format renders the program in the text format; Parse inverts it.
+func Format(p *Program) string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "# %s\n", p.Name)
+	}
+	fmt.Fprintf(&b, "words %d\n", p.NumWords)
+	l := p.Layout
+	fmt.Fprintf(&b, "layout line=%d word=%d perline=%d\n", l.LineSize, l.WordSize, l.WordsPerLine)
+	for _, t := range p.Threads {
+		b.WriteString("thread:")
+		for i, op := range t.Ops {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			switch op.Kind {
+			case Fence:
+				b.WriteString(" fence")
+			default:
+				fmt.Fprintf(&b, " %s %d", op.Kind, op.Word)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads a program in the text format. The first comment line, if any,
+// becomes the program name.
+func Parse(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	name := ""
+	words := 0
+	layout := DefaultLayout()
+	var threads [][]string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "#"):
+			if name == "" {
+				name = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+		case strings.HasPrefix(line, "words"):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "words")))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("prog: line %d: bad word count %q", lineNo, line)
+			}
+			words = n
+		case strings.HasPrefix(line, "layout"):
+			if err := parseLayout(line, &layout); err != nil {
+				return nil, fmt.Errorf("prog: line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "thread:"):
+			body := strings.TrimPrefix(line, "thread:")
+			var ops []string
+			for _, part := range strings.Split(body, ";") {
+				if part = strings.TrimSpace(part); part != "" {
+					ops = append(ops, part)
+				}
+			}
+			threads = append(threads, ops)
+		default:
+			return nil, fmt.Errorf("prog: line %d: unrecognized %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if words == 0 {
+		return nil, fmt.Errorf("prog: missing 'words' declaration")
+	}
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("prog: no threads")
+	}
+	b := NewBuilder(name, words, layout)
+	for ti, ops := range threads {
+		b.Thread()
+		for oi, op := range ops {
+			if err := parseOp(b, op); err != nil {
+				return nil, fmt.Errorf("prog: thread %d op %d: %w", ti, oi, err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func parseLayout(line string, l *Layout) error {
+	for _, field := range strings.Fields(line)[1:] {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("bad layout field %q", field)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad layout value %q", field)
+		}
+		switch k {
+		case "line":
+			l.LineSize = n
+		case "word":
+			l.WordSize = n
+		case "perline":
+			l.WordsPerLine = n
+		default:
+			return fmt.Errorf("unknown layout key %q", k)
+		}
+	}
+	return l.Validate()
+}
+
+func parseOp(b *Builder, s string) error {
+	fields := strings.Fields(s)
+	switch {
+	case len(fields) == 1 && fields[0] == "fence":
+		b.Fence()
+		return nil
+	case len(fields) == 2:
+		word, err := strconv.ParseInt(strings.TrimPrefix(fields[1], "0x"), wordBase(fields[1]), 32)
+		if err != nil {
+			return fmt.Errorf("bad word operand %q", fields[1])
+		}
+		switch fields[0] {
+		case "ld":
+			b.Load(int(word))
+			return nil
+		case "st":
+			b.Store(int(word))
+			return nil
+		}
+	}
+	return fmt.Errorf("unrecognized operation %q", s)
+}
+
+func wordBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}

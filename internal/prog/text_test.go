@@ -1,0 +1,89 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	p := NewBuilder("roundtrip", 4, Layout{Base: 0x10000, LineSize: 64, WordSize: 4, WordsPerLine: 4}).
+		Thread().Store(0).Load(1).Fence().Load(3).
+		Thread().Load(0).Store(2).
+		MustBuild()
+	text := Format(p)
+	back, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if back.Name != "roundtrip" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if Format(back) != text {
+		t.Errorf("round trip not fixed-point:\n%s\nvs\n%s", text, Format(back))
+	}
+	if back.NumOps() != p.NumOps() || back.NumWords != p.NumWords {
+		t.Errorf("structure mismatch")
+	}
+	for i, op := range p.Ops() {
+		got := back.Ops()[i]
+		if got.Kind != op.Kind || got.Word != op.Word || got.Thread != op.Thread {
+			t.Errorf("op %d: %+v vs %+v", i, got, op)
+		}
+	}
+	if back.Layout.WordsPerLine != 4 {
+		t.Errorf("layout lost: %+v", back.Layout)
+	}
+}
+
+func TestParseHandWritten(t *testing.T) {
+	src := `
+# SB by hand
+words 2
+
+thread: st 0; ld 1
+thread: st 1 ; ld 0x0
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "SB by hand" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.NumThreads() != 2 || p.NumOps() != 4 {
+		t.Errorf("shape: %d threads %d ops", p.NumThreads(), p.NumOps())
+	}
+	if p.Threads[1].Ops[1].Kind != Load || p.Threads[1].Ops[1].Word != 0 {
+		t.Errorf("hex operand parsed wrong: %+v", p.Threads[1].Ops[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                     // empty
+		"thread: st 0",                         // missing words
+		"words 2",                              // no threads
+		"words 0\nthread: st 0",                // bad count
+		"words 2\nthread: st 9",                // word out of range
+		"words 2\nthread: mystery 0",           // unknown op
+		"words 2\nbogus line",                  // unknown directive
+		"words 2\nlayout flux=1\nthread: st 0", // unknown layout key
+		"words 2\nlayout line=3\nthread: st 0", // invalid layout
+		"words 2\nthread: st zz",               // bad operand
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: parsed %q", i, src)
+		}
+	}
+}
+
+func TestParseDefaultLayout(t *testing.T) {
+	p, err := Parse(strings.NewReader("words 1\nthread: st 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layout != DefaultLayout() {
+		t.Errorf("layout = %+v", p.Layout)
+	}
+}

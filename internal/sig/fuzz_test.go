@@ -1,0 +1,39 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSet throws arbitrary bytes at the persistence parser: it must
+// never panic or over-allocate, and anything it accepts must re-serialize
+// byte-identically.
+func FuzzReadSet(f *testing.F) {
+	var good bytes.Buffer
+	set := NewSet()
+	set.Add(New([]uint64{1, 2}))
+	set.Add(New([]uint64{3, 4}))
+	if err := WriteSet(&good, set.Sorted()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte("MTCSIG01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		uniques, err := ReadSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteSet(&out, uniques); err != nil {
+			t.Fatalf("accepted set failed to re-serialize: %v", err)
+		}
+		back, err := ReadSet(&out)
+		if err != nil {
+			t.Fatalf("re-serialized set rejected: %v", err)
+		}
+		if len(back) != len(uniques) {
+			t.Fatalf("round trip changed cardinality: %d -> %d", len(uniques), len(back))
+		}
+	})
+}

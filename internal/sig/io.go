@@ -1,0 +1,95 @@
+package sig
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary persistence for collected signature sets: the channel between the
+// device under validation and the checking host. The format is deliberately
+// compact — the paper's §1 motivation includes keeping device-to-host
+// transfer volumes small.
+//
+// Layout (all little-endian):
+//
+//	magic   [8]byte  "MTCSIG01"
+//	words   uint32   words per signature
+//	count   uint32   number of unique signatures
+//	entries count × { count uint32, words × uint64 }
+var magic = [8]byte{'M', 'T', 'C', 'S', 'I', 'G', '0', '1'}
+
+// WriteSet serializes unique signatures with their observation counts.
+// All signatures must have the same word count.
+func WriteSet(w io.Writer, uniques []Unique) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	words := 0
+	if len(uniques) > 0 {
+		words = uniques[0].Sig.Len()
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(words)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(uniques))); err != nil {
+		return err
+	}
+	for _, u := range uniques {
+		if u.Sig.Len() != words {
+			return fmt.Errorf("sig: mixed signature widths (%d and %d words)", words, u.Sig.Len())
+		}
+		if u.Count < 0 {
+			return fmt.Errorf("sig: negative count %d", u.Count)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(u.Count)); err != nil {
+			return err
+		}
+		for i := 0; i < words; i++ {
+			if err := binary.Write(bw, binary.LittleEndian, u.Sig.Word(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSet deserializes a signature set written by WriteSet.
+func ReadSet(r io.Reader) ([]Unique, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("sig: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("sig: bad magic %q", got[:])
+	}
+	var words, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &words); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const sanity = 1 << 26
+	if words > 1024 || count > sanity {
+		return nil, fmt.Errorf("sig: implausible header (%d words, %d signatures)", words, count)
+	}
+	out := make([]Unique, 0, count)
+	buf := make([]uint64, words)
+	for i := uint32(0); i < count; i++ {
+		var c uint32
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, fmt.Errorf("sig: entry %d: %w", i, err)
+		}
+		for w := range buf {
+			if err := binary.Read(br, binary.LittleEndian, &buf[w]); err != nil {
+				return nil, fmt.Errorf("sig: entry %d word %d: %w", i, w, err)
+			}
+		}
+		out = append(out, Unique{Sig: New(buf), Count: int(c)})
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+// Package sig implements memory-access interleaving signatures (paper §3):
+// fixed-shape multi-word unsigned integers produced by the instrumented test
+// code, one per test iteration. A signature is the concatenation of
+// per-thread signature words; the first thread's words occupy the most
+// significant position, and within a thread the first word is most
+// significant (paper §4.1's layout, which the authors found yields the best
+// structural similarity between adjacent sorted signatures).
+//
+// The package provides comparison, sorting, de-duplication with occurrence
+// counts, and a compact binary encoding used to move signatures off the
+// "device" (the simulated platform) to the checking host.
+package sig
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Signature is one execution signature: concatenated per-thread words,
+// most significant word first. All signatures produced by the same
+// instrumented test have the same number of words, so lexicographic
+// comparison over the word slice is numeric comparison.
+type Signature struct {
+	words []uint64
+}
+
+// New returns a signature over the given words (most significant first).
+// The slice is copied.
+func New(words []uint64) Signature {
+	w := make([]uint64, len(words))
+	copy(w, words)
+	return Signature{words: w}
+}
+
+// Zero returns the all-zero signature with n words.
+func Zero(n int) Signature { return Signature{words: make([]uint64, n)} }
+
+// Len returns the number of words.
+func (s Signature) Len() int { return len(s.words) }
+
+// Word returns the i-th word (0 = most significant).
+func (s Signature) Word(i int) uint64 { return s.words[i] }
+
+// Words returns a copy of the word slice, most significant first.
+func (s Signature) Words() []uint64 {
+	out := make([]uint64, len(s.words))
+	copy(out, s.words)
+	return out
+}
+
+// Compare returns -1, 0, or +1 comparing s and t numerically.
+// Signatures of different lengths compare by length first; that case never
+// arises within one test's signature set.
+func (s Signature) Compare(t Signature) int {
+	switch {
+	case len(s.words) < len(t.words):
+		return -1
+	case len(s.words) > len(t.words):
+		return 1
+	}
+	for i := range s.words {
+		switch {
+		case s.words[i] < t.words[i]:
+			return -1
+		case s.words[i] > t.words[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether s and t are identical.
+func (s Signature) Equal(t Signature) bool { return s.Compare(t) == 0 }
+
+// Key returns a string usable as a map key identifying the signature.
+func (s Signature) Key() string { return string(s.AppendBinary(nil)) }
+
+// AppendBinary appends the big-endian encoding of the signature to b.
+func (s Signature) AppendBinary(b []byte) []byte {
+	for _, w := range s.words {
+		b = binary.BigEndian.AppendUint64(b, w)
+	}
+	return b
+}
+
+// Bytes returns the big-endian binary encoding.
+func (s Signature) Bytes() []byte { return s.AppendBinary(nil) }
+
+// FromBytes decodes a signature from the big-endian encoding produced by
+// Bytes. The length of b must be a multiple of 8.
+func FromBytes(b []byte) (Signature, error) {
+	if len(b)%8 != 0 {
+		return Signature{}, fmt.Errorf("sig: encoding length %d not a multiple of 8", len(b))
+	}
+	words := make([]uint64, len(b)/8)
+	for i := range words {
+		words[i] = binary.BigEndian.Uint64(b[i*8:])
+	}
+	return Signature{words: words}, nil
+}
+
+// String renders the signature as grouped hex words, e.g. "0x2:0x84".
+func (s Signature) String() string {
+	if len(s.words) == 0 {
+		return "0x0"
+	}
+	parts := make([]string, len(s.words))
+	for i, w := range s.words {
+		parts[i] = fmt.Sprintf("%#x", w)
+	}
+	return strings.Join(parts, ":")
+}
+
+// Sort sorts signatures ascending in place (paper §4.1: adjacent signatures
+// correspond to structurally similar constraint graphs).
+func Sort(sigs []Signature) {
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Compare(sigs[j]) < 0 })
+}
+
+// IsSorted reports whether sigs is ascending.
+func IsSorted(sigs []Signature) bool {
+	return sort.SliceIsSorted(sigs, func(i, j int) bool { return sigs[i].Compare(sigs[j]) < 0 })
+}
+
+// Unique is a de-duplicated signature with its observation count.
+type Unique struct {
+	Sig   Signature
+	Count int // number of iterations that produced Sig
+}
+
+// Dedup sorts sigs and returns the ascending unique signatures with counts.
+// The input slice is sorted in place. Duplicate filtering happens here, as
+// in the paper's flow where duplicates are dropped while sorting (§4).
+func Dedup(sigs []Signature) []Unique {
+	if len(sigs) == 0 {
+		return nil
+	}
+	Sort(sigs)
+	out := []Unique{{Sig: sigs[0], Count: 1}}
+	for _, s := range sigs[1:] {
+		if s.Equal(out[len(out)-1].Sig) {
+			out[len(out)-1].Count++
+		} else {
+			out = append(out, Unique{Sig: s, Count: 1})
+		}
+	}
+	return out
+}
+
+// Set accumulates signatures online, tracking unique values and counts.
+// It is what the on-device collection buffer holds before the host-side
+// sort; methods are not safe for concurrent use.
+type Set struct {
+	counts map[string]int
+	sigs   map[string]Signature
+	total  int
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set {
+	return &Set{counts: make(map[string]int), sigs: make(map[string]Signature)}
+}
+
+// Add inserts one observation of s, reporting whether s was new.
+func (set *Set) Add(s Signature) bool {
+	k := s.Key()
+	set.total++
+	set.counts[k]++
+	if set.counts[k] == 1 {
+		set.sigs[k] = s
+		return true
+	}
+	return false
+}
+
+// Len returns the number of unique signatures.
+func (set *Set) Len() int { return len(set.sigs) }
+
+// Total returns the number of observations added.
+func (set *Set) Total() int { return set.total }
+
+// Sorted returns the unique signatures ascending with counts.
+func (set *Set) Sorted() []Unique {
+	out := make([]Unique, 0, len(set.sigs))
+	for k, s := range set.sigs {
+		out = append(out, Unique{Sig: s, Count: set.counts[k]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Compare(out[j].Sig) < 0 })
+	return out
+}

@@ -1,0 +1,188 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareSingleWord(t *testing.T) {
+	a := New([]uint64{5})
+	b := New([]uint64{9})
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Errorf("Compare ordering wrong: %d %d %d", a.Compare(b), b.Compare(a), a.Compare(a))
+	}
+}
+
+func TestCompareMultiWordMostSignificantFirst(t *testing.T) {
+	// First word dominates: {1, 0} > {0, ^0}.
+	hi := New([]uint64{1, 0})
+	lo := New([]uint64{0, ^uint64(0)})
+	if hi.Compare(lo) != 1 {
+		t.Error("most-significant-first comparison violated")
+	}
+}
+
+func TestCompareLengths(t *testing.T) {
+	short := New([]uint64{9})
+	long := New([]uint64{0, 0})
+	if short.Compare(long) != -1 || long.Compare(short) != 1 {
+		t.Error("length comparison wrong")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		s := New([]uint64{a, b, c})
+		back, err := FromBytes(s.Bytes())
+		return err == nil && back.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBytesBadLength(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 7)); err == nil {
+		t.Error("FromBytes accepted length 7")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := New([]uint64{1, 2})
+	b := New([]uint64{1, 3})
+	c := New([]uint64{1, 2})
+	if a.Key() == b.Key() {
+		t.Error("distinct signatures share a key")
+	}
+	if a.Key() != c.Key() {
+		t.Error("equal signatures have different keys")
+	}
+}
+
+func TestSortAndDedup(t *testing.T) {
+	sigs := []Signature{
+		New([]uint64{3}), New([]uint64{1}), New([]uint64{3}),
+		New([]uint64{2}), New([]uint64{1}), New([]uint64{1}),
+	}
+	u := Dedup(sigs)
+	if len(u) != 3 {
+		t.Fatalf("Dedup: %d unique, want 3", len(u))
+	}
+	wantVals := []uint64{1, 2, 3}
+	wantCounts := []int{3, 1, 2}
+	for i := range u {
+		if u[i].Sig.Word(0) != wantVals[i] || u[i].Count != wantCounts[i] {
+			t.Errorf("Dedup[%d] = %v x%d, want %d x%d",
+				i, u[i].Sig, u[i].Count, wantVals[i], wantCounts[i])
+		}
+	}
+	if !IsSorted(sigs) {
+		t.Error("input not sorted in place")
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	if got := Dedup(nil); got != nil {
+		t.Errorf("Dedup(nil) = %v, want nil", got)
+	}
+}
+
+func TestSetMatchesDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sigs []Signature
+	set := NewSet()
+	for i := 0; i < 500; i++ {
+		s := New([]uint64{uint64(rng.Intn(20)), uint64(rng.Intn(3))})
+		sigs = append(sigs, s)
+		set.Add(s)
+	}
+	fromSet := set.Sorted()
+	fromSlice := Dedup(sigs)
+	if len(fromSet) != len(fromSlice) {
+		t.Fatalf("Set: %d unique, Dedup: %d", len(fromSet), len(fromSlice))
+	}
+	for i := range fromSet {
+		if !fromSet[i].Sig.Equal(fromSlice[i].Sig) || fromSet[i].Count != fromSlice[i].Count {
+			t.Errorf("mismatch at %d: set %v x%d, slice %v x%d", i,
+				fromSet[i].Sig, fromSet[i].Count, fromSlice[i].Sig, fromSlice[i].Count)
+		}
+	}
+	if set.Total() != 500 {
+		t.Errorf("Total = %d, want 500", set.Total())
+	}
+}
+
+func TestSetAddReportsNew(t *testing.T) {
+	set := NewSet()
+	s := New([]uint64{42})
+	if !set.Add(s) {
+		t.Error("first Add reported duplicate")
+	}
+	if set.Add(s) {
+		t.Error("second Add reported new")
+	}
+	if set.Len() != 1 {
+		t.Errorf("Len = %d, want 1", set.Len())
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := New([]uint64{0x2, 0x84}).String(); got != "0x2:0x84" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Signature{}).String(); got != "0x0" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	w := []uint64{1, 2}
+	s := New(w)
+	w[0] = 99
+	if s.Word(0) != 1 {
+		t.Error("New aliased caller slice")
+	}
+	got := s.Words()
+	got[1] = 77
+	if s.Word(1) != 2 {
+		t.Error("Words aliased internal slice")
+	}
+}
+
+// Property: Compare is a total order consistent with big-endian byte
+// comparison of the encodings (equal lengths).
+func TestCompareMatchesByteOrder(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint64) bool {
+		a := New([]uint64{a1, a2})
+		b := New([]uint64{b1, b2})
+		byteCmp := 0
+		ab, bb := a.Bytes(), b.Bytes()
+		for i := range ab {
+			if ab[i] != bb[i] {
+				if ab[i] < bb[i] {
+					byteCmp = -1
+				} else {
+					byteCmp = 1
+				}
+				break
+			}
+		}
+		return a.Compare(b) == byteCmp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZero(t *testing.T) {
+	z := Zero(3)
+	if z.Len() != 3 {
+		t.Fatalf("Len = %d", z.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if z.Word(i) != 0 {
+			t.Errorf("word %d = %d", i, z.Word(i))
+		}
+	}
+}

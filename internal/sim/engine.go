@@ -1,0 +1,583 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mtracecheck/internal/eventq"
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/prog"
+)
+
+// ErrDeadlock reports that the platform stopped making progress with
+// operations still outstanding — the manifestation of the paper's bug 3
+// (all affected runs "crash" the simulation).
+var ErrDeadlock = errors.New("sim: protocol deadlock: no progress with operations outstanding")
+
+// ErrLivelock reports that an iteration exceeded its event budget.
+var ErrLivelock = errors.New("sim: iteration exceeded event budget")
+
+// Execution is the observable result of one test iteration.
+type Execution struct {
+	// LoadValues maps every load operation ID to the value it returned.
+	LoadValues map[int]uint32
+	// WS lists, per shared word, the store operation IDs in global
+	// write-serialization (coherence) order.
+	WS map[int][]int
+	// Forwarded marks loads satisfied by store-to-load forwarding from the
+	// thread's own store buffer (reads that preceded global visibility).
+	Forwarded map[int]bool
+	// Cycles is the iteration's duration in simulated cycles.
+	Cycles eventq.Time
+	// Squashes counts load-queue squash/replay events.
+	Squashes int
+	// MemStats snapshots the memory system counters for the iteration.
+	MemStats mem.Stats
+	// Timeline holds per-operation timing when the Runner's Trace flag is
+	// set: perform (global visibility / value bind) and commit times plus
+	// per-op squash counts, in op-ID order.
+	Timeline []OpEvent
+}
+
+// OpEvent is one operation's timing within an iteration (Runner.Trace).
+type OpEvent struct {
+	OpID      int
+	Performed eventq.Time
+	Committed eventq.Time
+	Squashes  int
+	Forwarded bool
+	Value     uint32
+}
+
+// opRec tracks one operation's dynamic state within an iteration.
+type opRec struct {
+	op        prog.Op
+	issued    bool
+	inFlight  bool
+	performed bool // loads: value bound; stores: drained (globally visible)
+	committed bool
+	buffered  bool // stores: resident in the store buffer
+	forwarded bool
+	value     uint32
+	epoch     int // bumped on squash; stale completions are dropped
+
+	performedAt eventq.Time
+	committedAt eventq.Time
+	squashes    int
+}
+
+// static per-op precomputed indices (shared across iterations).
+type opStatic struct {
+	prefixFences      int // fences before this op in its thread
+	prefixStores      int // stores before this op in its thread
+	prefixSameWordSt  int // same-word stores before this op
+	prefixSameWordLd  int // same-word loads before this op
+	lastSameWordStore int // thread-local index of latest earlier same-word store; -1
+	storeIndex        int // index among the thread's stores (stores only)
+}
+
+type thread struct {
+	slot    int
+	core    int
+	ops     []opRec
+	static  []opStatic
+	next    int // issue pointer
+	commit  int // commit pointer
+	low     int // oldest op not yet both committed and performed
+	sbUsed  int
+	running bool
+	started bool
+
+	committedFences   int
+	drainedStores     int
+	drainedByWord     map[int]int // same-word drained-store count
+	performedLdByWord map[int]int
+}
+
+// Runner executes a program repeatedly on a platform, one fresh iteration at
+// a time (the paper applies a hard reset before each test run, §5).
+type Runner struct {
+	plat   Platform
+	prog   *prog.Program
+	master *rand.Rand
+	static [][]opStatic
+
+	// MaxEvents bounds one iteration's event count (0 = default).
+	MaxEvents int
+	// Trace records per-operation timing into Execution.Timeline.
+	Trace bool
+}
+
+// NewRunner validates the platform/program pair and prepares static
+// analysis shared by all iterations.
+func NewRunner(plat Platform, p *prog.Program, seed int64) (*Runner, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !plat.OS.Enabled && p.NumThreads() > plat.Cores {
+		return nil, fmt.Errorf("sim: %d threads exceed %d cores without OS scheduling",
+			p.NumThreads(), plat.Cores)
+	}
+	r := &Runner{plat: plat, prog: p, master: rand.New(rand.NewSource(seed))}
+	r.static = make([][]opStatic, p.NumThreads())
+	for ti, th := range p.Threads {
+		st := make([]opStatic, len(th.Ops))
+		fences, stores := 0, 0
+		sameWordSt := map[int]int{}
+		sameWordLd := map[int]int{}
+		lastStore := map[int]int{}
+		for i, op := range th.Ops {
+			s := opStatic{
+				prefixFences:      fences,
+				prefixStores:      stores,
+				lastSameWordStore: -1,
+			}
+			if op.IsMemory() {
+				s.prefixSameWordSt = sameWordSt[op.Word]
+				s.prefixSameWordLd = sameWordLd[op.Word]
+				if idx, ok := lastStore[op.Word]; ok {
+					s.lastSameWordStore = idx
+				}
+			}
+			switch op.Kind {
+			case prog.Fence:
+				fences++
+			case prog.Store:
+				s.storeIndex = stores
+				stores++
+				sameWordSt[op.Word]++
+				lastStore[op.Word] = i
+			case prog.Load:
+				sameWordLd[op.Word]++
+			}
+			st[i] = s
+		}
+		r.static[ti] = st
+	}
+	return r, nil
+}
+
+// engine is the per-iteration dynamic state.
+type engine struct {
+	r       *Runner
+	q       *eventq.Queue
+	ms      *mem.System
+	rng     *rand.Rand
+	threads []*thread
+	exec    *Execution
+
+	squashActive bool // ld→ld ordered: LQ squash machinery engaged
+	doneFlag     bool
+	rotateIdx    int // OS: next thread slot to schedule
+}
+
+// Run executes one iteration from a cold, zeroed platform state.
+func (r *Runner) Run() (*Execution, error) {
+	seed := r.master.Int63()
+	rng := rand.New(rand.NewSource(seed))
+	q := eventq.New()
+	memCfg := r.plat.Mem
+	memCfg.Cores = r.plat.Cores
+	ms, err := mem.NewSystem(q, memCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		r: r, q: q, ms: ms, rng: rng,
+		exec: &Execution{
+			LoadValues: make(map[int]uint32),
+			WS:         make(map[int][]int),
+			Forwarded:  make(map[int]bool),
+		},
+		squashActive: r.plat.Model.Ordered(prog.Load, prog.Load),
+	}
+	for ti, th := range r.prog.Threads {
+		t := &thread{
+			slot:              ti,
+			core:              r.plat.coreOf(ti),
+			static:            r.static[ti],
+			running:           true,
+			drainedByWord:     make(map[int]int),
+			performedLdByWord: make(map[int]int),
+		}
+		t.ops = make([]opRec, len(th.Ops))
+		for i, op := range th.Ops {
+			t.ops[i] = opRec{op: op}
+		}
+		e.threads = append(e.threads, t)
+	}
+	ms.SetInvalHook(e.onInvalidate)
+	if r.plat.OS.Enabled {
+		e.initOS()
+	}
+	// Threads leave the iteration's release barrier with random skew.
+	for _, t := range e.threads {
+		t := t
+		t.started = false
+		delay := eventq.Time(0)
+		if m := r.plat.StartJitterMax; m > 0 {
+			delay = eventq.Time(rng.Intn(m + 1))
+		}
+		q.After(delay, func() {
+			t.started = true
+			e.pump()
+		})
+	}
+	e.pump()
+
+	maxEvents := r.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 200_000 + 20_000*r.prog.NumOps()
+	}
+	n := q.RunUntil(e.done, maxEvents)
+	if !e.done() {
+		if n >= maxEvents {
+			return nil, ErrLivelock
+		}
+		return nil, ErrDeadlock
+	}
+	e.exec.Cycles = q.Now()
+	e.exec.MemStats = ms.Stats()
+	if r.Trace {
+		for _, t := range e.threads {
+			for i := range t.ops {
+				o := &t.ops[i]
+				e.exec.Timeline = append(e.exec.Timeline, OpEvent{
+					OpID:      o.op.ID,
+					Performed: o.performedAt,
+					Committed: o.committedAt,
+					Squashes:  o.squashes,
+					Forwarded: o.forwarded,
+					Value:     o.value,
+				})
+			}
+		}
+	}
+	return e.exec, nil
+}
+
+// RunMany executes n iterations, returning their executions. A deadlock or
+// livelock aborts the batch with the error (the "simulation crash" of the
+// paper's bug 3).
+func (r *Runner) RunMany(n int) ([]*Execution, error) {
+	out := make([]*Execution, 0, n)
+	for i := 0; i < n; i++ {
+		ex, err := r.Run()
+		if err != nil {
+			return out, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+func (e *engine) done() bool {
+	if e.doneFlag {
+		return true
+	}
+	for _, t := range e.threads {
+		if t.commit < len(t.ops) || t.sbUsed > 0 {
+			return false
+		}
+		for i := range t.ops {
+			if !t.ops[i].performed && t.ops[i].op.IsMemory() {
+				return false
+			}
+		}
+	}
+	e.doneFlag = true
+	return true
+}
+
+// addrOf returns the byte address of an op's shared word.
+func (e *engine) addrOf(op prog.Op) uint64 { return e.r.prog.Layout.AddrOf(op.Word) }
+
+func (e *engine) coreDelay(core int) eventq.Time {
+	if len(e.r.plat.CoreDelay) == 0 {
+		return 0
+	}
+	return e.r.plat.CoreDelay[core]
+}
+
+// pump advances every runnable thread: commits in order, issues into the
+// window, starts eligible load performs and store drains.
+func (e *engine) pump() {
+	model := e.r.plat.Model
+	for _, t := range e.threads {
+		if !t.running || !t.started {
+			continue
+		}
+		// Alternate issuing and committing to a fixpoint: issuing a store
+		// lets the commit sweep buffer it, which can unblock further
+		// issues within the window.
+		for {
+			before := t.next + t.commit
+			for t.next < len(t.ops) && t.next-t.commit < e.r.plat.Window {
+				t.ops[t.next].issued = true
+				t.next++
+			}
+			e.commitSweep(t)
+			if t.next+t.commit == before {
+				break
+			}
+		}
+		// Start eligible operations. The scan begins at the oldest op that
+		// is not fully retired: committed stores may still be draining from
+		// the store buffer, and committed is not performed for them.
+		for t.low < t.next && t.ops[t.low].committed && t.ops[t.low].performed {
+			t.low++
+		}
+		for i := t.low; i < t.next; i++ {
+			o := &t.ops[i]
+			if !o.issued || o.inFlight || o.performed {
+				continue
+			}
+			switch o.op.Kind {
+			case prog.Load:
+				e.tryLoad(t, i, model)
+			case prog.Store:
+				if o.buffered {
+					e.tryDrain(t, i, model)
+				}
+			}
+		}
+	}
+}
+
+// commitSweep retires operations in program order.
+func (e *engine) commitSweep(t *thread) {
+	for t.commit < len(t.ops) {
+		o := &t.ops[t.commit]
+		if !o.issued {
+			return
+		}
+		switch o.op.Kind {
+		case prog.Load:
+			if !o.performed {
+				return
+			}
+		case prog.Store:
+			if !o.buffered {
+				if t.sbUsed >= e.r.plat.SBDepth {
+					return // store buffer full
+				}
+				o.buffered = true
+				t.sbUsed++
+			}
+		case prog.Fence:
+			// A fence retires only when every earlier store has drained
+			// (earlier loads have performed by commit-order construction).
+			if t.drainedStores < t.static[t.commit].prefixStores {
+				return
+			}
+			t.committedFences++
+			o.performed = true
+		}
+		o.committed = true
+		o.committedAt = e.q.Now()
+		t.commit++
+	}
+}
+
+// tryLoad starts a load perform if its ordering constraints allow.
+func (e *engine) tryLoad(t *thread, i int, model mcm.Model) {
+	o := &t.ops[i]
+	st := t.static[i]
+
+	// Earlier fences must have retired.
+	if t.committedFences < st.prefixFences {
+		return
+	}
+	// Under SC (st→ld preserved) all earlier stores must be globally
+	// visible before the load reads.
+	if model.Ordered(prog.Store, prog.Load) && t.drainedStores < st.prefixStores {
+		return
+	}
+	// Without squash machinery (RMO), same-word loads perform in order to
+	// preserve coherence.
+	if !e.squashActive && t.performedLdByWord[o.op.Word] < st.prefixSameWordLd {
+		return
+	}
+	// Same-word stores: every earlier one must at least be buffered; the
+	// youngest decides between forwarding and a memory read.
+	if st.lastSameWordStore >= 0 {
+		last := &t.ops[st.lastSameWordStore]
+		if !last.buffered {
+			return
+		}
+		if !last.performed {
+			// Youngest same-word store still in the store buffer.
+			if !e.r.plat.Atomicity.AllowsForwarding() {
+				return // single-copy: wait for the drain
+			}
+			o.inFlight = true
+			epoch := o.epoch
+			val := last.op.Value
+			delay := 1 + e.coreDelay(t.core)
+			e.q.After(delay, func() {
+				e.finishLoad(t, i, epoch, val, true)
+			})
+			return
+		}
+		if t.drainedByWord[o.op.Word] < st.prefixSameWordSt {
+			// An older same-word store is still undrained; reading memory
+			// now could return a value older than program order allows.
+			return
+		}
+	}
+	// Perform against the coherent memory system.
+	o.inFlight = true
+	epoch := o.epoch
+	addr := e.addrOf(o.op)
+	delay := e.coreDelay(t.core)
+	if m := e.r.plat.IssueJitterMax; m > 0 {
+		delay += eventq.Time(e.rng.Intn(m + 1))
+	}
+	if p := e.r.plat.LateLoadProb; p > 0 && e.rng.Float64() < p {
+		delay += eventq.Time(e.rng.Intn(e.r.plat.LateLoadMax + 1))
+	}
+	e.q.After(delay, func() {
+		e.ms.Read(t.core, addr, func(v uint32) {
+			e.finishLoad(t, i, epoch, v, false)
+		})
+	})
+}
+
+// finishLoad binds a load's value unless the load was squashed while the
+// access was in flight.
+func (e *engine) finishLoad(t *thread, i, epoch int, v uint32, forwarded bool) {
+	o := &t.ops[i]
+	if o.epoch != epoch {
+		return // squashed mid-flight; the replay owns the op now
+	}
+	o.inFlight = false
+	o.performed = true
+	o.performedAt = e.q.Now()
+	o.value = v
+	o.forwarded = forwarded
+	e.exec.LoadValues[o.op.ID] = v
+	if forwarded {
+		e.exec.Forwarded[o.op.ID] = true
+	} else {
+		delete(e.exec.Forwarded, o.op.ID)
+	}
+	if !e.squashActive {
+		t.performedLdByWord[o.op.Word]++
+	}
+	e.pump()
+}
+
+// tryDrain starts a store-buffer drain if the model's store order allows.
+func (e *engine) tryDrain(t *thread, i int, model mcm.Model) {
+	o := &t.ops[i]
+	st := t.static[i]
+	if model.Ordered(prog.Store, prog.Store) {
+		// FIFO store buffer.
+		if t.drainedStores < st.storeIndex {
+			return
+		}
+	} else if t.drainedByWord[o.op.Word] < st.prefixSameWordSt {
+		// Per-word FIFO always holds (coherence).
+		return
+	}
+	o.inFlight = true
+	addr := e.addrOf(o.op)
+	delay := e.coreDelay(t.core)
+	if m := e.r.plat.DrainDelayMax; m > 0 {
+		delay += eventq.Time(e.rng.Intn(m + 1))
+	}
+	word, val, id := o.op.Word, o.op.Value, o.op.ID
+	e.q.After(delay, func() {
+		e.ms.Write(t.core, addr, val, func() {
+			o.inFlight = false
+			o.performed = true
+			o.performedAt = e.q.Now()
+			t.sbUsed--
+			t.drainedStores++
+			t.drainedByWord[word]++
+			e.exec.WS[word] = append(e.exec.WS[word], id)
+			e.pump()
+		})
+	})
+}
+
+// onInvalidate is the load-queue squash hook: performed-but-uncommitted
+// loads whose line was invalidated replay, preserving the architectural
+// ld→ld order — unless bug 2 skips the squash.
+func (e *engine) onInvalidate(core int, lineBase uint64) {
+	if !e.squashActive {
+		return
+	}
+	if e.r.plat.Bugs.LQSquashSkip {
+		return // bug 2: the LSQ ignores the invalidation
+	}
+	layout := e.r.prog.Layout
+	line := lineBase / uint64(layout.LineSize)
+	squashed := false
+	for _, t := range e.threads {
+		if t.core != core {
+			continue
+		}
+		// A performed load only becomes stale in the ld→ld-appearance sense
+		// when some older load has not yet performed: loads that performed
+		// in program order already present a legal execution. Find the
+		// oldest unperformed load; only younger performed loads on the
+		// invalidated line need squashing.
+		oldest := -1
+		for i := t.commit; i < t.next; i++ {
+			o := &t.ops[i]
+			if o.op.Kind == prog.Load && !o.performed {
+				oldest = i
+				break
+			}
+		}
+		if oldest < 0 {
+			continue
+		}
+		for i := oldest + 1; i < t.next; i++ {
+			o := &t.ops[i]
+			if o.op.Kind != prog.Load || !o.performed || o.committed {
+				continue
+			}
+			if layout.LineOfWord(o.op.Word) != line {
+				continue
+			}
+			o.performed = false
+			o.forwarded = false
+			o.epoch++
+			o.squashes++
+			e.exec.Squashes++
+			squashed = true
+		}
+	}
+	if squashed {
+		e.pump()
+	}
+}
+
+// FormatTimeline renders an execution's timeline as tab-separated text:
+// one line per operation with its mnemonic, perform/commit cycles, value,
+// and squash count. Requires the Runner's Trace flag.
+func FormatTimeline(w io.Writer, p *prog.Program, ex *Execution) error {
+	if len(ex.Timeline) == 0 {
+		return fmt.Errorf("sim: execution has no timeline (set Runner.Trace)")
+	}
+	if _, err := fmt.Fprintln(w, "op\tthread\tkind\tperformed\tcommitted\tvalue\tsquashes\tforwarded"); err != nil {
+		return err
+	}
+	for _, ev := range ex.Timeline {
+		op := p.OpByID(ev.OpID)
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%v\n",
+			ev.OpID, op.Thread, op, ev.Performed, ev.Committed, ev.Value,
+			ev.Squashes, ev.Forwarded); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,579 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mtracecheck/internal/eventq"
+
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/testgen"
+)
+
+// platFor returns a platform with the given model, based on x86 timing.
+func platFor(model mcm.Model, cores int) Platform {
+	p := PlatformX86()
+	p.Model = model
+	p.Cores = cores
+	p.AllocOrder = nil
+	p.Mem = mem.DefaultConfig(cores)
+	return p
+}
+
+func mustRun(t *testing.T, plat Platform, p *prog.Program, seed int64, iters int) []*Execution {
+	t.Helper()
+	r, err := NewRunner(plat, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs, err := r.RunMany(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exs
+}
+
+// checkExecutionSanity verifies universal invariants of one execution:
+// every load has a value from its candidate set, and WS covers every store
+// exactly once per word in a per-thread-order-respecting sequence.
+func checkExecutionSanity(t *testing.T, p *prog.Program, ex *Execution) {
+	t.Helper()
+	for _, op := range p.Ops() {
+		switch op.Kind {
+		case prog.Load:
+			v, ok := ex.LoadValues[op.ID]
+			if !ok {
+				t.Fatalf("load %d has no value", op.ID)
+			}
+			if v == prog.InitialValue {
+				continue
+			}
+			src, ok := p.StoreByValue(v)
+			if !ok {
+				t.Fatalf("load %d read %d, which no store wrote", op.ID, v)
+			}
+			if src.Word != op.Word {
+				t.Fatalf("load %d (word %d) read store %d of word %d",
+					op.ID, op.Word, src.ID, src.Word)
+			}
+		case prog.Store:
+			found := 0
+			for _, id := range ex.WS[op.Word] {
+				if id == op.ID {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Fatalf("store %d appears %d times in WS[%d]", op.ID, found, op.Word)
+			}
+		}
+	}
+	// Same-thread same-word stores must respect program order in WS.
+	for word, ids := range ex.WS {
+		lastIdx := map[int]int{} // thread -> last op index seen
+		for _, id := range ids {
+			op := p.OpByID(id)
+			if op.Word != word {
+				t.Fatalf("WS[%d] contains store %d of word %d", word, id, op.Word)
+			}
+			if prev, ok := lastIdx[op.Thread]; ok && prev > op.Index {
+				t.Fatalf("WS[%d] reorders same-thread stores", word)
+			}
+			lastIdx[op.Thread] = op.Index
+		}
+	}
+}
+
+func TestSingleThreadSequentialSemantics(t *testing.T) {
+	// One thread: every load reads the latest preceding same-word store.
+	p := prog.NewBuilder("seq", 2, prog.DefaultLayout()).
+		Thread().Store(0).Load(0).Store(1).Store(0).Load(0).Load(1).
+		MustBuild()
+	for _, model := range mcm.Models {
+		exs := mustRun(t, platFor(model, 1), p, 42, 10)
+		for _, ex := range exs {
+			checkExecutionSanity(t, p, ex)
+			ops := p.Threads[0].Ops
+			if got := ex.LoadValues[ops[1].ID]; got != ops[0].Value {
+				t.Errorf("%v: load after store read %d, want %d", model, got, ops[0].Value)
+			}
+			if got := ex.LoadValues[ops[4].ID]; got != ops[3].Value {
+				t.Errorf("%v: second load read %d, want %d", model, got, ops[3].Value)
+			}
+			if got := ex.LoadValues[ops[5].ID]; got != ops[2].Value {
+				t.Errorf("%v: word-1 load read %d, want %d", model, got, ops[2].Value)
+			}
+		}
+	}
+}
+
+// TestLitmusForbiddenNeverAppear runs every litmus test under every model on
+// a bug-free platform and checks that forbidden outcomes never occur.
+func TestLitmusForbiddenNeverAppear(t *testing.T) {
+	for _, l := range testgen.LitmusTests() {
+		for _, model := range mcm.Models {
+			if !l.ForbiddenUnder(model) {
+				continue
+			}
+			plat := platFor(model, max(l.Prog.NumThreads(), 2))
+			exs := mustRun(t, plat, l.Prog, 7, 300)
+			for i, ex := range exs {
+				checkExecutionSanity(t, l.Prog, ex)
+				if l.Interesting.Matches(ex.LoadValues) {
+					t.Errorf("%s: forbidden outcome under %v at iteration %d (values %v)",
+						l.Name, model, i, ex.LoadValues)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestLitmusAllowedObservable checks the engine actually produces the
+// classic relaxed outcomes the hardware mechanisms enable: SB under TSO
+// (store buffering) and MP under PSO/RMO (out-of-order drains).
+func TestLitmusAllowedObservable(t *testing.T) {
+	cases := []struct {
+		litmus string
+		model  mcm.Model
+	}{
+		{"SB", mcm.TSO},
+		{"SB", mcm.RMO},
+		{"MP", mcm.PSO},
+		{"MP", mcm.RMO},
+	}
+	for _, c := range cases {
+		l, err := testgen.LitmusByName(c.litmus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat := platFor(c.model, 2)
+		exs := mustRun(t, plat, l.Prog, 11, 400)
+		seen := false
+		for _, ex := range exs {
+			if l.Interesting.Matches(ex.LoadValues) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			t.Errorf("%s under %v: allowed outcome never observed in %d iterations",
+				c.litmus, c.model, len(exs))
+		}
+	}
+}
+
+func TestForwardingObserved(t *testing.T) {
+	// st x; ld x under TSO: the load should (at least sometimes) forward
+	// from the store buffer and always read the own store's value.
+	p := prog.NewBuilder("fwd", 1, prog.DefaultLayout()).
+		Thread().Store(0).Load(0).
+		MustBuild()
+	exs := mustRun(t, platFor(mcm.TSO, 1), p, 3, 50)
+	ld := p.Threads[0].Ops[1]
+	st := p.Threads[0].Ops[0]
+	forwarded := 0
+	for _, ex := range exs {
+		if ex.LoadValues[ld.ID] != st.Value {
+			t.Fatalf("load read %d, want own store %d", ex.LoadValues[ld.ID], st.Value)
+		}
+		if ex.Forwarded[ld.ID] {
+			forwarded++
+		}
+	}
+	if forwarded == 0 {
+		t.Error("store-to-load forwarding never observed")
+	}
+}
+
+func TestSingleCopyAtomicityDisablesForwarding(t *testing.T) {
+	p := prog.NewBuilder("fwd", 1, prog.DefaultLayout()).
+		Thread().Store(0).Load(0).
+		MustBuild()
+	plat := platFor(mcm.TSO, 1)
+	plat.Atomicity = mcm.SingleCopy
+	exs := mustRun(t, plat, p, 3, 30)
+	for _, ex := range exs {
+		if len(ex.Forwarded) != 0 {
+			t.Fatal("forwarding observed under single-copy atomicity")
+		}
+	}
+}
+
+func TestRandomProgramsSanityAllModels(t *testing.T) {
+	cfg := testgen.Config{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5}
+	p := testgen.MustGenerate(cfg)
+	for _, model := range mcm.Models {
+		exs := mustRun(t, platFor(model, 4), p, 13, 30)
+		for _, ex := range exs {
+			checkExecutionSanity(t, p, ex)
+		}
+	}
+}
+
+func TestFencedProgramsComplete(t *testing.T) {
+	cfg := testgen.Config{Threads: 3, OpsPerThread: 30, Words: 4, FenceProb: 0.2, Seed: 9}
+	p := testgen.MustGenerate(cfg)
+	for _, model := range mcm.Models {
+		exs := mustRun(t, platFor(model, 3), p, 17, 10)
+		for _, ex := range exs {
+			checkExecutionSanity(t, p, ex)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testgen.Config{Threads: 2, OpsPerThread: 30, Words: 4, Seed: 21}
+	p := testgen.MustGenerate(cfg)
+	render := func() string {
+		exs := mustRun(t, platFor(mcm.TSO, 2), p, 99, 5)
+		s := ""
+		for _, ex := range exs {
+			s += fmt.Sprint(ex.LoadValues) + "|"
+		}
+		return s
+	}
+	if render() != render() {
+		t.Error("same seed produced different executions")
+	}
+}
+
+func TestThreadsExceedCoresRequiresOS(t *testing.T) {
+	cfg := testgen.Config{Threads: 7, OpsPerThread: 10, Words: 4, Seed: 1}
+	p := testgen.MustGenerate(cfg)
+	plat := platFor(mcm.TSO, 4)
+	if _, err := NewRunner(plat, p, 1); err == nil {
+		t.Error("7 threads on 4 cores accepted without OS scheduling")
+	}
+	plat.OS = OSConfig{Enabled: true, Quantum: 300, QuantumJitter: 50, Migrate: true}
+	exs := mustRun(t, plat, p, 1, 5)
+	for _, ex := range exs {
+		checkExecutionSanity(t, p, ex)
+	}
+}
+
+func TestOSModeForbiddenStillForbidden(t *testing.T) {
+	// OS preemption must not break the MCM: forbidden outcomes stay
+	// forbidden (paper runs the same tests under Linux).
+	l, err := testgen.LitmusByName("MP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platFor(mcm.TSO, 2)
+	plat.OS = OSConfig{Enabled: true, Quantum: 150, QuantumJitter: 80, Migrate: true}
+	exs := mustRun(t, plat, l.Prog, 23, 300)
+	for _, ex := range exs {
+		checkExecutionSanity(t, l.Prog, ex)
+		if l.Interesting.Matches(ex.LoadValues) {
+			t.Fatal("MP outcome observed under TSO with OS scheduling")
+		}
+	}
+}
+
+// corrViolation reports whether an execution contains a same-word ld→ld
+// coherence violation: a younger load reading a WS-older value than an
+// older same-thread load.
+func corrViolation(p *prog.Program, ex *Execution) bool {
+	pos := func(word int, v uint32) int {
+		if v == prog.InitialValue {
+			return -1
+		}
+		st, ok := p.StoreByValue(v)
+		if !ok {
+			return -2
+		}
+		for i, id := range ex.WS[word] {
+			if id == st.ID {
+				return i
+			}
+		}
+		return -2
+	}
+	for _, th := range p.Threads {
+		lastPos := map[int]int{} // word -> ws position of last load's value
+		for _, op := range th.Ops {
+			if op.Kind != prog.Load {
+				continue
+			}
+			v := ex.LoadValues[op.ID]
+			pp := pos(op.Word, v)
+			if prev, ok := lastPos[op.Word]; ok && pp < prev {
+				return true
+			}
+			lastPos[op.Word] = pp
+		}
+	}
+	return false
+}
+
+// contentionProg builds a program with heavy same-word traffic to provoke
+// invalidation races.
+func contentionProg(threads, ops int) *prog.Program {
+	return testgen.MustGenerate(testgen.Config{
+		Threads: threads, OpsPerThread: ops, Words: 2, Seed: 77,
+	})
+}
+
+// corrHammer builds a writer/reader pair on one word: the reader's
+// speculative loads constantly race the writer's invalidations — the
+// densest trigger for the ld→ld squash machinery.
+func corrHammer() *prog.Program {
+	b := prog.NewBuilder("hammer", 1, prog.DefaultLayout())
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Store(0)
+	}
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Load(0)
+	}
+	return b.MustBuild()
+}
+
+func TestBug2ProducesCoherenceViolations(t *testing.T) {
+	p := corrHammer()
+	run := func(bug bool) int {
+		plat := platFor(mcm.TSO, 2)
+		plat.Bugs.LQSquashSkip = bug
+		violations := 0
+		exs := mustRun(t, plat, p, 31, 150)
+		for _, ex := range exs {
+			if corrViolation(p, ex) {
+				violations++
+			}
+		}
+		return violations
+	}
+	if v := run(false); v != 0 {
+		t.Fatalf("bug-free platform produced %d coherence violations", v)
+	}
+	if v := run(true); v == 0 {
+		t.Error("bug 2 produced no coherence violations in 150 iterations")
+	}
+}
+
+func TestBug1ProducesCoherenceViolations(t *testing.T) {
+	// The paper's bug-1 recipe (Table 3): x86-4-50-8 with 4 words per cache
+	// line, so upgrade (S→M) transients on a line race invalidations while
+	// speculative loads to the line's other words are outstanding.
+	p := testgen.MustGenerate(testgen.Config{
+		Threads: 4, OpsPerThread: 50, Words: 8, WordsPerLine: 4, Seed: 1,
+	})
+	run := func(bug bool) int {
+		plat := PlatformGem5(mem.Bugs{StaleSMInv: bug}, Bugs{})
+		r, err := NewRunner(plat, p, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		violations := 0
+		for i := 0; i < 200; i++ {
+			ex, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if corrViolation(p, ex) {
+				violations++
+			}
+		}
+		return violations
+	}
+	if v := run(false); v != 0 {
+		t.Fatalf("bug-free platform produced %d coherence violations", v)
+	}
+	if v := run(true); v == 0 {
+		t.Error("bug 1 produced no coherence violations in 200 iterations")
+	}
+}
+
+func TestBug3Crashes(t *testing.T) {
+	// Line-contended stores with a tiny cache: the writeback race deadlocks.
+	p := testgen.MustGenerate(testgen.Config{
+		Threads: 7, OpsPerThread: 60, Words: 64, LoadRatio: 0.3, Seed: 3,
+	})
+	plat := PlatformGem5(mem.Bugs{WBRaceDeadlock: true}, Bugs{})
+	r, err := NewRunner(plat, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	for i := 0; i < 60 && !crashed; i++ {
+		if _, err := r.Run(); err != nil {
+			if !errors.Is(err, ErrDeadlock) && !errors.Is(err, ErrLivelock) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Error("bug 3 never crashed in 60 iterations")
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	good := []Platform{PlatformX86(), PlatformARM(), PlatformGem5(mem.Bugs{}, Bugs{})}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := PlatformX86()
+	bad.AllocOrder = []int{0, 0, 1, 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate alloc order accepted")
+	}
+	bad = PlatformX86()
+	bad.RegWidthBits = 16
+	if err := bad.Validate(); err == nil {
+		t.Error("16-bit registers accepted")
+	}
+}
+
+func TestForISA(t *testing.T) {
+	arm, err := ForISA("ARM")
+	if err != nil || arm.Model != mcm.RMO {
+		t.Errorf("ForISA(ARM) = %v, %v", arm.Model, err)
+	}
+	x86, err := ForISA("x86")
+	if err != nil || x86.Model != mcm.TSO {
+		t.Errorf("ForISA(x86) = %v, %v", x86.Model, err)
+	}
+	if _, err := ForISA("mips"); err == nil {
+		t.Error("ForISA accepted mips")
+	}
+}
+
+func TestExecutionCyclesPositive(t *testing.T) {
+	p := contentionProg(2, 20)
+	exs := mustRun(t, platFor(mcm.TSO, 2), p, 1, 3)
+	for _, ex := range exs {
+		if ex.Cycles <= 0 {
+			t.Errorf("Cycles = %d", ex.Cycles)
+		}
+		if ex.MemStats.Stores == 0 {
+			t.Error("memory stats empty")
+		}
+	}
+}
+
+// TestTinyStoreBufferCompletes stresses the commit-stall path: with a
+// single-entry store buffer every store serializes against the previous
+// drain, and executions must still complete under every model.
+func TestTinyStoreBufferCompletes(t *testing.T) {
+	cfg := testgen.Config{Threads: 3, OpsPerThread: 30, Words: 4, Seed: 12}
+	p := testgen.MustGenerate(cfg)
+	for _, model := range mcm.Models {
+		plat := platFor(model, 3)
+		plat.SBDepth = 1
+		exs := mustRun(t, plat, p, 19, 10)
+		for _, ex := range exs {
+			checkExecutionSanity(t, p, ex)
+		}
+	}
+}
+
+// TestInOrderWindowCompletes: a single-slot issue window makes the core
+// fully in-order; everything must still complete and stay sane.
+func TestInOrderWindowCompletes(t *testing.T) {
+	cfg := testgen.Config{Threads: 2, OpsPerThread: 25, Words: 4, Seed: 13}
+	p := testgen.MustGenerate(cfg)
+	for _, model := range mcm.Models {
+		plat := platFor(model, 2)
+		plat.Window = 1
+		exs := mustRun(t, plat, p, 29, 10)
+		for _, ex := range exs {
+			checkExecutionSanity(t, p, ex)
+			if model == mcm.SC && ex.Squashes != 0 {
+				t.Errorf("SC in-order core squashed %d loads", ex.Squashes)
+			}
+		}
+	}
+}
+
+// TestForbiddenStaysForbiddenUnderStress: litmus forbidden outcomes must
+// not appear even with aggressive timing noise and tiny structures.
+func TestForbiddenStaysForbiddenUnderStress(t *testing.T) {
+	l, err := testgen.LitmusByName("CoRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range mcm.Models {
+		plat := platFor(model, 2)
+		plat.SBDepth = 1
+		plat.Window = 2
+		plat.LateLoadProb = 0.5
+		plat.LateLoadMax = 500
+		plat.Mem = mem.TinyCacheConfig(2)
+		exs := mustRun(t, plat, l.Prog, 37, 200)
+		for _, ex := range exs {
+			if l.Interesting.Matches(ex.LoadValues) {
+				t.Fatalf("%v: CoRR violation on a clean stressed platform", model)
+			}
+		}
+	}
+}
+
+func TestTraceTimeline(t *testing.T) {
+	p := contentionProg(2, 20)
+	r, err := NewRunner(platFor(mcm.TSO, 2), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Trace = true
+	ex, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Timeline) != p.NumOps() {
+		t.Fatalf("timeline has %d events, want %d", len(ex.Timeline), p.NumOps())
+	}
+	for i, ev := range ex.Timeline {
+		if ev.OpID != i {
+			t.Fatalf("timeline[%d].OpID = %d", i, ev.OpID)
+		}
+		op := p.OpByID(ev.OpID)
+		if op.IsMemory() && ev.Performed == 0 {
+			t.Errorf("op %d never performed", ev.OpID)
+		}
+		if ev.Committed == 0 {
+			t.Errorf("op %d never committed", ev.OpID)
+		}
+		if op.Kind == prog.Load {
+			if got := ex.LoadValues[ev.OpID]; got != ev.Value {
+				t.Errorf("op %d: timeline value %d, LoadValues %d", ev.OpID, ev.Value, got)
+			}
+		}
+	}
+	// Same-thread commits are monotone (in-order retirement).
+	last := map[int]eventq.Time{}
+	for _, ev := range ex.Timeline {
+		op := p.OpByID(ev.OpID)
+		if prev, ok := last[op.Thread]; ok && ev.Committed < prev {
+			t.Errorf("thread %d committed op %d before its predecessor", op.Thread, ev.OpID)
+		}
+		last[op.Thread] = ev.Committed
+	}
+	var sb strings.Builder
+	if err := FormatTimeline(&sb, p, ex); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "performed\tcommitted") {
+		t.Error("timeline header missing")
+	}
+
+	// Without Trace, no timeline (and FormatTimeline refuses).
+	r2, _ := NewRunner(platFor(mcm.TSO, 2), p, 1)
+	ex2, err := r2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex2.Timeline) != 0 {
+		t.Error("timeline recorded without Trace")
+	}
+	if err := FormatTimeline(&sb, p, ex2); err == nil {
+		t.Error("FormatTimeline accepted traceless execution")
+	}
+}

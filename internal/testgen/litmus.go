@@ -1,0 +1,278 @@
+package testgen
+
+import (
+	"fmt"
+
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/prog"
+)
+
+// Outcome describes a particular execution result as the values observed by
+// selected loads, keyed by load operation ID. A value of prog.InitialValue
+// means the load read the initial memory contents.
+type Outcome map[int]uint32
+
+// Matches reports whether the observed load values (load ID → value, covering
+// at least the outcome's loads) satisfy the outcome.
+func (o Outcome) Matches(observed map[int]uint32) bool {
+	for id, want := range o {
+		got, ok := observed[id]
+		if !ok || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Litmus is a directed test: a small program, an outcome of interest, and
+// the set of models under which that outcome is forbidden. Outcomes assume
+// multi-copy store atomicity (mcm.MultiCopy), matching the paper's
+// evaluation platforms.
+type Litmus struct {
+	Name        string
+	Description string
+	Prog        *prog.Program
+	Interesting Outcome
+	Forbidden   []mcm.Model
+}
+
+// ForbiddenUnder reports whether the interesting outcome violates model m.
+func (l Litmus) ForbiddenUnder(m mcm.Model) bool {
+	for _, f := range l.Forbidden {
+		if f == m {
+			return true
+		}
+	}
+	return false
+}
+
+// op returns the ID of the operation at (thread, index); storeVal returns
+// the value written by the store at (thread, index).
+func opID(p *prog.Program, thread, index int) int { return p.Threads[thread].Ops[index].ID }
+
+func storeVal(p *prog.Program, thread, index int) uint32 {
+	op := p.Threads[thread].Ops[index]
+	if op.Kind != prog.Store {
+		panic(fmt.Sprintf("testgen: op %d/%d is %v, not a store", thread, index, op.Kind))
+	}
+	return op.Value
+}
+
+// LitmusTests returns the directed litmus library. Shared words: the tests
+// use at most four words (x=0, y=1, ...), each on its own cache line.
+func LitmusTests() []Litmus {
+	const x, y = 0, 1
+	layout := prog.DefaultLayout()
+	var tests []Litmus
+
+	// SB — store buffering (Dekker). Both loads reading the initial value
+	// requires st→ld reordering: forbidden only under SC.
+	{
+		p := prog.NewBuilder("SB", 2, layout).
+			Thread().Store(x).Load(y).
+			Thread().Store(y).Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "SB",
+			Description: "store buffering: r0=r1=0 needs st->ld reordering",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 0, 1): prog.InitialValue,
+				opID(p, 1, 1): prog.InitialValue,
+			},
+			Forbidden: []mcm.Model{mcm.SC},
+		})
+	}
+
+	// SB+F — store buffering with fences: forbidden under every model.
+	{
+		p := prog.NewBuilder("SB+F", 2, layout).
+			Thread().Store(x).Fence().Load(y).
+			Thread().Store(y).Fence().Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "SB+F",
+			Description: "store buffering with full fences: r0=r1=0 always forbidden",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 0, 2): prog.InitialValue,
+				opID(p, 1, 2): prog.InitialValue,
+			},
+			Forbidden: mcm.Models,
+		})
+	}
+
+	// MP — message passing. Seeing the flag but stale data requires st→st
+	// (writer) or ld→ld (reader) reordering: forbidden under SC and TSO.
+	{
+		p := prog.NewBuilder("MP", 2, layout).
+			Thread().Store(x).Store(y). // x=data, y=flag
+			Thread().Load(y).Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "MP",
+			Description: "message passing: flag set but data stale",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 1, 0): storeVal(p, 0, 1), // read flag
+				opID(p, 1, 1): prog.InitialValue, // stale data
+			},
+			Forbidden: []mcm.Model{mcm.SC, mcm.TSO},
+		})
+	}
+
+	// MP+F — message passing with fences: forbidden everywhere.
+	{
+		p := prog.NewBuilder("MP+F", 2, layout).
+			Thread().Store(x).Fence().Store(y).
+			Thread().Load(y).Fence().Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "MP+F",
+			Description: "message passing with full fences: always forbidden",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 1, 0): storeVal(p, 0, 2),
+				opID(p, 1, 2): prog.InitialValue,
+			},
+			Forbidden: mcm.Models,
+		})
+	}
+
+	// LB — load buffering. Both loads seeing the other thread's store
+	// requires ld→st reordering: forbidden under SC, TSO, PSO.
+	{
+		p := prog.NewBuilder("LB", 2, layout).
+			Thread().Load(x).Store(y).
+			Thread().Load(y).Store(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "LB",
+			Description: "load buffering: both loads see the other store",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 0, 0): storeVal(p, 1, 1),
+				opID(p, 1, 0): storeVal(p, 0, 1),
+			},
+			Forbidden: []mcm.Model{mcm.SC, mcm.TSO, mcm.PSO},
+		})
+	}
+
+	// CoRR — coherence read-read: a later same-address load must not read an
+	// older value than an earlier one. Forbidden under every model; this is
+	// exactly the ld→ld-violation manifestation of the paper's bugs 1 and 2.
+	{
+		p := prog.NewBuilder("CoRR", 1, layout).
+			Thread().Store(x).
+			Thread().Load(x).Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "CoRR",
+			Description: "coherence read-read: new value then old value",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 1, 0): storeVal(p, 0, 0),
+				opID(p, 1, 1): prog.InitialValue,
+			},
+			Forbidden: mcm.Models,
+		})
+	}
+
+	// LB+F — load buffering with fences: forbidden under every model.
+	{
+		p := prog.NewBuilder("LB+F", 2, layout).
+			Thread().Load(x).Fence().Store(y).
+			Thread().Load(y).Fence().Store(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "LB+F",
+			Description: "load buffering with full fences: always forbidden",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 0, 0): storeVal(p, 1, 2),
+				opID(p, 1, 0): storeVal(p, 0, 2),
+			},
+			Forbidden: mcm.Models,
+		})
+	}
+
+	// WRC — write-to-read causality: forbidden under SC/TSO/PSO with
+	// multi-copy atomic stores.
+	{
+		p := prog.NewBuilder("WRC", 2, layout).
+			Thread().Store(x).
+			Thread().Load(x).Store(y).
+			Thread().Load(y).Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "WRC",
+			Description: "write-to-read causality chain broken",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 1, 0): storeVal(p, 0, 0),
+				opID(p, 2, 0): storeVal(p, 1, 1),
+				opID(p, 2, 1): prog.InitialValue,
+			},
+			Forbidden: []mcm.Model{mcm.SC, mcm.TSO, mcm.PSO},
+		})
+	}
+
+	// IRIW — independent reads of independent writes: the two readers
+	// disagree on the store order. With multi-copy atomic stores this needs
+	// ld→ld reordering: forbidden under SC/TSO/PSO.
+	{
+		p := prog.NewBuilder("IRIW", 2, layout).
+			Thread().Store(x).
+			Thread().Store(y).
+			Thread().Load(x).Load(y).
+			Thread().Load(y).Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "IRIW",
+			Description: "independent readers disagree on write order",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 2, 0): storeVal(p, 0, 0),
+				opID(p, 2, 1): prog.InitialValue,
+				opID(p, 3, 0): storeVal(p, 1, 0),
+				opID(p, 3, 1): prog.InitialValue,
+			},
+			Forbidden: []mcm.Model{mcm.SC, mcm.TSO, mcm.PSO},
+		})
+	}
+
+	// IRIW+F — independent reads with fenced readers: forbidden under every
+	// model given multi-copy atomic stores.
+	{
+		p := prog.NewBuilder("IRIW+F", 2, layout).
+			Thread().Store(x).
+			Thread().Store(y).
+			Thread().Load(x).Fence().Load(y).
+			Thread().Load(y).Fence().Load(x).
+			MustBuild()
+		tests = append(tests, Litmus{
+			Name:        "IRIW+F",
+			Description: "fenced independent readers disagree on write order",
+			Prog:        p,
+			Interesting: Outcome{
+				opID(p, 2, 0): storeVal(p, 0, 0),
+				opID(p, 2, 2): prog.InitialValue,
+				opID(p, 3, 0): storeVal(p, 1, 0),
+				opID(p, 3, 2): prog.InitialValue,
+			},
+			Forbidden: mcm.Models,
+		})
+	}
+
+	return tests
+}
+
+// LitmusByName returns the named litmus test.
+func LitmusByName(name string) (Litmus, error) {
+	for _, l := range LitmusTests() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Litmus{}, fmt.Errorf("testgen: no litmus test named %q", name)
+}

@@ -1,0 +1,71 @@
+package testgen
+
+import (
+	"fmt"
+
+	"mtracecheck/internal/prog"
+)
+
+// MergeSegments combines several independent test programs into one larger
+// test, implementing the paper's §8 scalability suggestion: "even larger
+// test-cases can be obtained by merging multiple independent code segments,
+// where memory addresses are assigned in a way that leads only to false
+// sharing across the segments."
+//
+// Thread i of the merged program runs segment 0's thread i, then segment
+// 1's, and so on. Word w of segment k maps to merged word w*K+k, and the
+// merged layout packs K words per cache line, so word w of *different*
+// segments shares a line (false sharing, coherence contention) while no
+// word is truly shared across segments. Per-load candidate sets therefore
+// never cross segment boundaries, which keeps each load's candidate count —
+// and hence the signature cardinality growth — bounded by its own segment.
+func MergeSegments(name string, segs []*prog.Program) (*prog.Program, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("testgen: no segments to merge")
+	}
+	k := len(segs)
+	threads, words := 0, 0
+	for _, s := range segs {
+		if s.NumThreads() > threads {
+			threads = s.NumThreads()
+		}
+		if s.NumWords > words {
+			words = s.NumWords
+		}
+	}
+	base := segs[0].Layout
+	if k*base.WordSize > base.LineSize {
+		return nil, fmt.Errorf("testgen: %d segments of %d-byte words exceed a %d-byte line",
+			k, base.WordSize, base.LineSize)
+	}
+	layout := prog.Layout{
+		Base:         base.Base,
+		LineSize:     base.LineSize,
+		WordSize:     base.WordSize,
+		WordsPerLine: k,
+	}
+	b := prog.NewBuilder(name, words*k, layout)
+	for t := 0; t < threads; t++ {
+		b.Thread()
+		for si, s := range segs {
+			if t >= s.NumThreads() {
+				continue
+			}
+			for _, op := range s.Threads[t].Ops {
+				switch op.Kind {
+				case prog.Load:
+					b.Load(op.Word*k + si)
+				case prog.Store:
+					b.Store(op.Word*k + si)
+				case prog.Fence:
+					b.Fence()
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SegmentOfWord returns which segment a merged word index belongs to, given
+// the segment count used at merge time.
+func SegmentOfWord(word, segments int) int { return word % segments }

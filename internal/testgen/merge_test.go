@@ -1,0 +1,114 @@
+package testgen
+
+import (
+	"testing"
+
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/prog"
+)
+
+func TestMergeSegmentsStructure(t *testing.T) {
+	segA := MustGenerate(Config{Threads: 2, OpsPerThread: 20, Words: 4, Seed: 1})
+	segB := MustGenerate(Config{Threads: 2, OpsPerThread: 30, Words: 3, Seed: 2})
+	merged, err := MergeSegments("merged", []*prog.Program{segA, segB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.NumOps(), segA.NumOps()+segB.NumOps(); got != want {
+		t.Errorf("merged ops = %d, want %d", got, want)
+	}
+	if merged.Layout.WordsPerLine != 2 {
+		t.Errorf("words per line = %d, want 2", merged.Layout.WordsPerLine)
+	}
+	// Word w of segment 0 and word w of segment 1 share a cache line
+	// (false sharing only).
+	if merged.Layout.LineOfWord(0) != merged.Layout.LineOfWord(1) {
+		t.Error("corresponding words of different segments do not share a line")
+	}
+	if merged.Layout.LineOfWord(0) == merged.Layout.LineOfWord(2) {
+		t.Error("different words of one segment share a line")
+	}
+}
+
+// TestMergeSegmentsCandidateIsolation: the §8 property — per-load candidate
+// sets never cross segment boundaries, so signature growth stays bounded
+// per segment.
+func TestMergeSegmentsCandidateIsolation(t *testing.T) {
+	segs := []*prog.Program{
+		MustGenerate(Config{Threads: 3, OpsPerThread: 30, Words: 4, Seed: 3}),
+		MustGenerate(Config{Threads: 3, OpsPerThread: 30, Words: 4, Seed: 4}),
+		MustGenerate(Config{Threads: 3, OpsPerThread: 30, Words: 4, Seed: 5}),
+	}
+	merged, err := MergeSegments("m3", segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := instrument.Analyze(merged, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range meta.Threads {
+		for _, li := range tm.Loads {
+			seg := SegmentOfWord(li.Op.Word, len(segs))
+			for _, c := range li.Candidates {
+				if c.Store < 0 {
+					continue
+				}
+				st := merged.OpByID(c.Store)
+				if SegmentOfWord(st.Word, len(segs)) != seg {
+					t.Fatalf("load %d (segment %d) has candidate store %d from segment %d",
+						li.Op.ID, seg, st.ID, SegmentOfWord(st.Word, len(segs)))
+				}
+			}
+		}
+	}
+}
+
+// TestMergeSignatureBoundedGrowth: merging K segments multiplies the word
+// count at most K-fold (candidate sets stay per-segment), rather than
+// exploding combinatorially as one big shared pool would.
+func TestMergeSignatureBoundedGrowth(t *testing.T) {
+	seg := MustGenerate(Config{Threads: 2, OpsPerThread: 50, Words: 4, Seed: 6})
+	segMeta, err := instrument.Analyze(seg, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSegments("m4", []*prog.Program{seg, seg, seg, seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedMeta, err := instrument.Analyze(merged, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, limit := mergedMeta.TotalWords(), 4*segMeta.TotalWords(); got > limit {
+		t.Errorf("merged signature words = %d, want ≤ %d (4 × segment)", got, limit)
+	}
+	// A monolithic random test with the same totals contends far harder.
+	mono := MustGenerate(Config{Threads: 2, OpsPerThread: 200, Words: 4, Seed: 6})
+	monoMeta, err := instrument.Analyze(mono, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergedMeta.TotalWords() >= monoMeta.TotalWords() {
+		t.Errorf("merged words (%d) not below monolithic words (%d)",
+			mergedMeta.TotalWords(), monoMeta.TotalWords())
+	}
+}
+
+func TestMergeSegmentsErrors(t *testing.T) {
+	if _, err := MergeSegments("none", nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	seg := MustGenerate(Config{Threads: 2, OpsPerThread: 5, Words: 2, Seed: 7})
+	many := make([]*prog.Program, 17) // 17 × 4-byte words > 64-byte line
+	for i := range many {
+		many[i] = seg
+	}
+	if _, err := MergeSegments("over", many); err == nil {
+		t.Error("line-overflowing merge accepted")
+	}
+}

@@ -1,0 +1,459 @@
+// Package mtracecheck is a post-silicon memory-consistency validation
+// framework, reproducing "MTraceCheck: Validating Non-Deterministic
+// Behavior of Memory Consistency Models in Post-Silicon Validation"
+// (Lee & Bertacco, ISCA 2017).
+//
+// The pipeline follows the paper's Fig. 1:
+//
+//  1. Generate constrained-random multi-threaded tests (or use directed
+//     litmus tests) over a small pool of shared words, every store writing
+//     a unique value.
+//  2. Instrument each test with observability-enhancing code that
+//     accumulates a compact memory-access interleaving signature — a 1:1
+//     encoding of the execution's reads-from pattern.
+//  3. Execute the test for many iterations on a platform — here a simulated
+//     multi-core with MESI-coherent caches, store buffers, and a
+//     configurable memory consistency model — collecting one signature per
+//     iteration.
+//  4. Check the unique signatures collectively: sorted signatures yield
+//     structurally similar constraint graphs, so each graph is validated by
+//     re-sorting only the window spanned by its new backward edges.
+//
+// The simulated platform substitutes for the paper's x86/ARM silicon; see
+// DESIGN.md for the substitution rationale and fidelity notes.
+//
+// # Quick start
+//
+//	cfg := mtracecheck.TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1}
+//	report, err := mtracecheck.Run(cfg, mtracecheck.Options{
+//		Platform:   mtracecheck.PlatformX86(),
+//		Iterations: 2048,
+//	})
+//	// report.UniqueSignatures, report.Violations, ...
+package mtracecheck
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mtracecheck/internal/check"
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+// Re-exported configuration types: the public API is the facade plus these
+// aliases, so downstream users never import internal packages.
+type (
+	// TestConfig parameterizes constrained-random test generation
+	// (paper Table 2).
+	TestConfig = testgen.Config
+	// Platform describes a system-under-validation (paper Table 1).
+	Platform = sim.Platform
+	// Program is a generated or hand-built test program.
+	Program = prog.Program
+	// Signature is a memory-access interleaving signature.
+	Signature = sig.Signature
+	// Violation is one detected MCM violation with its cycle witness.
+	Violation = check.Violation
+	// Litmus is a directed test with per-model expected outcomes.
+	Litmus = testgen.Litmus
+)
+
+// Platform presets (paper Table 1 and §7).
+var (
+	// PlatformX86 models the 4-core x86-TSO desktop.
+	PlatformX86 = sim.PlatformX86
+	// PlatformARM models the 8-core big.LITTLE weakly-ordered SoC.
+	PlatformARM = sim.PlatformARM
+	// PlatformGem5 models the §7 bug-injection target.
+	PlatformGem5 = sim.PlatformGem5
+)
+
+// Bug identifies one of the paper's §7 injected defects.
+type Bug uint8
+
+const (
+	// BugNone selects the defect-free gem5-like platform.
+	BugNone Bug = iota
+	// BugSMInv is bug 1: an invalidation arriving during the S→M cache
+	// transient fails to squash speculative loads (protocol issue).
+	BugSMInv
+	// BugLSQSkip is bug 2: the load queue ignores invalidations entirely
+	// (LSQ issue).
+	BugLSQSkip
+	// BugWBRace is bug 3: the owner ignores forwarded requests racing its
+	// writeback, deadlocking the coherence protocol.
+	BugWBRace
+)
+
+// BuggyPlatform returns the gem5-like bug-injection platform (§7) with the
+// selected defect.
+func BuggyPlatform(bug Bug) Platform {
+	var mb mem.Bugs
+	var sb sim.Bugs
+	switch bug {
+	case BugSMInv:
+		mb.StaleSMInv = true
+	case BugLSQSkip:
+		sb.LQSquashSkip = true
+	case BugWBRace:
+		mb.WBRaceDeadlock = true
+	}
+	return sim.PlatformGem5(mb, sb)
+}
+
+// WithOS returns the platform with simulated OS scheduling enabled
+// (time-sliced threads with migration — the paper's §6.1 Linux runs).
+func WithOS(p Platform) Platform {
+	p.OS = sim.OSConfig{Enabled: true, Quantum: 400, QuantumJitter: 120, Migrate: true}
+	return p
+}
+
+// NewProgramBuilder starts a hand-built test program over numWords shared
+// words with the default (no false sharing) layout; see prog.Builder for
+// the fluent Thread/Load/Store/Fence API.
+func NewProgramBuilder(name string, numWords int) *prog.Builder {
+	return prog.NewBuilder(name, numWords, prog.DefaultLayout())
+}
+
+// LitmusTests returns the directed litmus library (SB, MP, LB, CoRR, WRC,
+// IRIW, and fenced variants).
+func LitmusTests() []Litmus { return testgen.LitmusTests() }
+
+// PaperConfigs returns the paper's 21 test configurations (§5).
+func PaperConfigs() []testgen.PaperConfig { return testgen.PaperConfigs() }
+
+// Checker selects the violation-checking algorithm.
+type Checker uint8
+
+const (
+	// CheckerCollective is MTraceCheck's collective re-sorting checker.
+	CheckerCollective Checker = iota
+	// CheckerConventional topologically sorts every graph from scratch.
+	CheckerConventional
+	// CheckerIncremental repairs the maintained order per backward edge
+	// (Pearce–Kelly), an extension beyond the paper's single-window scheme.
+	CheckerIncremental
+)
+
+// Options configures a validation run.
+type Options struct {
+	// Platform is the system to validate; zero value selects PlatformX86.
+	Platform Platform
+	// Iterations is the number of test runs (the paper uses 65536 on
+	// silicon, 1024 under gem5); zero selects 1024.
+	Iterations int
+	// Seed drives all randomness (platform timing and scheduling).
+	Seed int64
+	// Checker selects the checking algorithm (default collective).
+	Checker Checker
+	// Pruner optionally applies static candidate pruning (§8).
+	Pruner instrument.Pruner
+	// ObservedWS switches the constraint graphs from the paper's static
+	// write-serialization mode (ws facts derivable at instrumentation time;
+	// graphs are a pure function of the signature) to the precise mode that
+	// also uses the per-execution coherence order recorded by the platform
+	// harness. Observed mode detects cross-thread write-serialization
+	// violations the static mode provably cannot, at the cost of larger
+	// graph diffs during collective checking.
+	ObservedWS bool
+	// KeepExecutions retains each iteration's raw execution in the report
+	// (memory-heavy; for analysis tooling).
+	KeepExecutions bool
+}
+
+// Report is the outcome of validating one test program.
+type Report struct {
+	Program *Program
+	// Iterations actually executed.
+	Iterations int
+	// UniqueSignatures is the number of distinct memory-access
+	// interleavings observed (the paper's Fig. 8 metric).
+	UniqueSignatures int
+	// SignatureBytes is the execution signature size (Fig. 11).
+	SignatureBytes int
+	// Violations lists MCM violations found by graph checking.
+	Violations []Violation
+	// AssertionFailures lists iterations whose loaded values fell outside
+	// the statically computed candidate sets — caught inline by the
+	// instrumentation's assert chains without any graph checking.
+	AssertionFailures []error
+	// CheckStats carries the checker's effort accounting (Figs. 9 and 14).
+	CheckStats *check.Result
+	// TotalCycles sums simulated execution time over all iterations.
+	TotalCycles int64
+	// Squashes counts load-queue squash/replay events across iterations.
+	Squashes int
+	// Executions holds raw executions when Options.KeepExecutions is set.
+	Executions []*sim.Execution
+}
+
+// Failed reports whether any violation or assertion failure was found.
+func (r *Report) Failed() bool {
+	return len(r.Violations) > 0 || len(r.AssertionFailures) > 0
+}
+
+// ErrCrash wraps a platform crash (protocol deadlock or livelock), the
+// manifestation of the paper's bug 3.
+var ErrCrash = errors.New("mtracecheck: platform crashed during test execution")
+
+// Run executes the full pipeline on a constrained-random configuration.
+func Run(cfg TestConfig, opts Options) (*Report, error) {
+	p, err := testgen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(p, opts)
+}
+
+// RunProgram executes the full pipeline on an existing program (e.g. a
+// litmus test or a hand-built scenario).
+func RunProgram(p *Program, opts Options) (*Report, error) {
+	opts = withDefaults(opts)
+	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	wsMode := graph.WSStatic
+	if opts.ObservedWS {
+		wsMode = graph.WSObserved
+	}
+	report := &Report{Program: p, SignatureBytes: meta.SignatureBytes()}
+	set := sig.NewSet()
+	wsBySig := make(map[string]graph.WS)
+	for i := 0; i < opts.Iterations; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			return report, fmt.Errorf("%w: iteration %d: %v", ErrCrash, i, err)
+		}
+		report.Iterations++
+		report.TotalCycles += int64(ex.Cycles)
+		report.Squashes += ex.Squashes
+		if opts.KeepExecutions {
+			report.Executions = append(report.Executions, ex)
+		}
+		s, err := meta.EncodeExecution(ex.LoadValues)
+		if err != nil {
+			var ae *instrument.AssertionError
+			if errors.As(err, &ae) {
+				report.AssertionFailures = append(report.AssertionFailures, ae)
+				continue
+			}
+			return report, err
+		}
+		if set.Add(s) && opts.ObservedWS {
+			// First observation of this interleaving: keep its
+			// write-serialization order for graph construction. (The
+			// static-ws default needs nothing beyond the signature.)
+			wsBySig[s.Key()] = ex.WS
+		}
+	}
+	report.UniqueSignatures = set.Len()
+
+	builder := graph.NewBuilder(p, opts.Platform.Model, graph.Options{
+		Forwarding: opts.Platform.Atomicity.AllowsForwarding(),
+		WS:         wsMode,
+	})
+	items, err := DecodeItems(meta, builder, set.Sorted(), wsBySig)
+	if err != nil {
+		return report, err
+	}
+	switch opts.Checker {
+	case CheckerConventional:
+		report.CheckStats = check.Conventional(builder, items)
+	case CheckerIncremental:
+		report.CheckStats, err = check.Incremental(builder, items)
+		if err != nil {
+			return report, err
+		}
+	default:
+		report.CheckStats, err = check.Collective(builder, items)
+		if err != nil {
+			return report, err
+		}
+	}
+	report.Violations = report.CheckStats.Violations
+	return report, nil
+}
+
+// DecodeItems converts sorted unique signatures back into checkable items:
+// each signature is decoded to its reads-from relation (paper Alg. 1) and
+// combined with the write-serialization order observed by the harness.
+func DecodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
+	wsBySig map[string]graph.WS) ([]check.Item, error) {
+	items := make([]check.Item, 0, len(uniques))
+	for _, u := range uniques {
+		cands, err := meta.Decode(u.Sig)
+		if err != nil {
+			return nil, err
+		}
+		rf := make(graph.RF, len(cands))
+		for loadID, c := range cands {
+			rf[loadID] = c.Store
+		}
+		edges, err := b.DynamicEdges(rf, wsBySig[u.Sig.Key()])
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, check.Item{Sig: u.Sig, Edges: edges})
+	}
+	return items, nil
+}
+
+// RunLitmus executes a litmus test, reporting how often the interesting
+// outcome was observed alongside the full validation report. A forbidden
+// outcome that is observed also surfaces as a graph-check violation.
+func RunLitmus(l Litmus, opts Options) (observed int, report *Report, err error) {
+	opts = withDefaults(opts)
+	opts.KeepExecutions = true
+	report, err = RunProgram(l.Prog, opts)
+	if err != nil {
+		return 0, report, err
+	}
+	for _, ex := range report.Executions {
+		if l.Interesting.Matches(ex.LoadValues) {
+			observed++
+		}
+	}
+	if !opts.KeepExecutions {
+		report.Executions = nil
+	}
+	return observed, report, nil
+}
+
+func withDefaults(opts Options) Options {
+	if opts.Platform.Cores == 0 {
+		opts.Platform = PlatformX86()
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 1024
+	}
+	return opts
+}
+
+// ModelName returns the platform's memory consistency model name; a small
+// convenience for report rendering without importing internal packages.
+func ModelName(p Platform) string { return p.Model.String() }
+
+// Models lists the supported memory consistency models' names, strongest
+// first.
+func Models() []string {
+	out := make([]string, len(mcm.Models))
+	for i, m := range mcm.Models {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// SaveSignatures writes a report's unique signatures (with observation
+// counts) in the compact binary device-to-host format. Callers typically
+// stream this to disk for later offline checking or regression comparison.
+func SaveSignatures(w io.Writer, report *Report, uniques []sig.Unique) error {
+	_ = report // reserved for future metadata (program hash, platform)
+	return sig.WriteSet(w, uniques)
+}
+
+// CollectSignatures runs only the execution stage: the program is executed
+// for the configured iterations and the sorted unique signatures are
+// returned without any checking. This is the "device side" of the paper's
+// flow; pair it with CheckSignatures on the host.
+func CollectSignatures(p *Program, opts Options) ([]sig.Unique, error) {
+	opts = withDefaults(opts)
+	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	set := sig.NewSet()
+	for i := 0; i < opts.Iterations; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%w: iteration %d: %v", ErrCrash, i, err)
+		}
+		s, err := meta.EncodeExecution(ex.LoadValues)
+		if err != nil {
+			return nil, err
+		}
+		set.Add(s)
+	}
+	return set.Sorted(), nil
+}
+
+// CheckSignatures is the "host side": it decodes previously collected
+// unique signatures (e.g. loaded via sig.ReadSet) and checks them
+// collectively under the platform's model using the static
+// write-serialization mode, which needs nothing beyond the signatures.
+func CheckSignatures(p *Program, plat Platform, uniques []sig.Unique,
+	pruner instrument.Pruner) (*check.Result, error) {
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, pruner)
+	if err != nil {
+		return nil, err
+	}
+	builder := graph.NewBuilder(p, plat.Model, graph.Options{
+		Forwarding: plat.Atomicity.AllowsForwarding(),
+		WS:         graph.WSStatic,
+	})
+	items, err := DecodeItems(meta, builder, uniques, nil)
+	if err != nil {
+		return nil, err
+	}
+	return check.Collective(builder, items)
+}
+
+// LoadSignatures reads a signature set written by SaveSignatures.
+func LoadSignatures(r io.Reader) ([]sig.Unique, error) { return sig.ReadSet(r) }
+
+// WriteViolationDOT renders the constraint graph of one reported violation
+// in Graphviz DOT format, with the offending cycle highlighted (a Fig. 2 /
+// Fig. 13-style illustration). The graph is rebuilt from the violation's
+// signature using the same options the report was produced with.
+func WriteViolationDOT(w io.Writer, report *Report, v Violation, opts Options) error {
+	opts = withDefaults(opts)
+	meta, err := instrument.Analyze(report.Program, opts.Platform.RegWidthBits, opts.Pruner)
+	if err != nil {
+		return err
+	}
+	wsMode := graph.WSStatic
+	if opts.ObservedWS {
+		return fmt.Errorf("mtracecheck: DOT rendering of observed-ws violations requires the recorded ws; re-run with the static mode")
+	}
+	builder := graph.NewBuilder(report.Program, opts.Platform.Model, graph.Options{
+		Forwarding: opts.Platform.Atomicity.AllowsForwarding(),
+		WS:         wsMode,
+	})
+	cands, err := meta.Decode(v.Sig)
+	if err != nil {
+		return err
+	}
+	rf := make(graph.RF, len(cands))
+	for id, c := range cands {
+		rf[id] = c.Store
+	}
+	g, err := builder.BuildGraph(rf, nil)
+	if err != nil {
+		return err
+	}
+	return g.WriteDOT(w, report.Program, v.Cycle)
+}
+
+// NewProgramBuilderFromConfig generates a constrained-random program from a
+// test configuration — a convenience for the device/host split, where both
+// sides must reconstruct the identical program from the shared config.
+func NewProgramBuilderFromConfig(cfg TestConfig) (*Program, error) {
+	return testgen.Generate(cfg)
+}

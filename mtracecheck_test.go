@@ -1,0 +1,310 @@
+package mtracecheck
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+func TestRunCleanPlatformNoViolations(t *testing.T) {
+	cfg := TestConfig{Threads: 4, OpsPerThread: 40, Words: 16, Seed: 5}
+	for _, mk := range []func() Platform{PlatformX86, PlatformARM} {
+		plat := mk()
+		report, err := Run(cfg, Options{Platform: plat, Iterations: 150, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", plat.Name, err)
+		}
+		if report.Failed() {
+			t.Errorf("%s: clean platform reported violations: %d graph, %d assert",
+				plat.Name, len(report.Violations), len(report.AssertionFailures))
+		}
+		if report.UniqueSignatures < 2 {
+			t.Errorf("%s: only %d unique signatures (no non-determinism?)",
+				plat.Name, report.UniqueSignatures)
+		}
+		if report.Iterations != 150 {
+			t.Errorf("%s: iterations = %d", plat.Name, report.Iterations)
+		}
+		if report.SignatureBytes <= 0 || report.TotalCycles <= 0 {
+			t.Errorf("%s: empty accounting: %+v", plat.Name, report)
+		}
+	}
+}
+
+func TestCheckersAgree(t *testing.T) {
+	cfg := TestConfig{Threads: 2, OpsPerThread: 50, Words: 8, Seed: 2}
+	collective, err := Run(cfg, Options{Iterations: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conventional, err := Run(cfg, Options{Iterations: 200, Seed: 3, Checker: CheckerConventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collective.Violations) != len(conventional.Violations) {
+		t.Errorf("collective %d violations, conventional %d",
+			len(collective.Violations), len(conventional.Violations))
+	}
+	if collective.UniqueSignatures != conventional.UniqueSignatures {
+		t.Errorf("unique signatures differ: %d vs %d",
+			collective.UniqueSignatures, conventional.UniqueSignatures)
+	}
+	if collective.CheckStats.SortedVertices >= conventional.CheckStats.SortedVertices {
+		t.Errorf("no checking speedup: %d vs %d vertices",
+			collective.CheckStats.SortedVertices, conventional.CheckStats.SortedVertices)
+	}
+}
+
+func TestBuggyPlatformDetected(t *testing.T) {
+	// Bug 2 (LSQ squash skip) with a writer/reader hammer on one word:
+	// violations must surface either as graph cycles or inline assertion
+	// failures.
+	b := prog.NewBuilder("hammer", 1, prog.DefaultLayout())
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Store(0)
+	}
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Load(0)
+	}
+	hammer := b.MustBuild()
+	plat := PlatformGem5(mem.Bugs{}, sim.Bugs{LQSquashSkip: true})
+	report, err := RunProgram(hammer, Options{Platform: plat, Iterations: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Failed() {
+		t.Error("bug 2 not detected in 200 iterations")
+	}
+	for _, v := range report.Violations {
+		if len(v.Cycle) == 0 {
+			t.Error("violation without cycle witness")
+		}
+	}
+	// The same test on the clean platform must pass.
+	clean, err := RunProgram(hammer, Options{Platform: PlatformGem5(mem.Bugs{}, sim.Bugs{}),
+		Iterations: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Failed() {
+		t.Error("clean gem5 platform reported violations")
+	}
+}
+
+func TestBug3SurfacesAsCrash(t *testing.T) {
+	cfg := TestConfig{Threads: 7, OpsPerThread: 60, Words: 64, LoadRatio: 0.3, Seed: 3}
+	plat := PlatformGem5(mem.Bugs{WBRaceDeadlock: true}, sim.Bugs{})
+	_, err := Run(cfg, Options{Platform: plat, Iterations: 60, Seed: 5})
+	if !errors.Is(err, ErrCrash) {
+		t.Errorf("err = %v, want ErrCrash", err)
+	}
+}
+
+func TestRunLitmusForbiddenAndAllowed(t *testing.T) {
+	for _, l := range LitmusTests() {
+		if l.Name != "SB" {
+			continue
+		}
+		// SB under TSO: outcome allowed, should be observed, no violations.
+		obs, report, err := RunLitmus(l, Options{Iterations: 400, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs == 0 {
+			t.Error("SB outcome never observed under TSO")
+		}
+		if report.Failed() {
+			t.Error("SB under TSO flagged as violation")
+		}
+	}
+}
+
+func TestPaperConfigsPresent(t *testing.T) {
+	if got := len(PaperConfigs()); got != 21 {
+		t.Errorf("%d paper configs, want 21", got)
+	}
+	if got := len(Models()); got != 4 {
+		t.Errorf("%d models, want 4", got)
+	}
+	if ModelName(PlatformARM()) != "RMO" || ModelName(PlatformX86()) != "TSO" {
+		t.Error("platform model names wrong")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := TestConfig{Threads: 2, OpsPerThread: 10, Words: 4, Seed: 1}
+	report, err := Run(cfg, Options{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Iterations != 5 {
+		t.Errorf("iterations = %d", report.Iterations)
+	}
+	if len(report.Executions) != 0 {
+		t.Error("executions kept without KeepExecutions")
+	}
+}
+
+func TestDeviceHostSplit(t *testing.T) {
+	// CollectSignatures (device) → Save → Load → CheckSignatures (host)
+	// must agree with the integrated pipeline.
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 16, Seed: 5})
+	opts := Options{Platform: PlatformX86(), Iterations: 120, Seed: 9}
+	uniques, err := CollectSignatures(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uniques) < 2 {
+		t.Fatalf("only %d unique signatures", len(uniques))
+	}
+	var buf bytes.Buffer
+	if err := SaveSignatures(&buf, nil, uniques); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSignatures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckSignatures(p, PlatformX86(), loaded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("clean signatures flagged: %d violations", len(res.Violations))
+	}
+	integrated, err := RunProgram(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integrated.UniqueSignatures != len(uniques) {
+		t.Errorf("device-side uniques %d, integrated %d", len(uniques), integrated.UniqueSignatures)
+	}
+}
+
+func TestCheckSignaturesFlagsBuggySet(t *testing.T) {
+	b := prog.NewBuilder("hammer", 1, prog.DefaultLayout())
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Store(0)
+	}
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Load(0)
+	}
+	hammer := b.MustBuild()
+	plat := BuggyPlatform(BugLSQSkip)
+	uniques, err := CollectSignatures(hammer, Options{Platform: plat, Iterations: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckSignatures(hammer, plat, uniques, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Error("buggy signature set passed host-side checking")
+	}
+}
+
+func TestWriteViolationDOT(t *testing.T) {
+	b := prog.NewBuilder("hammer", 1, prog.DefaultLayout())
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Store(0)
+	}
+	b.Thread()
+	for i := 0; i < 20; i++ {
+		b.Load(0)
+	}
+	hammer := b.MustBuild()
+	opts := Options{Platform: BuggyPlatform(BugLSQSkip), Iterations: 200, Seed: 11}
+	report, err := RunProgram(hammer, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) == 0 {
+		t.Fatal("no violations to render")
+	}
+	var sb bytes.Buffer
+	if err := WriteViolationDOT(&sb, report, report.Violations[0], opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "color=red", "cluster_t1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Observed-ws reports cannot be re-rendered from the signature alone.
+	opts.ObservedWS = true
+	if err := WriteViolationDOT(&sb, report, report.Violations[0], opts); err == nil {
+		t.Error("observed-ws DOT rendering should be refused")
+	}
+}
+
+func TestObservedWSOption(t *testing.T) {
+	cfg := TestConfig{Threads: 4, OpsPerThread: 40, Words: 16, Seed: 5}
+	report, err := Run(cfg, Options{Iterations: 100, Seed: 9, ObservedWS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed() {
+		t.Error("clean platform flagged under observed ws")
+	}
+}
+
+func TestIncrementalCheckerOption(t *testing.T) {
+	cfg := TestConfig{Threads: 2, OpsPerThread: 50, Words: 8, Seed: 2}
+	inc, err := Run(cfg, Options{Iterations: 200, Seed: 3, Checker: CheckerIncremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := Run(cfg, Options{Iterations: 200, Seed: 3, Checker: CheckerConventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Violations) != len(conv.Violations) {
+		t.Errorf("incremental %d violations, conventional %d",
+			len(inc.Violations), len(conv.Violations))
+	}
+	if inc.CheckStats.SortedVertices >= conv.CheckStats.SortedVertices {
+		t.Errorf("PK moved %d vertices, baseline sorted %d",
+			inc.CheckStats.SortedVertices, conv.CheckStats.SortedVertices)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(TestConfig{}, Options{Iterations: 1}); err == nil {
+		t.Error("empty config accepted")
+	}
+	p := testgen.MustGenerate(TestConfig{Threads: 7, OpsPerThread: 5, Words: 2, Seed: 1})
+	if _, err := RunProgram(p, Options{Platform: PlatformX86(), Iterations: 1}); err == nil {
+		t.Error("7 threads on the 4-core platform accepted")
+	}
+}
+
+func TestPrunerOptionWiredThrough(t *testing.T) {
+	cfg := TestConfig{Threads: 2, OpsPerThread: 30, Words: 4, Seed: 6}
+	p := testgen.MustGenerate(cfg)
+	// An absurdly tight pruner turns almost every iteration into an inline
+	// assertion failure, proving the option reaches the analysis.
+	report, err := RunProgram(p, Options{
+		Iterations: 40, Seed: 7,
+		Pruner: instrument.SkewPruner(p, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.AssertionFailures) == 0 {
+		t.Error("tight pruner produced no assertion failures")
+	}
+}

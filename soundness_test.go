@@ -1,0 +1,126 @@
+package mtracecheck
+
+import (
+	"testing"
+
+	"mtracecheck/internal/check"
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+// TestNoFalsePositivesSweep is the framework's central soundness property:
+// executions produced by a defect-free platform under model M must never be
+// flagged when checked against M — across models, write-serialization
+// modes, false-sharing layouts, and checker implementations. (The paper's
+// §8 footnote recounts exactly such a false-positive episode, caused by a
+// wrong store-atomicity assumption.)
+func TestNoFalsePositivesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfgs := []TestConfig{
+		{Threads: 2, OpsPerThread: 40, Words: 4, Seed: 1},
+		{Threads: 4, OpsPerThread: 30, Words: 8, WordsPerLine: 4, Seed: 2},
+		{Threads: 3, OpsPerThread: 30, Words: 4, FenceProb: 0.15, Seed: 3},
+	}
+	for _, model := range mcm.Models {
+		for _, tc := range cfgs {
+			plat := PlatformX86()
+			plat.Model = model
+			plat.AllocOrder = nil
+			p := testgen.MustGenerate(tc)
+			meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner, err := sim.NewRunner(plat, p, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := sig.NewSet()
+			wsBySig := map[string]graph.WS{}
+			for i := 0; i < 80; i++ {
+				ex, err := runner.Run()
+				if err != nil {
+					t.Fatalf("%v %s: %v", model, tc.Name(), err)
+				}
+				s, err := meta.EncodeExecution(ex.LoadValues)
+				if err != nil {
+					t.Fatalf("%v %s: assertion on clean platform: %v", model, tc.Name(), err)
+				}
+				if set.Add(s) {
+					wsBySig[s.Key()] = ex.WS
+				}
+			}
+			for _, ws := range []graph.WSMode{graph.WSStatic, graph.WSObserved} {
+				builder := graph.NewBuilder(p, model, graph.Options{
+					Forwarding: true, WS: ws,
+				})
+				items, err := DecodeItems(meta, builder, set.Sorted(), wsBySig)
+				if err != nil {
+					t.Fatal(err)
+				}
+				conv := check.Conventional(builder, items)
+				coll, err := check.Collective(builder, items)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(conv.Violations) != 0 || len(coll.Violations) != 0 {
+					t.Errorf("%v %s ws=%d: false positives (conv %d, coll %d)",
+						model, tc.Name(), ws, len(conv.Violations), len(coll.Violations))
+				}
+			}
+		}
+	}
+}
+
+// TestStrongerModelExecutionsPassWeakerChecks: an execution legal under a
+// strong model is legal under every weaker model (the relaxation lattice).
+func TestStrongerModelExecutionsPassWeakerChecks(t *testing.T) {
+	tc := TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5}
+	p := testgen.MustGenerate(tc)
+	plat := PlatformX86()
+	plat.Model = mcm.SC
+	plat.AllocOrder = nil
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := sim.NewRunner(plat, p, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sig.NewSet()
+	wsBySig := map[string]graph.WS{}
+	for i := 0; i < 60; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := meta.EncodeExecution(ex.LoadValues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Add(s) {
+			wsBySig[s.Key()] = ex.WS
+		}
+	}
+	for _, model := range mcm.Models {
+		builder := graph.NewBuilder(p, model, graph.Options{Forwarding: true, WS: graph.WSObserved})
+		items, err := DecodeItems(meta, builder, set.Sorted(), wsBySig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := check.Collective(builder, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("SC executions flagged under %v: %d violations", model, len(res.Violations))
+		}
+	}
+}
