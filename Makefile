@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checked pass over the sharded pipeline; -short keeps it PR-sized.
+race:
+	$(GO) test -race -short ./...
+
+# Tier-1 verification gate (see ROADMAP.md).
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .

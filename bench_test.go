@@ -321,6 +321,42 @@ func BenchmarkTable3BugDetection(b *testing.B) {
 	}
 }
 
+// BenchmarkRunProgramWorkers1 / Workers4: serial vs sharded end-to-end
+// pipeline (execute / decode / check) on the paper-scale
+// 4-thread/50-ops/2048-iteration config. Results are identical for every
+// worker count (shards skip ahead within one seed stream), so the only
+// difference is wall clock; on a multi-core host Workers=4 approaches a 4×
+// speedup of the embarrassingly parallel execution stage, while on a
+// single-core host the two measure the same work plus negligible shard
+// bookkeeping.
+func BenchmarkRunProgramWorkers1(b *testing.B) { benchRunProgramWorkers(b, 1) }
+
+func BenchmarkRunProgramWorkers4(b *testing.B) { benchRunProgramWorkers(b, 4) }
+
+func benchRunProgramWorkers(b *testing.B, workers int) {
+	b.Helper()
+	p, err := testgen.Generate(TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := RunProgram(p, Options{
+			Platform:   sim.PlatformX86(),
+			Iterations: 2048,
+			Seed:       1,
+			Workers:    workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Failed() {
+			b.Fatal("clean platform reported violations")
+		}
+		b.ReportMetric(float64(report.UniqueSignatures), "uniques/op")
+	}
+}
+
 // BenchmarkSimIterationARM / X86: raw platform iteration throughput — the
 // "tests execution" stage of Fig. 1.
 func BenchmarkSimIterationARM(b *testing.B) { benchSim(b, sim.PlatformARM()) }

@@ -35,6 +35,7 @@ func main() {
 		fences  = flag.Float64("fences", 0, "fence insertion probability")
 		iters   = flag.Int("iters", 2048, "test iterations")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "pipeline shards for execute/decode/check (0 = GOMAXPROCS; results are identical for any value)")
 		osMode  = flag.Bool("os", false, "run under simulated OS scheduling")
 		checker = flag.String("checker", "collective", "checker: collective, conventional, or incremental (Pearce–Kelly)")
 		bug     = flag.String("bug", "", "inject a bug: sm-inv, lsq-skip, or wb-race")
@@ -54,19 +55,18 @@ func main() {
 	if *osMode {
 		plat.OS = sim.OSConfig{Enabled: true, Quantum: 400, QuantumJitter: 120, Migrate: true}
 	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0, got %d", *workers))
+	}
 	opts := mtracecheck.Options{
 		Platform:   plat,
 		Iterations: *iters,
 		Seed:       *seed,
+		Workers:    *workers,
 	}
-	switch *checker {
-	case "collective":
-	case "conventional":
-		opts.Checker = mtracecheck.CheckerConventional
-	case "incremental":
-		opts.Checker = mtracecheck.CheckerIncremental
-	default:
-		fatal(fmt.Errorf("unknown checker %q", *checker))
+	opts.Checker, err = parseChecker(*checker)
+	if err != nil {
+		fatal(err)
 	}
 	cfg := mtracecheck.TestConfig{
 		Threads:      *threads,
@@ -154,6 +154,21 @@ func main() {
 	fmt.Println("RESULT: PASS — all observed interleavings consistent with the model")
 }
 
+// parseChecker maps the -checker flag to a checker selection; unknown
+// values are rejected with the valid list rather than silently defaulting
+// to the collective checker.
+func parseChecker(name string) (mtracecheck.Checker, error) {
+	switch name {
+	case "collective":
+		return mtracecheck.CheckerCollective, nil
+	case "conventional":
+		return mtracecheck.CheckerConventional, nil
+	case "incremental":
+		return mtracecheck.CheckerIncremental, nil
+	}
+	return 0, fmt.Errorf("unknown checker %q (valid: collective, conventional, incremental)", name)
+}
+
 func platform(isa, bug string) (mtracecheck.Platform, error) {
 	var memBugs mem.Bugs
 	var simBugs sim.Bugs
@@ -166,7 +181,8 @@ func platform(isa, bug string) (mtracecheck.Platform, error) {
 	case "wb-race":
 		memBugs.WBRaceDeadlock = true
 	default:
-		return mtracecheck.Platform{}, fmt.Errorf("unknown bug %q", bug)
+		// Reject rather than silently validating the defect-free platform.
+		return mtracecheck.Platform{}, fmt.Errorf("unknown bug %q (valid: sm-inv, lsq-skip, wb-race)", bug)
 	}
 	if bug != "" {
 		return mtracecheck.PlatformGem5(memBugs, simBugs), nil

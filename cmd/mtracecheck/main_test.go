@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mtracecheck"
@@ -66,5 +67,42 @@ func TestDumpSignaturesRoundTrip(t *testing.T) {
 	}
 	if total != 30 {
 		t.Errorf("total observations = %d, want 30", total)
+	}
+}
+
+func TestParseCheckerListsValidValues(t *testing.T) {
+	for name, want := range map[string]mtracecheck.Checker{
+		"collective":   mtracecheck.CheckerCollective,
+		"conventional": mtracecheck.CheckerConventional,
+		"incremental":  mtracecheck.CheckerIncremental,
+	} {
+		got, err := parseChecker(name)
+		if err != nil || got != want {
+			t.Errorf("parseChecker(%q) = %v, %v", name, got, err)
+		}
+	}
+	for _, bad := range []string{"", "colective", "pk"} {
+		_, err := parseChecker(bad)
+		if err == nil {
+			t.Errorf("parseChecker(%q): no error", bad)
+			continue
+		}
+		for _, valid := range []string{"collective", "conventional", "incremental"} {
+			if !strings.Contains(err.Error(), valid) {
+				t.Errorf("parseChecker(%q) error %q does not list %q", bad, err, valid)
+			}
+		}
+	}
+}
+
+func TestUnknownBugErrorListsValidValues(t *testing.T) {
+	_, err := platform("x86", "bogus")
+	if err == nil {
+		t.Fatal("unknown bug accepted")
+	}
+	for _, valid := range []string{"sm-inv", "lsq-skip", "wb-race"} {
+		if !strings.Contains(err.Error(), valid) {
+			t.Errorf("error %q does not list %q", err, valid)
+		}
 	}
 }

@@ -1,0 +1,97 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"mtracecheck/internal/graph"
+)
+
+// Sharded partitions the sorted items into shards contiguous ranges and
+// runs Collective on each range concurrently, then merges the per-range
+// results with violation indices rebased to global positions.
+//
+// Disjoint signature ranges yield independent collective-check chains: the
+// §4.2 windowing argument only ever relates a graph to its immediate
+// predecessor in sorted order, so checking a contiguous subrange in
+// isolation reaches the same verdicts. The cost is that each shard's first
+// graph has no predecessor and pays a full KindComplete sort (recorded
+// honestly in PerGraph), where the serial checker could have reused the
+// boundary predecessor's order.
+//
+// Sharded with shards <= 1 is exactly Collective. Verdicts (the violation
+// set) are identical for every shard count; only the effort accounting
+// (PerGraph, SortedVertices) carries the per-shard boundary overhead.
+func Sharded(b *graph.Builder, items []Item, shards int) (*Result, error) {
+	if shards > len(items) {
+		shards = len(items)
+	}
+	if shards <= 1 {
+		return Collective(b, items)
+	}
+	// Validate global sorted order up front: per-shard Collective calls can
+	// only see their own range, and their error would carry a shard-local
+	// index.
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Sig.Compare(items[i].Sig) > 0 {
+			return nil, fmt.Errorf("check: items not in ascending signature order at %d", i)
+		}
+	}
+	offsets := shardOffsets(len(items), shards)
+	parts := make([]*Result, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := offsets[s], offsets[s+1]
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			parts[s], errs[s] = Collective(b, items[lo:hi])
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return MergeResults(offsets[:shards], parts), nil
+}
+
+// shardOffsets splits n items into shards contiguous ranges of near-equal
+// size (the first n%shards ranges are one longer), returning the shards+1
+// boundary offsets.
+func shardOffsets(n, shards int) []int {
+	base, rem := n/shards, n%shards
+	offsets := make([]int, shards+1)
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		offsets[s+1] = offsets[s] + size
+	}
+	return offsets
+}
+
+// MergeResults combines per-shard results of contiguous item ranges into
+// one global result: violation Index values are rebased by each shard's
+// starting offset, PerGraph stats are concatenated in shard order (so entry
+// i still describes item i), and the counters are summed. Nil parts are
+// skipped.
+func MergeResults(offsets []int, parts []*Result) *Result {
+	out := &Result{}
+	for s, part := range parts {
+		if part == nil {
+			continue
+		}
+		out.Total += part.Total
+		out.SortedVertices += part.SortedVertices
+		out.PerGraph = append(out.PerGraph, part.PerGraph...)
+		for _, v := range part.Violations {
+			v.Index += offsets[s]
+			out.Violations = append(out.Violations, v)
+		}
+	}
+	return out
+}

@@ -190,3 +190,50 @@ func (set *Set) Sorted() []Unique {
 	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Compare(out[j].Sig) < 0 })
 	return out
 }
+
+// MergeSets merges per-shard signature sets into one global ascending
+// unique slice — a k-way merge over each set's already-sorted uniques,
+// summing the occurrence counts of signatures observed by several shards.
+// It is the reduction step of the sharded execution pipeline; nil and empty
+// sets are skipped. MergeSets of a single set is equivalent to its Sorted.
+func MergeSets(sets ...*Set) []Unique {
+	lists := make([][]Unique, 0, len(sets))
+	size := 0
+	for _, s := range sets {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		l := s.Sorted()
+		lists = append(lists, l)
+		size += len(l)
+	}
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	heads := make([]int, len(lists))
+	out := make([]Unique, 0, size)
+	for {
+		best := -1
+		for li, l := range lists {
+			if heads[li] >= len(l) {
+				continue
+			}
+			if best < 0 || l[heads[li]].Sig.Compare(lists[best][heads[best]].Sig) < 0 {
+				best = li
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		u := lists[best][heads[best]]
+		heads[best]++
+		if n := len(out); n > 0 && out[n-1].Sig.Equal(u.Sig) {
+			out[n-1].Count += u.Count
+		} else {
+			out = append(out, u)
+		}
+	}
+}

@@ -186,3 +186,89 @@ func TestZero(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeSetsSumsDuplicateCounts(t *testing.T) {
+	// Three shards with overlapping signatures: the merge must be the same
+	// as one set fed every observation.
+	obs := [][]uint64{
+		{1}, {3}, {5}, {3}, // shard 0
+		{2}, {3}, {5}, // shard 1
+		{5}, {5}, {9}, // shard 2
+	}
+	bounds := []int{0, 4, 7, 10}
+	var shards []*Set
+	global := NewSet()
+	for s := 0; s+1 < len(bounds); s++ {
+		set := NewSet()
+		for _, w := range obs[bounds[s]:bounds[s+1]] {
+			set.Add(New(w))
+			global.Add(New(w))
+		}
+		shards = append(shards, set)
+	}
+	merged := MergeSets(shards...)
+	want := global.Sorted()
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d uniques, want %d", len(merged), len(want))
+	}
+	total := 0
+	for i := range merged {
+		if !merged[i].Sig.Equal(want[i].Sig) || merged[i].Count != want[i].Count {
+			t.Errorf("unique %d: got %v x%d, want %v x%d", i,
+				merged[i].Sig, merged[i].Count, want[i].Sig, want[i].Count)
+		}
+		total += merged[i].Count
+	}
+	if total != len(obs) {
+		t.Errorf("merged counts sum to %d, want %d", total, len(obs))
+	}
+	// The signature 5 appears in every shard: its counts must sum.
+	for _, u := range merged {
+		if u.Sig.Equal(New([]uint64{5})) && u.Count != 4 {
+			t.Errorf("signature 0x5 count = %d, want 4", u.Count)
+		}
+	}
+}
+
+func TestMergeSetsRandomizedMatchesGlobalSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(5)
+		shards := make([]*Set, k)
+		for i := range shards {
+			shards[i] = NewSet()
+		}
+		global := NewSet()
+		for i := 0; i < 300; i++ {
+			s := New([]uint64{uint64(rng.Intn(10)), uint64(rng.Intn(4))})
+			shards[rng.Intn(k)].Add(s)
+			global.Add(s)
+		}
+		merged := MergeSets(shards...)
+		want := global.Sorted()
+		if len(merged) != len(want) {
+			t.Fatalf("trial %d: merged %d uniques, want %d", trial, len(merged), len(want))
+		}
+		for i := range merged {
+			if !merged[i].Sig.Equal(want[i].Sig) || merged[i].Count != want[i].Count {
+				t.Fatalf("trial %d: unique %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestMergeSetsDegenerate(t *testing.T) {
+	if got := MergeSets(); got != nil {
+		t.Errorf("MergeSets() = %v, want nil", got)
+	}
+	if got := MergeSets(nil, NewSet(), nil); got != nil {
+		t.Errorf("MergeSets of empty sets = %v, want nil", got)
+	}
+	one := NewSet()
+	one.Add(New([]uint64{7}))
+	one.Add(New([]uint64{7}))
+	got := MergeSets(nil, one, NewSet())
+	if len(got) != 1 || got[0].Count != 2 {
+		t.Errorf("single-set merge = %v, want one unique x2", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"mtracecheck/internal/eventq"
 	"mtracecheck/internal/mcm"
@@ -99,16 +100,34 @@ type thread struct {
 
 // Runner executes a program repeatedly on a platform, one fresh iteration at
 // a time (the paper applies a hard reset before each test run, §5).
+//
+// A Runner is owned by exactly one goroutine: Run mutates the master seed
+// stream, so concurrent calls would interleave draws nondeterministically.
+// Parallel pipelines must give each worker goroutine its own Runner over the
+// same seed and use SkipIterations to position it within the iteration
+// sequence; Run rejects concurrent use.
 type Runner struct {
 	plat   Platform
 	prog   *prog.Program
 	master *rand.Rand
 	static [][]opStatic
+	busy   atomic.Int32 // guards the single-goroutine ownership contract
 
 	// MaxEvents bounds one iteration's event count (0 = default).
 	MaxEvents int
 	// Trace records per-operation timing into Execution.Timeline.
 	Trace bool
+}
+
+// SkipIterations advances the runner's master seed stream past n iterations
+// without executing them. Run draws exactly one master value per iteration,
+// so a runner skipped past n behaves, from iteration n on, identically to a
+// same-seeded runner that executed the first n iterations — the property the
+// sharded pipeline uses to make results independent of the shard count.
+func (r *Runner) SkipIterations(n int) {
+	for i := 0; i < n; i++ {
+		r.master.Int63()
+	}
 }
 
 // NewRunner validates the platform/program pair and prepares static
@@ -179,6 +198,11 @@ type engine struct {
 
 // Run executes one iteration from a cold, zeroed platform state.
 func (r *Runner) Run() (*Execution, error) {
+	if !r.busy.CompareAndSwap(0, 1) {
+		return nil, errors.New("sim: concurrent Runner.Run calls: each Runner must be driven by a single goroutine")
+	}
+	defer r.busy.Store(0)
+	// Exactly one master draw per iteration — SkipIterations relies on this.
 	seed := r.master.Int63()
 	rng := rand.New(rand.NewSource(seed))
 	q := eventq.New()

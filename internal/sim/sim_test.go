@@ -577,3 +577,68 @@ func TestTraceTimeline(t *testing.T) {
 		t.Error("FormatTimeline accepted traceless execution")
 	}
 }
+
+// TestSkipIterationsMatchesSequentialRuns: a runner skipped past n
+// iterations must continue exactly where a same-seeded runner that executed
+// them left off — the invariant behind the sharded pipeline's
+// worker-invariant results.
+func TestSkipIterationsMatchesSequentialRuns(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 4, OpsPerThread: 20, Words: 8, Seed: 2})
+	plat := PlatformX86()
+	full := mustRun(t, plat, p, 7, 20)
+	for _, skip := range []int{0, 1, 7, 19} {
+		r, err := NewRunner(plat, p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SkipIterations(skip)
+		ex, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full[skip]
+		if ex.Cycles != want.Cycles {
+			t.Errorf("skip %d: cycles %d, sequential %d", skip, ex.Cycles, want.Cycles)
+		}
+		for id, v := range want.LoadValues {
+			if ex.LoadValues[id] != v {
+				t.Errorf("skip %d: load %d = %d, sequential %d", skip, id, ex.LoadValues[id], v)
+			}
+		}
+	}
+}
+
+// TestRunnerRejectsConcurrentRun: a Runner is owned by one goroutine; a
+// second concurrent Run must fail rather than corrupt the seed stream.
+func TestRunnerRejectsConcurrentRun(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 2})
+	r, err := NewRunner(PlatformX86(), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grs = 4
+	errs := make(chan error, grs)
+	for g := 0; g < grs; g++ {
+		go func() {
+			var firstErr error
+			for i := 0; i < 50; i++ {
+				if _, err := r.Run(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			errs <- firstErr
+		}()
+	}
+	sawReject := false
+	for g := 0; g < grs; g++ {
+		if err := <-errs; err != nil {
+			if !strings.Contains(err.Error(), "concurrent") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawReject = true
+		}
+	}
+	if !sawReject {
+		t.Log("no overlap provoked; ownership guard not exercised this run")
+	}
+}

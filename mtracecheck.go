@@ -36,6 +36,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"mtracecheck/internal/check"
 	"mtracecheck/internal/graph"
@@ -167,6 +169,24 @@ type Options struct {
 	// KeepExecutions retains each iteration's raw execution in the report
 	// (memory-heavy; for analysis tooling).
 	KeepExecutions bool
+	// Workers shards the three hot pipeline stages — execution, signature
+	// decoding, and collective checking — across this many goroutines.
+	// 0 selects GOMAXPROCS; 1 is the serial pipeline. Results are identical
+	// for every value: each execution shard owns its own sim.Runner on the
+	// same seed, skipped ahead to its contiguous block of the iteration
+	// sequence, so iteration i sees the same per-iteration seed regardless
+	// of how the blocks are divided. Only the checker's effort accounting
+	// (CheckStats.PerGraph / SortedVertices) carries a per-shard boundary
+	// overhead: each checking shard's first graph needs one full sort.
+	Workers int
+}
+
+// workerCount resolves Workers (0 = GOMAXPROCS).
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Report is the outcome of validating one test program.
@@ -214,59 +234,66 @@ func Run(cfg TestConfig, opts Options) (*Report, error) {
 }
 
 // RunProgram executes the full pipeline on an existing program (e.g. a
-// litmus test or a hand-built scenario).
+// litmus test or a hand-built scenario). The three hot stages — execution,
+// signature decoding, and collective checking — are sharded across
+// Options.Workers goroutines; see Options.Workers for the determinism
+// contract (results are identical for every worker count).
 func RunProgram(p *Program, opts Options) (*Report, error) {
 	opts = withDefaults(opts)
+	workers := opts.workerCount()
 	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
 	if err != nil {
 		return nil, err
 	}
-	runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
+	report := &Report{Program: p, SignatureBytes: meta.SignatureBytes()}
+
+	shards, err := runShards(p, meta, opts, workers)
 	if err != nil {
 		return nil, err
+	}
+	// Merge shard outputs in shard order; shards own contiguous ascending
+	// iteration blocks, so this order is global iteration order.
+	sets := make([]*sig.Set, len(shards))
+	wsBySig := make(map[string]graph.WS)
+	var firstErr error
+	for si, sh := range shards {
+		sets[si] = sh.set
+		report.Iterations += sh.iterations
+		report.TotalCycles += sh.cycles
+		report.Squashes += sh.squashes
+		report.Executions = append(report.Executions, sh.execs...)
+		report.AssertionFailures = append(report.AssertionFailures, sh.asserts...)
+		if opts.ObservedWS {
+			// Keep the write-serialization order of the globally first
+			// observation of each interleaving: earlier shards hold earlier
+			// iterations, so first-in-shard-order is first-globally.
+			for k, ws := range sh.ws {
+				if _, ok := wsBySig[k]; !ok {
+					wsBySig[k] = ws
+				}
+			}
+		}
+		if sh.err != nil && firstErr == nil {
+			firstErr = sh.err
+		}
+	}
+	uniques := sig.MergeSets(sets...)
+	report.UniqueSignatures = len(uniques)
+	if firstErr != nil {
+		// A crash is a finding (paper bug 3); the report covers every
+		// iteration that executed, and the error names the earliest crash.
+		return report, firstErr
 	}
 
 	wsMode := graph.WSStatic
 	if opts.ObservedWS {
 		wsMode = graph.WSObserved
 	}
-	report := &Report{Program: p, SignatureBytes: meta.SignatureBytes()}
-	set := sig.NewSet()
-	wsBySig := make(map[string]graph.WS)
-	for i := 0; i < opts.Iterations; i++ {
-		ex, err := runner.Run()
-		if err != nil {
-			return report, fmt.Errorf("%w: iteration %d: %v", ErrCrash, i, err)
-		}
-		report.Iterations++
-		report.TotalCycles += int64(ex.Cycles)
-		report.Squashes += ex.Squashes
-		if opts.KeepExecutions {
-			report.Executions = append(report.Executions, ex)
-		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
-		if err != nil {
-			var ae *instrument.AssertionError
-			if errors.As(err, &ae) {
-				report.AssertionFailures = append(report.AssertionFailures, ae)
-				continue
-			}
-			return report, err
-		}
-		if set.Add(s) && opts.ObservedWS {
-			// First observation of this interleaving: keep its
-			// write-serialization order for graph construction. (The
-			// static-ws default needs nothing beyond the signature.)
-			wsBySig[s.Key()] = ex.WS
-		}
-	}
-	report.UniqueSignatures = set.Len()
-
 	builder := graph.NewBuilder(p, opts.Platform.Model, graph.Options{
 		Forwarding: opts.Platform.Atomicity.AllowsForwarding(),
 		WS:         wsMode,
 	})
-	items, err := DecodeItems(meta, builder, set.Sorted(), wsBySig)
+	items, err := decodeItems(meta, builder, uniques, wsBySig, workers)
 	if err != nil {
 		return report, err
 	}
@@ -279,7 +306,7 @@ func RunProgram(p *Program, opts Options) (*Report, error) {
 			return report, err
 		}
 	default:
-		report.CheckStats, err = check.Collective(builder, items)
+		report.CheckStats, err = check.Sharded(builder, items, workers)
 		if err != nil {
 			return report, err
 		}
@@ -288,26 +315,167 @@ func RunProgram(p *Program, opts Options) (*Report, error) {
 	return report, nil
 }
 
+// shardOut is what one execution shard produces: private signature set and
+// stats, merged by the caller in shard order.
+type shardOut struct {
+	set        *sig.Set
+	ws         map[string]graph.WS // sig key -> first-observation ws
+	iterations int
+	cycles     int64
+	squashes   int
+	execs      []*sim.Execution
+	asserts    []error
+	err        error
+}
+
+// runShards executes the iteration sequence split into workers contiguous
+// blocks, each on its own Runner over the same seed skipped ahead to the
+// block's start — so every iteration draws the same per-iteration seed as
+// the serial pipeline, whatever the worker count. Runners are constructed
+// up front so platform/program validation errors surface before any work.
+func runShards(p *Program, meta *instrument.Meta, opts Options, workers int) ([]*shardOut, error) {
+	if workers > opts.Iterations {
+		workers = opts.Iterations
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	base, rem := opts.Iterations/workers, opts.Iterations%workers
+	starts := make([]int, workers+1)
+	runners := make([]*sim.Runner, workers)
+	for si := 0; si < workers; si++ {
+		size := base
+		if si < rem {
+			size++
+		}
+		starts[si+1] = starts[si] + size
+		runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		runner.SkipIterations(starts[si])
+		runners[si] = runner
+	}
+	shards := make([]*shardOut, workers)
+	var wg sync.WaitGroup
+	for si := 0; si < workers; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			shards[si] = runShard(runners[si], meta, opts, starts[si], starts[si+1]-starts[si])
+		}(si)
+	}
+	wg.Wait()
+	return shards, nil
+}
+
+// runShard drives one runner through count iterations starting at global
+// iteration index start.
+func runShard(runner *sim.Runner, meta *instrument.Meta, opts Options, start, count int) *shardOut {
+	out := &shardOut{set: sig.NewSet()}
+	if opts.ObservedWS {
+		out.ws = make(map[string]graph.WS)
+	}
+	for i := 0; i < count; i++ {
+		ex, err := runner.Run()
+		if err != nil {
+			out.err = fmt.Errorf("%w: iteration %d: %v", ErrCrash, start+i, err)
+			return out
+		}
+		out.iterations++
+		out.cycles += int64(ex.Cycles)
+		out.squashes += ex.Squashes
+		if opts.KeepExecutions {
+			out.execs = append(out.execs, ex)
+		}
+		s, err := meta.EncodeExecution(ex.LoadValues)
+		if err != nil {
+			var ae *instrument.AssertionError
+			if errors.As(err, &ae) {
+				out.asserts = append(out.asserts, ae)
+				continue
+			}
+			out.err = err
+			return out
+		}
+		if out.set.Add(s) && opts.ObservedWS {
+			// First observation of this interleaving in this shard: keep its
+			// write-serialization order for graph construction. (The
+			// static-ws default needs nothing beyond the signature.)
+			out.ws[s.Key()] = ex.WS
+		}
+	}
+	return out
+}
+
 // DecodeItems converts sorted unique signatures back into checkable items:
 // each signature is decoded to its reads-from relation (paper Alg. 1) and
 // combined with the write-serialization order observed by the harness.
+// Signatures decode independently, so the work fans out over GOMAXPROCS
+// goroutines into a pre-sized slice that preserves the sorted order.
 func DecodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
 	wsBySig map[string]graph.WS) ([]check.Item, error) {
-	items := make([]check.Item, 0, len(uniques))
-	for _, u := range uniques {
-		cands, err := meta.Decode(u.Sig)
+	return decodeItems(meta, b, uniques, wsBySig, runtime.GOMAXPROCS(0))
+}
+
+// decodeItems is DecodeItems over an explicit worker count. Workers fill
+// disjoint contiguous ranges of the result, and on failure the error for
+// the lowest-indexed failing signature is returned — the one the serial
+// loop would have hit first.
+func decodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
+	wsBySig map[string]graph.WS, workers int) ([]check.Item, error) {
+	items := make([]check.Item, len(uniques))
+	decode := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			u := uniques[i]
+			cands, err := meta.Decode(u.Sig)
+			if err != nil {
+				return err
+			}
+			rf := make(graph.RF, len(cands))
+			for loadID, c := range cands {
+				rf[loadID] = c.Store
+			}
+			edges, err := b.DynamicEdges(rf, wsBySig[u.Sig.Key()])
+			if err != nil {
+				return err
+			}
+			items[i] = check.Item{Sig: u.Sig, Edges: edges}
+		}
+		return nil
+	}
+	if workers > len(uniques) {
+		workers = len(uniques)
+	}
+	if workers <= 1 {
+		if err := decode(0, len(uniques)); err != nil {
+			return nil, err
+		}
+		return items, nil
+	}
+	base, rem := len(uniques)/workers, len(uniques)%workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = decode(lo, hi)
+		}(w, lo, lo+size)
+		lo += size
+	}
+	wg.Wait()
+	// Ranges ascend with the worker index, so the first recorded error is
+	// the one with the lowest signature index.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rf := make(graph.RF, len(cands))
-		for loadID, c := range cands {
-			rf[loadID] = c.Store
-		}
-		edges, err := b.DynamicEdges(rf, wsBySig[u.Sig.Key()])
-		if err != nil {
-			return nil, err
-		}
-		items = append(items, check.Item{Sig: u.Sig, Edges: edges})
 	}
 	return items, nil
 }
@@ -317,6 +485,9 @@ func DecodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
 // outcome that is observed also surfaces as a graph-check violation.
 func RunLitmus(l Litmus, opts Options) (observed int, report *Report, err error) {
 	opts = withDefaults(opts)
+	// Outcome counting needs the raw executions even when the caller does
+	// not: force retention for the run, then honor the caller's flag.
+	keep := opts.KeepExecutions
 	opts.KeepExecutions = true
 	report, err = RunProgram(l.Prog, opts)
 	if err != nil {
@@ -327,7 +498,7 @@ func RunLitmus(l Litmus, opts Options) (observed int, report *Report, err error)
 			observed++
 		}
 	}
-	if !opts.KeepExecutions {
+	if !keep {
 		report.Executions = nil
 	}
 	return observed, report, nil
@@ -368,30 +539,27 @@ func SaveSignatures(w io.Writer, report *Report, uniques []sig.Unique) error {
 // CollectSignatures runs only the execution stage: the program is executed
 // for the configured iterations and the sorted unique signatures are
 // returned without any checking. This is the "device side" of the paper's
-// flow; pair it with CheckSignatures on the host.
+// flow; pair it with CheckSignatures on the host. Execution shards across
+// Options.Workers exactly as RunProgram does, so both sides of the split
+// observe the same signatures for the same (Seed, Iterations).
 func CollectSignatures(p *Program, opts Options) ([]sig.Unique, error) {
 	opts = withDefaults(opts)
 	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
 	if err != nil {
 		return nil, err
 	}
-	runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
+	shards, err := runShards(p, meta, opts, opts.workerCount())
 	if err != nil {
 		return nil, err
 	}
-	set := sig.NewSet()
-	for i := 0; i < opts.Iterations; i++ {
-		ex, err := runner.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%w: iteration %d: %v", ErrCrash, i, err)
+	sets := make([]*sig.Set, len(shards))
+	for si, sh := range shards {
+		sets[si] = sh.set
+		if sh.err != nil {
+			return nil, sh.err
 		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
-		if err != nil {
-			return nil, err
-		}
-		set.Add(s)
 	}
-	return set.Sorted(), nil
+	return sig.MergeSets(sets...), nil
 }
 
 // CheckSignatures is the "host side": it decodes previously collected
@@ -424,17 +592,17 @@ func LoadSignatures(r io.Reader) ([]sig.Unique, error) { return sig.ReadSet(r) }
 // signature using the same options the report was produced with.
 func WriteViolationDOT(w io.Writer, report *Report, v Violation, opts Options) error {
 	opts = withDefaults(opts)
+	// Reject unsupported modes before doing any analysis work.
+	if opts.ObservedWS {
+		return fmt.Errorf("mtracecheck: DOT rendering of observed-ws violations requires the recorded ws; re-run with the static mode")
+	}
 	meta, err := instrument.Analyze(report.Program, opts.Platform.RegWidthBits, opts.Pruner)
 	if err != nil {
 		return err
 	}
-	wsMode := graph.WSStatic
-	if opts.ObservedWS {
-		return fmt.Errorf("mtracecheck: DOT rendering of observed-ws violations requires the recorded ws; re-run with the static mode")
-	}
 	builder := graph.NewBuilder(report.Program, opts.Platform.Model, graph.Options{
 		Forwarding: opts.Platform.Atomicity.AllowsForwarding(),
-		WS:         wsMode,
+		WS:         graph.WSStatic,
 	})
 	cands, err := meta.Decode(v.Sig)
 	if err != nil {

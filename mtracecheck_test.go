@@ -308,3 +308,165 @@ func TestPrunerOptionWiredThrough(t *testing.T) {
 		t.Error("tight pruner produced no assertion failures")
 	}
 }
+
+// TestShardedPipelineMatchesSerial: the Workers option must not change any
+// result — execution shards skip ahead within the same seed stream, so
+// Workers: N and Workers: 1 see identical iterations, signatures, and
+// verdicts. Only the collective checker's effort accounting may grow by the
+// per-shard boundary overhead (one complete sort per shard, plus one per
+// cyclic graph delaying a shard's first valid base order).
+func TestShardedPipelineMatchesSerial(t *testing.T) {
+	hammer := func() *Program {
+		b := prog.NewBuilder("hammer", 1, prog.DefaultLayout())
+		b.Thread()
+		for i := 0; i < 20; i++ {
+			b.Store(0)
+		}
+		b.Thread()
+		for i := 0; i < 20; i++ {
+			b.Load(0)
+		}
+		return b.MustBuild()
+	}
+	cases := []struct {
+		name string
+		prog *Program
+		plat Platform
+	}{
+		{"clean-x86", testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5}), PlatformX86()},
+		{"bug-lsq-skip", hammer(), BuggyPlatform(BugLSQSkip)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts := Options{Platform: c.plat, Iterations: 200, Seed: 11, KeepExecutions: true}
+			opts.Workers = 1
+			serial, err := RunProgram(c.prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.name == "bug-lsq-skip" && len(serial.Violations) == 0 {
+				t.Fatal("buggy case produced no violations to compare")
+			}
+			for _, workers := range []int{2, 3, 4, 7} {
+				opts.Workers = workers
+				sharded, err := RunProgram(c.prog, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sharded.Iterations != serial.Iterations ||
+					sharded.TotalCycles != serial.TotalCycles ||
+					sharded.Squashes != serial.Squashes {
+					t.Fatalf("workers %d: execution stats diverge: iters %d/%d cycles %d/%d squashes %d/%d",
+						workers, sharded.Iterations, serial.Iterations,
+						sharded.TotalCycles, serial.TotalCycles, sharded.Squashes, serial.Squashes)
+				}
+				if sharded.UniqueSignatures != serial.UniqueSignatures {
+					t.Fatalf("workers %d: %d unique signatures, serial %d",
+						workers, sharded.UniqueSignatures, serial.UniqueSignatures)
+				}
+				if len(sharded.AssertionFailures) != len(serial.AssertionFailures) {
+					t.Fatalf("workers %d: %d assertion failures, serial %d",
+						workers, len(sharded.AssertionFailures), len(serial.AssertionFailures))
+				}
+				// Shards hold contiguous ascending iteration blocks, so the
+				// retained executions must match serial order exactly.
+				if len(sharded.Executions) != len(serial.Executions) {
+					t.Fatalf("workers %d: %d executions, serial %d",
+						workers, len(sharded.Executions), len(serial.Executions))
+				}
+				for i := range serial.Executions {
+					if sharded.Executions[i].Cycles != serial.Executions[i].Cycles {
+						t.Fatalf("workers %d: execution %d cycles %d, serial %d",
+							workers, i, sharded.Executions[i].Cycles, serial.Executions[i].Cycles)
+					}
+					for id, v := range serial.Executions[i].LoadValues {
+						if sharded.Executions[i].LoadValues[id] != v {
+							t.Fatalf("workers %d: execution %d load %d differs", workers, i, id)
+						}
+					}
+				}
+				if len(sharded.Violations) != len(serial.Violations) {
+					t.Fatalf("workers %d: %d violations, serial %d",
+						workers, len(sharded.Violations), len(serial.Violations))
+				}
+				for i, v := range serial.Violations {
+					sv := sharded.Violations[i]
+					if sv.Index != v.Index || !sv.Sig.Equal(v.Sig) {
+						t.Fatalf("workers %d: violation %d = (%d, %v), serial (%d, %v)",
+							workers, i, sv.Index, sv.Sig, v.Index, v.Sig)
+					}
+					if len(sv.Cycle) != len(v.Cycle) {
+						t.Fatalf("workers %d: violation %d cycle lengths differ", workers, i)
+					}
+					for k := range v.Cycle {
+						if sv.Cycle[k] != v.Cycle[k] {
+							t.Fatalf("workers %d: violation %d cycle differs", workers, i)
+						}
+					}
+				}
+				// SortedVertices modulo shard overhead: one full sort per
+				// checking shard, plus window-size drift downstream of each
+				// boundary (the boundary's full sort installs a different
+				// maintained order than the serial chain had there).
+				n := int64(c.prog.NumOps())
+				sv, base := sharded.CheckStats.SortedVertices, serial.CheckStats.SortedVertices
+				slack := int64(workers+len(serial.Violations))*n + base/4
+				if diff := sv - base; diff < -slack || diff > slack {
+					t.Fatalf("workers %d: SortedVertices %d vs serial %d exceeds slack %d",
+						workers, sv, base, slack)
+				}
+			}
+		})
+	}
+}
+
+// TestCollectSignaturesWorkerInvariant: the device side of the split must
+// produce the identical signature set for every worker count, and agree
+// with the integrated pipeline.
+func TestCollectSignaturesWorkerInvariant(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 16, Seed: 5})
+	opts := Options{Platform: PlatformX86(), Iterations: 120, Seed: 9, Workers: 1}
+	serial, err := CollectSignatures(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 5
+	sharded, err := CollectSignatures(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded) != len(serial) {
+		t.Fatalf("workers 5: %d uniques, serial %d", len(sharded), len(serial))
+	}
+	for i := range serial {
+		if !sharded[i].Sig.Equal(serial[i].Sig) || sharded[i].Count != serial[i].Count {
+			t.Fatalf("unique %d: got %v x%d, want %v x%d", i,
+				sharded[i].Sig, sharded[i].Count, serial[i].Sig, serial[i].Count)
+		}
+	}
+}
+
+// TestRunLitmusHonorsKeepExecutions: the executions retained internally for
+// outcome counting must be released when the caller did not ask for them.
+func TestRunLitmusHonorsKeepExecutions(t *testing.T) {
+	var sb Litmus
+	for _, l := range LitmusTests() {
+		if l.Name == "SB" {
+			sb = l
+		}
+	}
+	_, report, err := RunLitmus(sb, Options{Iterations: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executions) != 0 {
+		t.Errorf("executions retained without KeepExecutions: %d", len(report.Executions))
+	}
+	_, report, err = RunLitmus(sb, Options{Iterations: 50, Seed: 3, KeepExecutions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executions) != 50 {
+		t.Errorf("KeepExecutions retained %d executions, want 50", len(report.Executions))
+	}
+}
