@@ -1,6 +1,9 @@
 GO ?= go
+# Per-target budget for the short fuzzing pass; a few seconds each keeps
+# `make verify` PR-sized while still exercising the mutated-signature corpus.
+FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench fuzz-short verify
 
 build:
 	$(GO) build ./...
@@ -15,8 +18,16 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Short native-fuzzing pass over the decoder and the binary readers — the
+# attack surface the fault injector corrupts. Go runs one fuzz target per
+# invocation, hence the separate lines.
+fuzz-short:
+	$(GO) test ./internal/instrument -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/instrument -run '^$$' -fuzz '^FuzzEncodeValues$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sig -run '^$$' -fuzz '^FuzzReadSet$$' -fuzztime $(FUZZTIME)
+
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race
+verify: build vet test race fuzz-short
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .

@@ -7,15 +7,26 @@
 //
 //	mtracecheck -isa ARM -threads 4 -ops 100 -words 64 -iters 2048
 //	mtracecheck -isa x86 -threads 4 -ops 50 -words 8 -wpl 4 -bug sm-inv
+//	mtracecheck -threads 4 -ops 50 -sigs-out sigs.bin      # device side
+//	mtracecheck -threads 4 -ops 50 -sigs-in sigs.bin       # host side
+//	mtracecheck -iters 65536 -checkpoint run.ckpt          # checkpointed
+//	mtracecheck -iters 65536 -checkpoint run.ckpt -resume  # ...resumed
 //
 // The -bug flag injects one of the paper's §7 defects (sm-inv, lsq-skip,
-// wb-race) into the platform, switching to the gem5-like preset.
+// wb-race) into the platform, switching to the gem5-like preset. The
+// -fault-* flags inject deterministic device-side signature corruption and
+// shard faults (see internal/fault) to exercise the quarantine and retry
+// machinery.
+//
+// Exit codes distinguish findings from infrastructure trouble; see -h.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mtracecheck"
 	"mtracecheck/internal/mem"
@@ -24,7 +35,20 @@ import (
 	"mtracecheck/internal/testgen"
 )
 
-func main() {
+// Exit codes: scripts driving validation campaigns need to tell "the
+// platform is broken" (a finding — the whole point of the tool) from "the
+// pipeline is broken" (infra) from "the signature channel is too corrupted
+// to trust" (quarantine overflow).
+const (
+	exitPass       = 0
+	exitFinding    = 1 // MCM violation, assertion failure, or platform crash
+	exitInfra      = 2 // configuration, I/O, or pipeline error
+	exitQuarantine = 3 // quarantined fraction exceeded -max-quarantine
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		isa     = flag.String("isa", "x86", "platform flavor: x86 (TSO) or ARM (weak)")
 		threads = flag.Int("threads", 4, "test threads")
@@ -41,32 +65,68 @@ func main() {
 		bug     = flag.String("bug", "", "inject a bug: sm-inv, lsq-skip, or wb-race")
 		verbose = flag.Bool("v", false, "print violation details")
 		sigsOut = flag.String("sigs-out", "", "write the collected unique signatures to this file")
+		sigsIn  = flag.String("sigs-in", "", "check-only mode: skip execution and check the signatures in this file (pair with -prog or the same generation flags/seed)")
 		dotOut  = flag.String("dot", "", "write the first violation's constraint graph (DOT) to this file")
 		traceTo = flag.String("trace", "", "write one traced iteration's op timeline (TSV) to this file")
 		progIn  = flag.String("prog", "", "run this saved test program instead of generating one")
 		progOut = flag.String("dump-prog", "", "write the generated test program (text format) to this file")
+
+		strict    = flag.Bool("strict", false, "abort on the first corrupted signature or lost shard instead of degrading")
+		maxQuar   = flag.Float64("max-quarantine", 0, "fail (exit 3) when more than this fraction of unique signatures is quarantined (0 = no limit)")
+		shardTO   = flag.Duration("shard-timeout", 0, "deadline per execution-shard attempt (0 = none)")
+		retries   = flag.Int("shard-retries", 2, "retries per failed execution shard before degrading to partial results")
+		ckptPath  = flag.String("checkpoint", "", "periodically persist campaign progress to this file")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint cadence in iterations (0 = iters/10)")
+		resume    = flag.Bool("resume", false, "resume the campaign from -checkpoint, skipping the iterations it covers")
+
+		fBitFlip  = flag.Float64("fault-bitflip", 0, "injected fault rate: flip one bit in a signature word")
+		fTruncate = flag.Float64("fault-truncate", 0, "injected fault rate: drop a unique-set entry")
+		fDup      = flag.Float64("fault-duplicate", 0, "injected fault rate: duplicate a unique-set entry")
+		fOOR      = flag.Float64("fault-oor", 0, "injected fault rate: force a signature word out of range")
+		fStall    = flag.Float64("fault-stall", 0, "injected fault rate: stall an execution shard")
+		fStallFor = flag.Duration("fault-stall-for", 0, "injected stall duration (0 = 250ms)")
+		fPanic    = flag.Float64("fault-panic", 0, "injected fault rate: panic an execution shard")
+		fSeed     = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	plat, err := platform(*isa, *bug)
 	if err != nil {
-		fatal(err)
+		return infra(err)
 	}
 	if *osMode {
 		plat.OS = sim.OSConfig{Enabled: true, Quantum: 400, QuantumJitter: 120, Migrate: true}
 	}
 	if *workers < 0 {
-		fatal(fmt.Errorf("-workers must be >= 0, got %d", *workers))
+		return infra(fmt.Errorf("-workers must be >= 0, got %d", *workers))
 	}
 	opts := mtracecheck.Options{
-		Platform:   plat,
-		Iterations: *iters,
-		Seed:       *seed,
-		Workers:    *workers,
+		Platform:            plat,
+		Iterations:          *iters,
+		Seed:                *seed,
+		Workers:             *workers,
+		Strict:              *strict,
+		QuarantineThreshold: *maxQuar,
+		ShardTimeout:        *shardTO,
+		ShardRetries:        *retries,
+		CheckpointPath:      *ckptPath,
+		CheckpointEvery:     *ckptEvery,
+		Resume:              *resume,
+		Fault: mtracecheck.FaultConfig{
+			Seed:       *fSeed,
+			BitFlip:    *fBitFlip,
+			Truncate:   *fTruncate,
+			Duplicate:  *fDup,
+			OutOfRange: *fOOR,
+			ShardStall: *fStall,
+			ShardPanic: *fPanic,
+			StallFor:   *fStallFor,
+		},
 	}
 	opts.Checker, err = parseChecker(*checker)
 	if err != nil {
-		fatal(err)
+		return infra(err)
 	}
 	cfg := mtracecheck.TestConfig{
 		Threads:      *threads,
@@ -78,22 +138,33 @@ func main() {
 		Seed:         *seed,
 	}
 
+	// Check-only mode: the host side of the device/host split. The program
+	// must be reconstructed exactly — from its saved text or from the same
+	// generation flags and seed the device side used.
+	if *sigsIn != "" {
+		p, err := checkProgram(*progIn, cfg)
+		if err != nil {
+			return infra(err)
+		}
+		return runCheckOnly(*sigsIn, p, plat, *verbose)
+	}
+
 	var report *mtracecheck.Report
 	if *progIn != "" {
 		p, err := loadProgram(*progIn)
 		if err != nil {
-			fatal(err)
+			return infra(err)
 		}
 		fmt.Printf("mtracecheck: %s (%d threads, %d ops) on %s (%s), %d iterations\n",
 			p.Name, p.NumThreads(), p.NumOps(), plat.Name, mtracecheck.ModelName(plat), *iters)
 		report, err = mtracecheck.RunProgram(p, opts)
 		if err != nil {
-			reportRunError(report, err)
+			return reportRunError(report, err)
 		}
 	} else {
 		if *progOut != "" {
 			if err := saveProgram(*progOut, cfg); err != nil {
-				fatal(err)
+				return infra(err)
 			}
 			fmt.Printf("test program written to %s\n", *progOut)
 		}
@@ -102,10 +173,9 @@ func main() {
 		var err error
 		report, err = mtracecheck.Run(cfg, opts)
 		if err != nil {
-			reportRunError(report, err)
+			return reportRunError(report, err)
 		}
 	}
-	err = error(nil)
 	fmt.Printf("unique interleavings: %d / %d iterations (%.1f%%)\n",
 		report.UniqueSignatures, report.Iterations,
 		100*float64(report.UniqueSignatures)/float64(report.Iterations))
@@ -116,21 +186,22 @@ func main() {
 		fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
 			c, nr, inc, report.CheckStats.SortedVertices)
 	}
+	printDegradation(report)
 	if *traceTo != "" {
 		if err := dumpTrace(*traceTo, cfg, opts); err != nil {
-			fatal(err)
+			return infra(err)
 		}
 		fmt.Printf("timeline written to %s\n", *traceTo)
 	}
 	if *sigsOut != "" {
 		if err := dumpSignatures(*sigsOut, cfg, opts); err != nil {
-			fatal(err)
+			return infra(err)
 		}
 		fmt.Printf("signatures written to %s\n", *sigsOut)
 	}
 	if *dotOut != "" && len(report.Violations) > 0 {
 		if err := dumpDOT(*dotOut, report, report.Violations[0], opts); err != nil {
-			fatal(err)
+			return infra(err)
 		}
 		fmt.Printf("violation graph written to %s\n", *dotOut)
 	}
@@ -138,20 +209,119 @@ func main() {
 		fmt.Printf("RESULT: FAIL — %d graph violations, %d assertion failures\n",
 			len(report.Violations), len(report.AssertionFailures))
 		if *verbose {
-			for _, v := range report.Violations {
-				fmt.Printf("  violation: signature %v, cycle through ops %v\n", v.Sig, v.Cycle)
-				for _, opID := range v.Cycle {
-					op := report.Program.OpByID(int(opID))
-					fmt.Printf("    op %d: thread %d  %s\n", op.ID, op.Thread, op)
-				}
-			}
-			for _, e := range report.AssertionFailures {
-				fmt.Printf("  assert: %v\n", e)
-			}
+			printViolations(report)
 		}
-		os.Exit(1)
+		return exitFinding
 	}
 	fmt.Println("RESULT: PASS — all observed interleavings consistent with the model")
+	return exitPass
+}
+
+// usage extends the default flag help with the exit-code contract.
+func usage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "Usage: mtracecheck [flags]\n\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(out, `
+Exit codes:
+  0  pass: every observed interleaving is consistent with the model
+  1  finding: MCM violation, instrumentation assertion failure, or
+     platform crash (deadlock/livelock) during test execution
+  2  infrastructure error: bad configuration, I/O failure, or a pipeline
+     error in strict mode
+  3  quarantine overflow: the fraction of unique signatures quarantined
+     as corrupted exceeded -max-quarantine
+`)
+}
+
+// printDegradation summarizes fault tolerance outcomes: resumed progress,
+// injected faults, quarantined signatures, and lost shards.
+func printDegradation(report *mtracecheck.Report) {
+	if report.ResumedIterations > 0 {
+		fmt.Printf("resumed:              %d iterations from checkpoint\n", report.ResumedIterations)
+	}
+	if n := len(report.InjectedFaults); n > 0 {
+		fmt.Printf("injected faults:     ")
+		for kind, count := range report.InjectedFaults {
+			fmt.Printf(" %v=%d", kind, count)
+		}
+		fmt.Println()
+	}
+	if counts := report.QuarantineCounts(); counts != nil {
+		fmt.Printf("quarantined:          %d signatures (", len(report.Quarantined))
+		first := true
+		for kind, count := range counts {
+			if !first {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%d %v", count, kind)
+			first = false
+		}
+		fmt.Println(")")
+	}
+	if report.Partial() {
+		fmt.Printf("PARTIAL: %d execution shards lost after retries:\n", len(report.ShardFailures))
+		for _, sf := range report.ShardFailures {
+			fmt.Printf("  iterations [%d,%d): %d executed over %d attempts: %v\n",
+				sf.Start, sf.Start+sf.Count, sf.Executed, sf.Attempts, sf.Err)
+		}
+	}
+}
+
+func printViolations(report *mtracecheck.Report) {
+	for _, v := range report.Violations {
+		fmt.Printf("  violation: signature %v, cycle through ops %v\n", v.Sig, v.Cycle)
+		for _, opID := range v.Cycle {
+			op := report.Program.OpByID(int(opID))
+			fmt.Printf("    op %d: thread %d  %s\n", op.ID, op.Thread, op)
+		}
+	}
+	for _, e := range report.AssertionFailures {
+		fmt.Printf("  assert: %v\n", e)
+	}
+}
+
+// checkProgram resolves the test program for check-only mode: a saved
+// program file, or regeneration from the configuration flags.
+func checkProgram(progIn string, cfg mtracecheck.TestConfig) (*mtracecheck.Program, error) {
+	if progIn != "" {
+		return loadProgram(progIn)
+	}
+	return testgen.Generate(cfg)
+}
+
+// runCheckOnly is the host side: load previously collected signatures and
+// check them against the model without executing anything.
+func runCheckOnly(path string, p *mtracecheck.Program, plat mtracecheck.Platform, verbose bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return infra(err)
+	}
+	uniques, err := mtracecheck.LoadSignatures(f)
+	f.Close()
+	if err != nil {
+		return infra(err)
+	}
+	fmt.Printf("mtracecheck: checking %d unique signatures from %s against %s (%s)\n",
+		len(uniques), path, plat.Name, mtracecheck.ModelName(plat))
+	res, err := mtracecheck.CheckSignatures(p, plat, uniques, nil)
+	if err != nil {
+		return infra(err)
+	}
+	c, nr, inc := res.Counts()
+	fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
+		c, nr, inc, res.SortedVertices)
+	if len(res.Violations) > 0 {
+		fmt.Printf("RESULT: FAIL — %d graph violations\n", len(res.Violations))
+		if verbose {
+			for _, v := range res.Violations {
+				fmt.Printf("  violation: signature %v, cycle through ops %v\n", v.Sig, v.Cycle)
+			}
+		}
+		return exitFinding
+	}
+	fmt.Println("RESULT: PASS — all recorded interleavings consistent with the model")
+	return exitPass
 }
 
 // parseChecker maps the -checker flag to a checker selection; unknown
@@ -242,13 +412,27 @@ func dumpDOT(path string, report *mtracecheck.Report, v mtracecheck.Violation,
 	return mtracecheck.WriteViolationDOT(f, report, v, opts)
 }
 
-// reportRunError prints a crash (a finding in itself) or a hard error.
-func reportRunError(report *mtracecheck.Report, err error) {
-	if report != nil {
-		fmt.Printf("CRASH after %d iterations: %v\n", report.Iterations, err)
-		os.Exit(2)
+// reportRunError classifies a pipeline error into the exit-code contract:
+// crashes are findings, quarantine overflow has its own code, everything
+// else is infrastructure.
+func reportRunError(report *mtracecheck.Report, err error) int {
+	switch {
+	case errors.Is(err, mtracecheck.ErrCrash):
+		iters := 0
+		if report != nil {
+			iters = report.Iterations
+		}
+		fmt.Printf("CRASH after %d iterations: %v\n", iters, err)
+		return exitFinding
+	case errors.Is(err, mtracecheck.ErrQuarantineThreshold):
+		if report != nil {
+			printDegradation(report)
+		}
+		fmt.Printf("RESULT: QUARANTINE OVERFLOW — %v\n", err)
+		return exitQuarantine
+	default:
+		return infra(err)
 	}
-	fatal(err)
 }
 
 // loadProgram reads a saved test program.
@@ -270,7 +454,9 @@ func saveProgram(path string, cfg mtracecheck.TestConfig) error {
 	return os.WriteFile(path, []byte(prog.Format(p)), 0o644)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mtracecheck:", err)
-	os.Exit(1)
+// infra reports an infrastructure error and selects its exit code.
+func infra(err error) int {
+	// Library errors already carry the package prefix; avoid stuttering.
+	fmt.Fprintln(os.Stderr, "mtracecheck:", strings.TrimPrefix(err.Error(), "mtracecheck: "))
+	return exitInfra
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -92,6 +94,78 @@ func TestParseCheckerListsValidValues(t *testing.T) {
 				t.Errorf("parseChecker(%q) error %q does not list %q", bad, err, valid)
 			}
 		}
+	}
+}
+
+// TestReportRunErrorExitCodes pins the exit-code contract: crashes are
+// findings (1), quarantine overflow has its own code (3), everything else
+// is infrastructure (2).
+func TestReportRunErrorExitCodes(t *testing.T) {
+	report := &mtracecheck.Report{Iterations: 5}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("boom: %w", mtracecheck.ErrCrash), exitFinding},
+		{fmt.Errorf("wrapped: %w", mtracecheck.ErrQuarantineThreshold), exitQuarantine},
+		{fmt.Errorf("wrapped: %w", mtracecheck.ErrShardFailed), exitInfra},
+		{errors.New("plain failure"), exitInfra},
+	}
+	for _, c := range cases {
+		if got := reportRunError(report, c.err); got != c.want {
+			t.Errorf("reportRunError(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	// A nil report must not panic the crash path.
+	if got := reportRunError(nil, mtracecheck.ErrCrash); got != exitFinding {
+		t.Errorf("nil-report crash exit %d, want %d", got, exitFinding)
+	}
+}
+
+// TestRunCheckOnly exercises the host side end to end: signatures written
+// by the device side must check clean (exit 0), and a missing file is an
+// infrastructure error.
+func TestRunCheckOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sigs.bin")
+	cfg := mtracecheck.TestConfig{Threads: 2, OpsPerThread: 20, Words: 4, Seed: 1}
+	opts := mtracecheck.Options{Iterations: 50, Seed: 2}
+	if err := dumpSignatures(path, cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	p, err := checkProgram("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := mtracecheck.PlatformX86()
+	if code := runCheckOnly(path, p, plat, false); code != exitPass {
+		t.Errorf("clean signatures: exit %d, want %d", code, exitPass)
+	}
+	if code := runCheckOnly(filepath.Join(dir, "missing.bin"), p, plat, false); code != exitInfra {
+		t.Errorf("missing file: exit %d, want %d", code, exitInfra)
+	}
+}
+
+func TestCheckProgramLoadsOrGenerates(t *testing.T) {
+	cfg := mtracecheck.TestConfig{Threads: 2, OpsPerThread: 10, Words: 4, Seed: 3}
+	generated, err := checkProgram("", cfg)
+	if err != nil || generated == nil {
+		t.Fatalf("generate path: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.txt")
+	if err := saveProgram(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := checkProgram(path, cfg)
+	if err != nil {
+		t.Fatalf("load path: %v", err)
+	}
+	if loaded.NumOps() != generated.NumOps() {
+		t.Errorf("loaded program has %d ops, generated %d", loaded.NumOps(), generated.NumOps())
+	}
+	if _, err := checkProgram(filepath.Join(dir, "missing.txt"), cfg); err == nil {
+		t.Error("missing program file accepted")
 	}
 }
 

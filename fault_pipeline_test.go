@@ -1,0 +1,441 @@
+package mtracecheck
+
+// Fault-tolerance tests: deterministic corruption injection and quarantine,
+// shard retry and degradation, cancellation hygiene, and checkpoint/resume
+// fidelity. They all lean on one invariant — degraded modes must change
+// nothing unless a fault actually strikes, and every fault outcome must be
+// reproducible for any worker count.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// faultCfg is the small, fast test program shared by these tests.
+var faultCfg = TestConfig{Threads: 3, OpsPerThread: 30, Words: 8, Seed: 1}
+
+// sameOutcome asserts the two reports agree on everything the fault
+// machinery promises to preserve: signature population, verdicts, and
+// quarantine.
+func sameOutcome(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if got.Iterations != want.Iterations {
+		t.Errorf("%s: iterations %d, want %d", label, got.Iterations, want.Iterations)
+	}
+	if got.UniqueSignatures != want.UniqueSignatures {
+		t.Errorf("%s: unique signatures %d, want %d", label, got.UniqueSignatures, want.UniqueSignatures)
+	}
+	if len(got.Violations) != len(want.Violations) {
+		t.Fatalf("%s: %d violations, want %d", label, len(got.Violations), len(want.Violations))
+	}
+	for i := range got.Violations {
+		if !got.Violations[i].Sig.Equal(want.Violations[i].Sig) {
+			t.Errorf("%s: violation %d signature mismatch", label, i)
+		}
+	}
+	if len(got.Quarantined) != len(want.Quarantined) {
+		t.Fatalf("%s: %d quarantined, want %d", label, len(got.Quarantined), len(want.Quarantined))
+	}
+	for i := range got.Quarantined {
+		g, w := got.Quarantined[i], want.Quarantined[i]
+		if !g.Sig.Equal(w.Sig) || g.Kind != w.Kind || g.Count != w.Count {
+			t.Errorf("%s: quarantine entry %d: %v/%v/%d, want %v/%v/%d",
+				label, i, g.Sig, g.Kind, g.Count, w.Sig, w.Kind, w.Count)
+		}
+	}
+}
+
+// TestFaultInjectionWorkerInvariant: corruption is keyed by signature
+// content, so the quarantine and the surviving set must be identical for
+// every worker count — the same invariance contract the clean pipeline has.
+func TestFaultInjectionWorkerInvariant(t *testing.T) {
+	base := Options{
+		Iterations: 200, Seed: 3,
+		Fault: FaultConfig{Seed: 11, BitFlip: 0.05, Truncate: 0.03, Duplicate: 0.03, OutOfRange: 0.03},
+	}
+	opts := base
+	opts.Workers = 1
+	serial, err := Run(faultCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.InjectedFaults == nil {
+		t.Fatal("no faults injected at these rates; tune the fault seed")
+	}
+	if len(serial.Quarantined) == 0 {
+		t.Fatal("no signatures quarantined; tune the fault seed")
+	}
+	for _, workers := range []int{2, 3, 7} {
+		opts := base
+		opts.Workers = workers
+		got, err := Run(faultCfg, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sameOutcome(t, "workers="+string(rune('0'+workers)), got, serial)
+		for k, n := range serial.InjectedFaults {
+			if got.InjectedFaults[k] != n {
+				t.Errorf("workers=%d: injected %v=%d, want %d", workers, k, got.InjectedFaults[k], n)
+			}
+		}
+	}
+}
+
+// TestZeroFaultMatchesBaseline: enabling the tolerance machinery without
+// any fault striking must be bit-identical to the plain pipeline — graceful
+// vs strict, zero-rate injection, retries armed, all of it.
+func TestZeroFaultMatchesBaseline(t *testing.T) {
+	baseline, err := Run(faultCfg, Options{Iterations: 150, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]Options{
+		"strict":         {Iterations: 150, Seed: 4, Strict: true},
+		"zero-rates":     {Iterations: 150, Seed: 4, Fault: FaultConfig{Seed: 99}},
+		"retries-armed":  {Iterations: 150, Seed: 4, ShardRetries: 3, ShardTimeout: time.Minute},
+		"threshold-set":  {Iterations: 150, Seed: 4, QuarantineThreshold: 0.01},
+		"workers-capped": {Iterations: 150, Seed: 4, Workers: 2, ShardRetries: 1},
+	}
+	for label, opts := range variants {
+		got, err := Run(faultCfg, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		sameOutcome(t, label, got, baseline)
+		if got.InjectedFaults != nil || got.Partial() || len(got.Quarantined) != 0 {
+			t.Errorf("%s: fault machinery left tracks on a clean run: %+v", label, got)
+		}
+		if got.CheckStats.SortedVertices != baseline.CheckStats.SortedVertices &&
+			opts.Workers == 0 {
+			t.Errorf("%s: checking effort %d, baseline %d",
+				label, got.CheckStats.SortedVertices, baseline.CheckStats.SortedVertices)
+		}
+	}
+}
+
+// TestBitFlipAcceptance is the headline robustness scenario: a clean x86
+// run with 1% bit-flip injection completes without aborting, quarantines
+// the corrupted signatures, and still reports zero MCM violations.
+func TestBitFlipAcceptance(t *testing.T) {
+	report, err := Run(faultCfg, Options{
+		Platform:   PlatformX86(),
+		Iterations: 300, Seed: 1,
+		Fault: FaultConfig{Seed: 7, BitFlip: 0.01},
+	})
+	if err != nil {
+		t.Fatalf("run aborted: %v", err)
+	}
+	if report.InjectedFaults[FaultBitFlip] == 0 {
+		t.Fatal("no bit flips injected; tune the fault seed")
+	}
+	if len(report.Quarantined) == 0 {
+		t.Fatal("corrupted signatures were not quarantined")
+	}
+	if len(report.Violations) != 0 {
+		t.Errorf("%d MCM violations on a clean platform", len(report.Violations))
+	}
+	if counts := report.QuarantineCounts(); counts[QuarantineDecode]+counts[QuarantineEdges] != len(report.Quarantined) {
+		t.Errorf("quarantine counts %v do not cover %d entries", counts, len(report.Quarantined))
+	}
+}
+
+func TestQuarantineThresholdExceeded(t *testing.T) {
+	report, err := Run(faultCfg, Options{
+		Iterations: 150, Seed: 3,
+		QuarantineThreshold: 0.01,
+		Fault:               FaultConfig{Seed: 11, OutOfRange: 0.5},
+	})
+	if !errors.Is(err, ErrQuarantineThreshold) {
+		t.Fatalf("err = %v, want ErrQuarantineThreshold", err)
+	}
+	if report == nil || len(report.Quarantined) == 0 {
+		t.Fatal("threshold error without a populated quarantine")
+	}
+}
+
+func TestStrictAbortsOnCorruption(t *testing.T) {
+	report, err := Run(faultCfg, Options{
+		Iterations: 150, Seed: 3,
+		Strict: true,
+		Fault:  FaultConfig{Seed: 11, OutOfRange: 0.5},
+	})
+	if err == nil {
+		t.Fatal("strict mode tolerated corrupted signatures")
+	}
+	if errors.Is(err, ErrQuarantineThreshold) || errors.Is(err, ErrCrash) {
+		t.Fatalf("strict decode failure misclassified: %v", err)
+	}
+	if report != nil && len(report.Quarantined) != 0 {
+		t.Error("strict mode still quarantined")
+	}
+}
+
+func TestFaultRejectsObservedWS(t *testing.T) {
+	_, err := Run(faultCfg, Options{
+		Iterations: 10, Seed: 1, ObservedWS: true,
+		Fault: FaultConfig{Seed: 1, BitFlip: 0.5},
+	})
+	if err == nil {
+		t.Error("fault injection accepted with observed ws")
+	}
+	_, err = Run(faultCfg, Options{
+		Iterations: 10, Seed: 1, ObservedWS: true,
+		Resume: true, CheckpointPath: filepath.Join(t.TempDir(), "x.ckpt"),
+	})
+	if err == nil {
+		t.Error("resume accepted with observed ws")
+	}
+}
+
+func TestBadFaultConfigRejected(t *testing.T) {
+	_, err := Run(faultCfg, Options{
+		Iterations: 10, Seed: 1,
+		Fault: FaultConfig{BitFlip: 1.5},
+	})
+	if err == nil {
+		t.Error("out-of-range fault rate accepted")
+	}
+}
+
+// TestShardPanicRetried: transient shard panics with retries enabled must
+// leave no trace — the retried campaign equals the clean one exactly.
+func TestShardPanicRetried(t *testing.T) {
+	clean, err := Run(faultCfg, Options{Iterations: 120, Seed: 5, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		report, err := Run(faultCfg, Options{
+			Iterations: 120, Seed: 5, Workers: workers,
+			ShardRetries: 2,
+			Fault:        FaultConfig{Seed: 8, ShardPanic: 1},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: retried run failed: %v", workers, err)
+		}
+		if report.Partial() {
+			t.Fatalf("workers=%d: retried run still partial: %+v", workers, report.ShardFailures)
+		}
+		sameOutcome(t, "panic-retried", report, clean)
+	}
+}
+
+// TestShardPanicExhaustedRetries: with retries off, every shard dies; the
+// graceful pipeline degrades to honestly-labeled partial results while
+// strict mode fails the run.
+func TestShardPanicExhaustedRetries(t *testing.T) {
+	opts := Options{
+		Iterations: 120, Seed: 5, Workers: 2,
+		ShardRetries: 0,
+		Fault:        FaultConfig{Seed: 8, ShardPanic: 1},
+	}
+	report, err := Run(faultCfg, opts)
+	if err != nil {
+		t.Fatalf("graceful degradation returned error: %v", err)
+	}
+	if !report.Partial() || len(report.ShardFailures) != 2 {
+		t.Fatalf("%d shard failures, want 2 (partial=%v)", len(report.ShardFailures), report.Partial())
+	}
+	for _, sf := range report.ShardFailures {
+		if !errors.Is(sf.Err, ErrShardFailed) {
+			t.Errorf("shard failure error %v does not wrap ErrShardFailed", sf.Err)
+		}
+		if sf.Attempts != 1 || sf.Count == 0 {
+			t.Errorf("shard failure bookkeeping: %+v", sf)
+		}
+	}
+	// The partial report still covers the iterations that did execute.
+	if report.Iterations >= 120 || report.UniqueSignatures == 0 {
+		t.Errorf("partial accounting: %d iterations, %d uniques",
+			report.Iterations, report.UniqueSignatures)
+	}
+
+	opts.Strict = true
+	_, err = Run(faultCfg, opts)
+	if !errors.Is(err, ErrShardFailed) {
+		t.Fatalf("strict mode err = %v, want ErrShardFailed", err)
+	}
+}
+
+// TestShardStallTimeoutRetried: a stalled shard trips its per-attempt
+// deadline, is retried, and the campaign completes as if nothing happened.
+func TestShardStallTimeoutRetried(t *testing.T) {
+	clean, err := Run(faultCfg, Options{Iterations: 80, Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(faultCfg, Options{
+		Iterations: 80, Seed: 5, Workers: 2,
+		ShardRetries: 1,
+		ShardTimeout: 500 * time.Millisecond,
+		Fault:        FaultConfig{Seed: 8, ShardStall: 1, StallFor: time.Hour},
+	})
+	if err != nil {
+		t.Fatalf("stalled run failed: %v", err)
+	}
+	if report.Partial() {
+		t.Fatalf("stalled run still partial: %+v", report.ShardFailures)
+	}
+	sameOutcome(t, "stall-retried", report, clean)
+}
+
+// TestCancellationPrompt: a cancelled campaign must return quickly with the
+// context's error and leak no pipeline goroutines.
+func TestCancellationPrompt(t *testing.T) {
+	p, err := NewProgramBuilderFromConfig(faultCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = RunProgramContext(ctx, p, Options{Iterations: 5_000_000, Seed: 2, Workers: 4})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// All pipeline goroutines must wind down; poll briefly to let the
+	// runtime reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, err := NewProgramBuilderFromConfig(faultCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunProgramContext(ctx, p, Options{Iterations: 1000, Seed: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckpointResumeFidelity: an interrupted-then-resumed campaign must
+// produce the same report as the uninterrupted one — including under fault
+// injection, since corruption is a pure function of the final merged set.
+func TestCheckpointResumeFidelity(t *testing.T) {
+	cases := map[string]FaultConfig{
+		"clean":     {},
+		"corrupted": {Seed: 11, BitFlip: 0.05, OutOfRange: 0.03},
+	}
+	for label, fc := range cases {
+		full, err := Run(faultCfg, Options{Iterations: 120, Seed: 6, Fault: fc})
+		if err != nil {
+			t.Fatalf("%s: uninterrupted run: %v", label, err)
+		}
+		ckpt := filepath.Join(t.TempDir(), "campaign.ckpt")
+		// "Interrupted" leg: run only half the iterations, checkpointing as
+		// we go, then resume to the full count in a fresh invocation.
+		if _, err := Run(faultCfg, Options{
+			Iterations: 60, Seed: 6, Fault: fc,
+			CheckpointPath: ckpt, CheckpointEvery: 25,
+		}); err != nil {
+			t.Fatalf("%s: first leg: %v", label, err)
+		}
+		if _, err := os.Stat(ckpt); err != nil {
+			t.Fatalf("%s: no checkpoint written: %v", label, err)
+		}
+		resumed, err := Run(faultCfg, Options{
+			Iterations: 120, Seed: 6, Fault: fc,
+			CheckpointPath: ckpt, CheckpointEvery: 25, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: resumed leg: %v", label, err)
+		}
+		if resumed.ResumedIterations == 0 {
+			t.Fatalf("%s: resume executed from scratch", label)
+		}
+		sameOutcome(t, label+"/resumed", resumed, full)
+		// The resumed run's checkpoint now covers the full campaign: a
+		// second resume executes nothing and still reports identically.
+		again, err := Run(faultCfg, Options{
+			Iterations: 120, Seed: 6, Fault: fc,
+			CheckpointPath: ckpt, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: second resume: %v", label, err)
+		}
+		if again.ResumedIterations != 120 {
+			t.Errorf("%s: second resume restored %d iterations, want 120",
+				label, again.ResumedIterations)
+		}
+		sameOutcome(t, label+"/fully-resumed", again, full)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "c.ckpt")
+	if _, err := Run(faultCfg, Options{Iterations: 40, Seed: 6, CheckpointPath: ckpt, CheckpointEvery: 20}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong seed.
+	if _, err := Run(faultCfg, Options{Iterations: 40, Seed: 7, CheckpointPath: ckpt, Resume: true}); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	// Wrong program.
+	otherCfg := faultCfg
+	otherCfg.Seed = 99
+	if _, err := Run(otherCfg, Options{Iterations: 40, Seed: 6, CheckpointPath: ckpt, Resume: true}); err == nil {
+		t.Error("program mismatch accepted")
+	}
+	// Checkpoint ahead of the campaign.
+	if _, err := Run(faultCfg, Options{Iterations: 20, Seed: 6, CheckpointPath: ckpt, Resume: true}); err == nil {
+		t.Error("checkpoint covering more iterations than requested accepted")
+	}
+	// Resume without a path, and with a missing file.
+	if _, err := Run(faultCfg, Options{Iterations: 40, Seed: 6, Resume: true}); err == nil {
+		t.Error("resume without CheckpointPath accepted")
+	}
+	if _, err := Run(faultCfg, Options{Iterations: 40, Seed: 6,
+		CheckpointPath: filepath.Join(dir, "missing.ckpt"), Resume: true}); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+// TestCollectSignaturesFaultParity: the device-side entry point applies the
+// same corruption as the full pipeline, so a split campaign observes the
+// same surviving set.
+func TestCollectSignaturesFaultParity(t *testing.T) {
+	p, err := NewProgramBuilderFromConfig(faultCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Iterations: 150, Seed: 3,
+		Fault: FaultConfig{Seed: 11, BitFlip: 0.05, Truncate: 0.05},
+	}
+	uniques, err := CollectSignatures(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunProgram(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uniques) != report.UniqueSignatures {
+		t.Errorf("collected %d uniques, pipeline saw %d", len(uniques), report.UniqueSignatures)
+	}
+}

@@ -19,6 +19,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 
 	"mtracecheck/internal/graph"
@@ -111,6 +112,13 @@ func Conventional(b *graph.Builder, items []Item) *Result {
 // sig.Dedup); Collective returns an error otherwise, since the similarity
 // assumption underpins the windowing.
 func Collective(b *graph.Builder, items []Item) (*Result, error) {
+	return CollectiveContext(context.Background(), b, items)
+}
+
+// CollectiveContext is Collective with cooperative cancellation: the context
+// is polled between graphs, so a cancelled campaign stops checking promptly
+// and returns ctx.Err() instead of a partial verdict.
+func CollectiveContext(ctx context.Context, b *graph.Builder, items []Item) (*Result, error) {
 	res := &Result{Total: len(items)}
 	if len(items) == 0 {
 		return res, nil
@@ -130,6 +138,9 @@ func Collective(b *graph.Builder, items []Item) (*Result, error) {
 	w := newWorkspace(b)
 
 	for i, it := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !havePos {
 			// First graph (or recovery after a cyclic graph): complete sort.
 			res.SortedVertices += int64(n)

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -9,7 +10,10 @@ import (
 
 // Sharded partitions the sorted items into shards contiguous ranges and
 // runs Collective on each range concurrently, then merges the per-range
-// results with violation indices rebased to global positions.
+// results with violation indices rebased to global positions. The context
+// is plumbed into every per-range checker, so a cancelled campaign stops
+// all checking shards promptly (the call still joins its goroutines before
+// returning ctx.Err()).
 //
 // Disjoint signature ranges yield independent collective-check chains: the
 // §4.2 windowing argument only ever relates a graph to its immediate
@@ -22,12 +26,12 @@ import (
 // Sharded with shards <= 1 is exactly Collective. Verdicts (the violation
 // set) are identical for every shard count; only the effort accounting
 // (PerGraph, SortedVertices) carries the per-shard boundary overhead.
-func Sharded(b *graph.Builder, items []Item, shards int) (*Result, error) {
+func Sharded(ctx context.Context, b *graph.Builder, items []Item, shards int) (*Result, error) {
 	if shards > len(items) {
 		shards = len(items)
 	}
 	if shards <= 1 {
-		return Collective(b, items)
+		return CollectiveContext(ctx, b, items)
 	}
 	// Validate global sorted order up front: per-shard Collective calls can
 	// only see their own range, and their error would carry a shard-local
@@ -46,7 +50,7 @@ func Sharded(b *graph.Builder, items []Item, shards int) (*Result, error) {
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			parts[s], errs[s] = Collective(b, items[lo:hi])
+			parts[s], errs[s] = CollectiveContext(ctx, b, items[lo:hi])
 		}(s, lo, hi)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestShardedMatchesCollective(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, shards := range []int{2, 3, 7, len(items), len(items) + 5} {
-				sharded, err := Sharded(b, items, shards)
+				sharded, err := Sharded(context.Background(), b, items, shards)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -92,12 +93,12 @@ func TestShardedDegenerate(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := graph.NewBuilder(p, mcm.TSO, graph.Options{Forwarding: true})
-	res, err := Sharded(b, nil, 4)
+	res, err := Sharded(context.Background(), b, nil, 4)
 	if err != nil || res.Total != 0 {
 		t.Fatalf("empty items: res %+v err %v", res, err)
 	}
 	items := scItems(t, p, b, meta, 30, rand.New(rand.NewSource(5)))
-	one, err := Sharded(b, items[:1], 8)
+	one, err := Sharded(context.Background(), b, items[:1], 8)
 	if err != nil || one.Total != 1 {
 		t.Fatalf("single item: total %d err %v", one.Total, err)
 	}
@@ -115,8 +116,31 @@ func TestShardedRejectsUnsortedItems(t *testing.T) {
 		t.Skip("not enough unique items")
 	}
 	items[0], items[len(items)-1] = items[len(items)-1], items[0]
-	if _, err := Sharded(b, items, 2); err == nil {
+	if _, err := Sharded(context.Background(), b, items, 2); err == nil {
 		t.Error("unsorted items accepted")
+	}
+}
+
+// TestShardedCancelled: a cancelled context must stop both the serial and
+// the sharded checker with ctx.Err() instead of a partial verdict.
+func TestShardedCancelled(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 3, OpsPerThread: 20, Words: 4, Seed: 1})
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(p, mcm.TSO, graph.Options{Forwarding: true})
+	items := fabricate(t, p, b, meta, 50, rand.New(rand.NewSource(3)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, shards := range []int{1, 4} {
+		res, err := Sharded(ctx, b, items, shards)
+		if err != context.Canceled {
+			t.Errorf("shards=%d: err = %v, want context.Canceled", shards, err)
+		}
+		if res != nil {
+			t.Errorf("shards=%d: partial result returned alongside cancellation", shards)
+		}
 	}
 }
 

@@ -1,0 +1,329 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+)
+
+func uniques(words ...uint64) []sig.Unique {
+	out := make([]sig.Unique, len(words))
+	for i, w := range words {
+		out[i] = sig.Unique{Sig: sig.New([]uint64{w, w ^ 0xff}), Count: i + 1}
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{BitFlip: 1, Truncate: 0.5, Duplicate: 0.1, OutOfRange: 0.01},
+		{ShardStall: 1, ShardPanic: 1, StallFor: time.Second},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{BitFlip: -0.1},
+		{Truncate: 1.5},
+		{Duplicate: 2},
+		{OutOfRange: -1},
+		{ShardStall: 1.01},
+		{ShardPanic: -0.5},
+		{StallFor: -time.Second},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v): no error", c)
+		}
+		if _, err := NewInjector(c); err == nil {
+			t.Errorf("NewInjector(%+v): no error", c)
+		}
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	for _, c := range []Config{
+		{BitFlip: 0.1}, {Truncate: 0.1}, {Duplicate: 0.1},
+		{OutOfRange: 0.1}, {ShardStall: 0.1}, {ShardPanic: 0.1},
+	} {
+		if !c.Enabled() {
+			t.Errorf("%+v reports disabled", c)
+		}
+	}
+	// Seed or StallFor alone inject nothing.
+	if (Config{Seed: 42, StallFor: time.Second}).Enabled() {
+		t.Error("rate-free config reports enabled")
+	}
+}
+
+// TestCorruptDeterministic: corruption must be a pure function of
+// (Seed, signature set) — independent of how the set was collected.
+func TestCorruptDeterministic(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 3, BitFlip: 0.3, Truncate: 0.2, Duplicate: 0.2, OutOfRange: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := uniques(1, 2, 3, 5, 8, 13, 21, 34, 55, 89)
+	first, firstCounts := in.Corrupt(us)
+	for trial := 0; trial < 3; trial++ {
+		got, counts := in.Corrupt(uniques(1, 2, 3, 5, 8, 13, 21, 34, 55, 89))
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: %d entries, first run %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if !got[i].Sig.Equal(first[i].Sig) || got[i].Count != first[i].Count {
+				t.Fatalf("trial %d entry %d: %v/%d, first run %v/%d", trial, i,
+					got[i].Sig, got[i].Count, first[i].Sig, first[i].Count)
+			}
+		}
+		for k, n := range firstCounts {
+			if counts[k] != n {
+				t.Fatalf("trial %d: %v count %d, first run %d", trial, k, counts[k], n)
+			}
+		}
+	}
+}
+
+// TestCorruptZeroRatesIsIdentity: a corruption-free injector must hand the
+// set back untouched (the zero-fault run is bit-identical to no injector).
+func TestCorruptZeroRatesIsIdentity(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 9, ShardPanic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := uniques(7, 11, 13)
+	got, counts := in.Corrupt(us)
+	if counts != nil {
+		t.Errorf("injected counts %v, want nil", counts)
+	}
+	if len(got) != len(us) {
+		t.Fatalf("%d entries, want %d", len(got), len(us))
+	}
+	for i := range got {
+		if !got[i].Sig.Equal(us[i].Sig) || got[i].Count != us[i].Count {
+			t.Errorf("entry %d changed: %v/%d", i, got[i].Sig, got[i].Count)
+		}
+	}
+}
+
+func TestCorruptTruncateAll(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 1, Truncate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, counts := in.Corrupt(uniques(1, 2, 3))
+	if len(got) != 0 {
+		t.Errorf("%d entries survived Truncate=1", len(got))
+	}
+	if counts[KindTruncate] != 3 {
+		t.Errorf("truncate count %d, want 3", counts[KindTruncate])
+	}
+}
+
+func TestCorruptDuplicateMergesBack(t *testing.T) {
+	// A duplicated entry that survives unmodified must merge back during
+	// host-side dedup with a doubled count.
+	in, err := NewInjector(Config{Seed: 1, Duplicate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := uniques(4, 6)
+	got, counts := in.Corrupt(us)
+	if counts[KindDuplicate] != 2 {
+		t.Errorf("duplicate count %d, want 2", counts[KindDuplicate])
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d entries after dedup, want 2", len(got))
+	}
+	for i := range got {
+		if got[i].Count != 2*us[i].Count {
+			t.Errorf("entry %d count %d, want %d", i, got[i].Count, 2*us[i].Count)
+		}
+	}
+}
+
+func TestCorruptOutOfRangeWritesAllOnes(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 1, OutOfRange: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, counts := in.Corrupt(uniques(5))
+	if counts[KindOutOfRange] != 1 {
+		t.Fatalf("out-of-range count %d, want 1", counts[KindOutOfRange])
+	}
+	found := false
+	for _, u := range got {
+		for i := 0; i < u.Sig.Len(); i++ {
+			if u.Sig.Word(i) == ^uint64(0) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no all-ones word in corrupted set")
+	}
+}
+
+func TestCorruptBitFlipChangesOneBit(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 2, BitFlip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := uniques(0x1234)
+	got, counts := in.Corrupt(us)
+	if counts[KindBitFlip] != 1 {
+		t.Fatalf("bit-flip count %d, want 1", counts[KindBitFlip])
+	}
+	if len(got) != 1 {
+		t.Fatalf("%d entries, want 1", len(got))
+	}
+	diff := 0
+	for i := 0; i < got[0].Sig.Len(); i++ {
+		x := got[0].Sig.Word(i) ^ us[0].Sig.Word(i)
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bits differ, want exactly 1", diff)
+	}
+}
+
+// TestShardPlanTransient: execution faults must hit only attempt 0, and the
+// plan must be deterministic per (seed, block).
+func TestShardPlanTransient(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 5, ShardPanic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := in.ShardPlan(128, 64, 0)
+	if f0.Kind != KindPanic {
+		t.Fatalf("attempt 0 kind %v, want panic", f0.Kind)
+	}
+	if f0.Iteration < 0 || f0.Iteration >= 64 {
+		t.Fatalf("fault iteration %d outside block", f0.Iteration)
+	}
+	if again := in.ShardPlan(128, 64, 0); again != f0 {
+		t.Errorf("plan not deterministic: %+v vs %+v", again, f0)
+	}
+	for attempt := 1; attempt <= 3; attempt++ {
+		if f := in.ShardPlan(128, 64, attempt); f.Kind != KindNone {
+			t.Errorf("attempt %d faulted: %+v", attempt, f)
+		}
+	}
+	if f := in.ShardPlan(128, 0, 0); f.Kind != KindNone {
+		t.Errorf("empty block faulted: %+v", f)
+	}
+}
+
+// stubSource counts Run calls without needing a simulator.
+type stubSource struct{ calls int }
+
+func (s *stubSource) Run() (*sim.Execution, error) {
+	s.calls++
+	return &sim.Execution{}, nil
+}
+
+func TestWrapShardPassThrough(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 1, BitFlip: 1}) // corruption only
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &stubSource{}
+	if src := in.WrapShard(context.Background(), inner, 0, 8, 0); src != sim.Source(inner) {
+		t.Error("corruption-only injector wrapped the source")
+	}
+}
+
+func TestRunnerInjectedPanic(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 5, ShardPanic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := in.ShardPlan(0, 4, 0)
+	inner := &stubSource{}
+	src := in.WrapShard(context.Background(), inner, 0, 4, 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "injected shard panic") {
+			t.Fatalf("panic value %v", r)
+		}
+		if inner.calls != f.Iteration {
+			t.Errorf("inner ran %d iterations before the panic, want %d", inner.calls, f.Iteration)
+		}
+	}()
+	for i := 0; i <= f.Iteration; i++ {
+		if _, err := src.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunnerStallHonorsContext(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 6, ShardStall: 1, StallFor: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := in.ShardPlan(0, 4, 0)
+	if f.Kind != KindStall {
+		t.Fatalf("planned %v, want stall", f.Kind)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	src := in.WrapShard(ctx, &stubSource{}, 0, 4, 0)
+	start := time.Now()
+	var runErr error
+	for i := 0; i <= f.Iteration; i++ {
+		if _, runErr = src.Run(); runErr != nil {
+			break
+		}
+	}
+	if !errors.Is(runErr, context.DeadlineExceeded) {
+		t.Fatalf("stalled run error %v, want deadline exceeded", runErr)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("stall ignored the context (took %v)", el)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	if CountByKind(nil) != nil {
+		t.Error("empty quarantine yields non-nil counts")
+	}
+	q := []Quarantined{
+		{Kind: QuarantineDecode}, {Kind: QuarantineDecode}, {Kind: QuarantineEdges},
+	}
+	counts := CountByKind(q)
+	if counts[QuarantineDecode] != 2 || counts[QuarantineEdges] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNone: "none", KindBitFlip: "bit-flip", KindTruncate: "truncate",
+		KindDuplicate: "duplicate", KindOutOfRange: "out-of-range",
+		KindStall: "stall", KindPanic: "panic",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if QuarantineDecode.String() != "decode" || QuarantineEdges.String() != "edge-build" {
+		t.Errorf("quarantine kind strings: %q, %q", QuarantineDecode, QuarantineEdges)
+	}
+}

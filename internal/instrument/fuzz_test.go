@@ -20,6 +20,21 @@ func FuzzDecode(f *testing.F) {
 	f.Add(uint64(0), uint64(0), uint64(0))
 	f.Add(uint64(1), uint64(2), uint64(3))
 	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	// Mutated valid signatures — the fault injector's corruption model:
+	// start from real encodings and flip single bits or blow out one word,
+	// so the fuzzer explores the boundary between decodable and corrupt.
+	valid := validSignature(f, meta)
+	f.Add(valid.Word(0), valid.Word(1), valid.Word(2))
+	for w := 0; w < valid.Len(); w++ {
+		for _, bit := range []uint{0, 1, 7, 31, 63} {
+			words := valid.Words()
+			words[w] ^= 1 << bit
+			f.Add(words[0], words[1], words[2])
+		}
+		words := valid.Words()
+		words[w] = ^uint64(0)
+		f.Add(words[0], words[1], words[2])
+	}
 	f.Fuzz(func(t *testing.T, w0, w1, w2 uint64) {
 		s := sig.New([]uint64{w0, w1, w2})
 		cands, err := meta.Decode(s)
@@ -38,6 +53,60 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("decode/encode mismatch: %v -> %v", s, back)
 		}
 	})
+}
+
+// validSignature builds a real encoding without running the simulator:
+// every load observes its last (highest-weight) candidate, which the
+// encoder must accept by construction.
+func validSignature(f *testing.F, meta *Meta) sig.Signature {
+	f.Helper()
+	vals := make(map[int]uint32)
+	for _, tm := range meta.Threads {
+		for _, li := range tm.Loads {
+			vals[li.Op.ID] = li.Candidates[len(li.Candidates)-1].Value
+		}
+	}
+	s, err := meta.EncodeExecution(vals)
+	if err != nil {
+		f.Fatalf("constructed execution failed to encode: %v", err)
+	}
+	return s
+}
+
+// TestDecodeRejectsOutOfRange pins the decoder's reaction to the fault
+// injector's out-of-range corruption: a signature word forced to all-ones
+// must produce a decode error (not a panic, not a silent acceptance),
+// whichever word is hit.
+func TestDecodeRejectsOutOfRange(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 3, OpsPerThread: 30, Words: 4, Seed: 11})
+	meta, err := Analyze(p, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[int]uint32)
+	for _, tm := range meta.Threads {
+		for _, li := range tm.Loads {
+			vals[li.Op.ID] = li.Candidates[0].Value
+		}
+	}
+	valid, err := meta.EncodeExecution(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := meta.Decode(valid); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	for w := 0; w < valid.Len(); w++ {
+		words := valid.Words()
+		words[w] = ^uint64(0)
+		if _, err := meta.Decode(sig.New(words)); err == nil {
+			t.Errorf("all-ones word %d decoded without error", w)
+		}
+	}
+	// Wrong word count is likewise an error, not a panic.
+	if _, err := meta.Decode(sig.New(valid.Words()[:valid.Len()-1])); err == nil {
+		t.Error("short signature decoded without error")
+	}
 }
 
 // FuzzEncodeValues feeds arbitrary load values to the encoder: any accepted

@@ -1,0 +1,91 @@
+package sig
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Campaign checkpoints: the merged unique signature set collected so far,
+// plus enough identity to refuse resuming the wrong campaign. A checkpoint
+// written after iteration N and a fresh runner skipped past N reproduce the
+// uninterrupted campaign exactly (the runner draws one master value per
+// iteration, so skip-ahead is bit-faithful), which is why the payload needs
+// nothing beyond the signature set.
+//
+// Layout (all little-endian):
+//
+//	magic     [8]byte  "MTCCKPT1"
+//	seed      uint64   campaign seed (two's complement of the int64)
+//	progHash  uint64   FNV-64a of the program's text format
+//	completed uint32   iterations covered by the set
+//	payload            WriteSet encoding of the unique set
+var ckptMagic = [8]byte{'M', 'T', 'C', 'C', 'K', 'P', 'T', '1'}
+
+// Checkpoint is a campaign's resumable progress.
+type Checkpoint struct {
+	Seed      int64
+	ProgHash  uint64
+	Completed int
+	Uniques   []Unique
+}
+
+// WriteCheckpoint serializes a checkpoint.
+func WriteCheckpoint(w io.Writer, ck Checkpoint) error {
+	if ck.Completed < 0 {
+		return fmt.Errorf("sig: negative checkpoint iteration count %d", ck.Completed)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(ck.Seed), ck.ProgHash} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ck.Completed)); err != nil {
+		return err
+	}
+	if err := WriteSet(bw, ck.Uniques); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return Checkpoint{}, fmt.Errorf("sig: reading checkpoint magic: %w", err)
+	}
+	if got != ckptMagic {
+		return Checkpoint{}, fmt.Errorf("sig: bad checkpoint magic %q", got[:])
+	}
+	var seed, progHash uint64
+	var completed uint32
+	if err := binary.Read(br, binary.LittleEndian, &seed); err != nil {
+		return Checkpoint{}, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &progHash); err != nil {
+		return Checkpoint{}, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &completed); err != nil {
+		return Checkpoint{}, err
+	}
+	if completed > 1<<30 {
+		return Checkpoint{}, fmt.Errorf("sig: implausible checkpoint iteration count %d", completed)
+	}
+	uniques, err := ReadSet(br)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("sig: checkpoint payload: %w", err)
+	}
+	return Checkpoint{
+		Seed:      int64(seed),
+		ProgHash:  progHash,
+		Completed: int(completed),
+		Uniques:   uniques,
+	}, nil
+}

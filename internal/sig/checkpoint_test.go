@@ -1,0 +1,112 @@
+package sig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func ckUniques(words ...uint64) []Unique {
+	out := make([]Unique, len(words))
+	for i, w := range words {
+		out[i] = Unique{Sig: New([]uint64{w}), Count: int(w)}
+	}
+	return out
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := Checkpoint{
+		Seed:      -42,
+		ProgHash:  0xdeadbeefcafe,
+		Completed: 12345,
+		Uniques:   ckUniques(3, 7, 9),
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != ck.Seed || got.ProgHash != ck.ProgHash || got.Completed != ck.Completed {
+		t.Fatalf("header %+v, want %+v", got, ck)
+	}
+	if len(got.Uniques) != len(ck.Uniques) {
+		t.Fatalf("%d uniques, want %d", len(got.Uniques), len(ck.Uniques))
+	}
+	for i := range got.Uniques {
+		if !got.Uniques[i].Sig.Equal(ck.Uniques[i].Sig) || got.Uniques[i].Count != ck.Uniques[i].Count {
+			t.Errorf("unique %d: %v/%d", i, got.Uniques[i].Sig, got.Uniques[i].Count)
+		}
+	}
+}
+
+func TestCheckpointEmptySet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, Checkpoint{Seed: 1, Completed: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Uniques) != 0 {
+		t.Errorf("%d uniques from empty checkpoint", len(got.Uniques))
+	}
+}
+
+func TestCheckpointRejectsBadInput(t *testing.T) {
+	if err := WriteCheckpoint(&bytes.Buffer{}, Checkpoint{Completed: -1}); err == nil {
+		t.Error("negative Completed accepted")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader("BOGUSMAG rest")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader("MTC")); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	// Header cut off after the magic.
+	if _, err := ReadCheckpoint(strings.NewReader("MTCCKPT1")); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Valid header, payload missing.
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, Checkpoint{Uniques: ckUniques(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadCheckpoint(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestMergeUniques(t *testing.T) {
+	a := ckUniques(1, 3, 5)
+	b := ckUniques(2, 3, 6)
+	c := ckUniques(3)
+	got := MergeUniques(a, nil, b, c, []Unique{})
+	wantWords := []uint64{1, 2, 3, 5, 6}
+	wantCounts := []int{1, 2, 9, 5, 6} // 3 appears in all three lists: 3+3+3
+	if len(got) != len(wantWords) {
+		t.Fatalf("%d merged entries, want %d", len(got), len(wantWords))
+	}
+	for i := range got {
+		if got[i].Sig.Word(0) != wantWords[i] || got[i].Count != wantCounts[i] {
+			t.Errorf("entry %d: word %#x count %d, want %#x/%d",
+				i, got[i].Sig.Word(0), got[i].Count, wantWords[i], wantCounts[i])
+		}
+	}
+	if MergeUniques() != nil {
+		t.Error("empty merge yields non-nil")
+	}
+	single := MergeUniques(nil, a, nil)
+	if len(single) != len(a) {
+		t.Fatalf("single-list merge length %d", len(single))
+	}
+	for i := range single {
+		if !single[i].Sig.Equal(a[i].Sig) {
+			t.Errorf("single-list merge changed entry %d", i)
+		}
+	}
+}

@@ -198,15 +198,31 @@ func (set *Set) Sorted() []Unique {
 // sets are skipped. MergeSets of a single set is equivalent to its Sorted.
 func MergeSets(sets ...*Set) []Unique {
 	lists := make([][]Unique, 0, len(sets))
-	size := 0
 	for _, s := range sets {
 		if s == nil || s.Len() == 0 {
 			continue
 		}
-		l := s.Sorted()
-		lists = append(lists, l)
+		lists = append(lists, s.Sorted())
+	}
+	return MergeUniques(lists...)
+}
+
+// MergeUniques k-way merges already-sorted unique lists, summing the counts
+// of signatures present in several lists. Nil and empty lists are skipped;
+// a single non-empty list is returned as-is (not copied). It generalizes
+// MergeSets to pre-sorted slices, e.g. a checkpointed set merged with the
+// post-resume shards' sets.
+func MergeUniques(lists ...[]Unique) []Unique {
+	kept := make([][]Unique, 0, len(lists))
+	size := 0
+	for _, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		kept = append(kept, l)
 		size += len(l)
 	}
+	lists = kept
 	switch len(lists) {
 	case 0:
 		return nil

@@ -98,6 +98,14 @@ type thread struct {
 	performedLdByWord map[int]int
 }
 
+// Source produces executions one iteration at a time. *Runner is the
+// canonical implementation; wrappers interpose on it (e.g. the fault
+// injector's stall/panic shim) without the pipeline knowing. Implementations
+// inherit Runner's ownership contract: one goroutine drives one Source.
+type Source interface {
+	Run() (*Execution, error)
+}
+
 // Runner executes a program repeatedly on a platform, one fresh iteration at
 // a time (the paper applies a hard reset before each test run, §5).
 //

@@ -22,6 +22,15 @@
 // The simulated platform substitutes for the paper's x86/ARM silicon; see
 // DESIGN.md for the substitution rationale and fidelity notes.
 //
+// Because the device side of the post-silicon flow is the unreliable half,
+// the pipeline is fault-tolerant by default: corrupted signatures are
+// quarantined rather than aborting the run (Options.Strict restores the
+// abort-on-first-error behavior), failed execution shards are retried and
+// then degraded to partial results, campaigns are cancellable via
+// RunProgramContext, and long campaigns can checkpoint and resume
+// (Options.CheckpointPath / Options.Resume). The internal/fault package
+// injects deterministic device-side faults to prove all of it.
+//
 // # Quick start
 //
 //	cfg := mtracecheck.TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1}
@@ -33,13 +42,18 @@
 package mtracecheck
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"mtracecheck/internal/check"
+	"mtracecheck/internal/fault"
 	"mtracecheck/internal/graph"
 	"mtracecheck/internal/instrument"
 	"mtracecheck/internal/mcm"
@@ -66,6 +80,34 @@ type (
 	Violation = check.Violation
 	// Litmus is a directed test with per-model expected outcomes.
 	Litmus = testgen.Litmus
+	// FaultConfig configures deterministic device-side fault injection
+	// (rates per fault kind; the zero value injects nothing).
+	FaultConfig = fault.Config
+	// FaultKind identifies one injected fault class.
+	FaultKind = fault.Kind
+	// Quarantined is one corrupted signature held out of checking.
+	Quarantined = fault.Quarantined
+	// QuarantineKind classifies why a signature was quarantined.
+	QuarantineKind = fault.QuarantineKind
+)
+
+// Quarantine kinds (see fault.QuarantineKind).
+const (
+	// QuarantineDecode marks a signature the decoder rejected.
+	QuarantineDecode = fault.QuarantineDecode
+	// QuarantineEdges marks a decoded signature whose reads-from relation
+	// failed constraint-edge construction.
+	QuarantineEdges = fault.QuarantineEdges
+)
+
+// Injected fault kinds, the keys of Report.InjectedFaults (see fault.Kind).
+const (
+	FaultBitFlip    = fault.KindBitFlip
+	FaultTruncate   = fault.KindTruncate
+	FaultDuplicate  = fault.KindDuplicate
+	FaultOutOfRange = fault.KindOutOfRange
+	FaultStall      = fault.KindStall
+	FaultPanic      = fault.KindPanic
 )
 
 // Platform presets (paper Table 1 and §7).
@@ -179,6 +221,47 @@ type Options struct {
 	// (CheckStats.PerGraph / SortedVertices) carries a per-shard boundary
 	// overhead: each checking shard's first graph needs one full sort.
 	Workers int
+	// Strict restores the abort-on-first-error behavior: a signature that
+	// fails to decode or build edges, or an execution shard that exhausts
+	// its retries, fails the run instead of degrading (quarantine / partial
+	// results). The default is graceful: on a fault-free run both modes are
+	// bit-identical, since nothing is ever quarantined or lost.
+	Strict bool
+	// QuarantineThreshold bounds graceful degradation: when the fraction of
+	// unique signatures quarantined by decode or edge-build failures
+	// exceeds it, the run fails with ErrQuarantineThreshold (the signature
+	// channel is considered too corrupted to trust the surviving verdicts).
+	// 0 means no limit.
+	QuarantineThreshold float64
+	// ShardTimeout is the deadline for a single execution-shard attempt
+	// (0 = none). A shard exceeding it is retried per ShardRetries.
+	ShardTimeout time.Duration
+	// ShardRetries is how many times a failed execution shard — a recovered
+	// panic or an expired ShardTimeout — is re-run from its block start
+	// with capped exponential backoff. A shard still failing after all
+	// retries degrades the run to partial results recorded in
+	// Report.ShardFailures (Strict: fails with ErrShardFailed). Platform
+	// crashes (ErrCrash) are findings, never retried.
+	ShardRetries int
+	// Fault injects deterministic device-side faults (internal/fault): the
+	// zero value injects nothing, and a zero-fault run is bit-identical to
+	// a run without the option. Requires the static ws mode — corrupted
+	// signatures have no recorded write serialization.
+	Fault FaultConfig
+	// CheckpointPath, when set, periodically persists the merged signature
+	// set (plus campaign identity) so an interrupted campaign can resume.
+	// Checkpoint writes are atomic (temp file + rename).
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in iterations; 0 with a
+	// CheckpointPath set selects Iterations/10 (at least 1).
+	CheckpointEvery int
+	// Resume loads CheckpointPath before executing and skips the
+	// iterations it covers, producing a report whose unique signatures,
+	// violations, and quarantine are identical to the uninterrupted run
+	// with the same seed. Execution-cost counters (TotalCycles, Squashes)
+	// and assertion failures cover only the iterations executed after the
+	// resume point. Requires the static ws mode.
+	Resume bool
 }
 
 // workerCount resolves Workers (0 = GOMAXPROCS).
@@ -189,13 +272,24 @@ func (o Options) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ShardFailure records an execution shard that exhausted its retries; the
+// surrounding report then covers only the iterations that actually executed.
+type ShardFailure struct {
+	Start, Count int // global iteration block the shard owned
+	Executed     int // block iterations completed by the final attempt
+	Attempts     int
+	Err          error
+}
+
 // Report is the outcome of validating one test program.
 type Report struct {
 	Program *Program
-	// Iterations actually executed.
+	// Iterations covered by the report: executed this run plus any restored
+	// from a checkpoint (ResumedIterations).
 	Iterations int
 	// UniqueSignatures is the number of distinct memory-access
-	// interleavings observed (the paper's Fig. 8 metric).
+	// interleavings observed (the paper's Fig. 8 metric), after any
+	// injected device-side corruption and before quarantine.
 	UniqueSignatures int
 	// SignatureBytes is the execution signature size (Fig. 11).
 	SignatureBytes int
@@ -205,9 +299,24 @@ type Report struct {
 	// the statically computed candidate sets — caught inline by the
 	// instrumentation's assert chains without any graph checking.
 	AssertionFailures []error
+	// Quarantined lists signatures held out of checking because they failed
+	// to decode or to build constraint edges — device-side corruption the
+	// run tolerated instead of aborting (see Options.Strict). Use
+	// QuarantineCounts for the per-kind breakdown.
+	Quarantined []Quarantined
+	// InjectedFaults counts deterministic injected faults per kind when
+	// Options.Fault is enabled; nil otherwise.
+	InjectedFaults map[FaultKind]int
+	// ShardFailures records execution shards that exhausted their retries;
+	// a non-empty list means the report is partial (see Partial).
+	ShardFailures []ShardFailure
+	// ResumedIterations counts iterations restored from a checkpoint rather
+	// than executed in this run.
+	ResumedIterations int
 	// CheckStats carries the checker's effort accounting (Figs. 9 and 14).
 	CheckStats *check.Result
-	// TotalCycles sums simulated execution time over all iterations.
+	// TotalCycles sums simulated execution time over all iterations
+	// executed this run.
 	TotalCycles int64
 	// Squashes counts load-queue squash/replay events across iterations.
 	Squashes int
@@ -220,17 +329,44 @@ func (r *Report) Failed() bool {
 	return len(r.Violations) > 0 || len(r.AssertionFailures) > 0
 }
 
+// Partial reports whether any execution shard was lost after retries, i.e.
+// the report covers only part of the requested iteration sequence.
+func (r *Report) Partial() bool { return len(r.ShardFailures) > 0 }
+
+// QuarantineCounts tallies quarantined signatures per kind; nil when the
+// quarantine is empty.
+func (r *Report) QuarantineCounts() map[QuarantineKind]int {
+	return fault.CountByKind(r.Quarantined)
+}
+
 // ErrCrash wraps a platform crash (protocol deadlock or livelock), the
 // manifestation of the paper's bug 3.
 var ErrCrash = errors.New("mtracecheck: platform crashed during test execution")
 
+// ErrQuarantineThreshold reports that the quarantined fraction of unique
+// signatures exceeded Options.QuarantineThreshold.
+var ErrQuarantineThreshold = errors.New("mtracecheck: quarantined signatures exceed threshold")
+
+// ErrShardFailed wraps an execution shard failure (recovered panic or
+// expired shard deadline) that survived every retry.
+var ErrShardFailed = errors.New("mtracecheck: execution shard failed")
+
+// errShardPanic marks a recovered per-shard panic; it is retryable and, if
+// retries are exhausted, surfaces wrapped in ErrShardFailed.
+var errShardPanic = errors.New("mtracecheck: shard panicked")
+
 // Run executes the full pipeline on a constrained-random configuration.
 func Run(cfg TestConfig, opts Options) (*Report, error) {
+	return RunContext(context.Background(), cfg, opts)
+}
+
+// RunContext is Run with cooperative cancellation; see RunProgramContext.
+func RunContext(ctx context.Context, cfg TestConfig, opts Options) (*Report, error) {
 	p, err := testgen.Generate(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return RunProgram(p, opts)
+	return RunProgramContext(ctx, p, opts)
 }
 
 // RunProgram executes the full pipeline on an existing program (e.g. a
@@ -239,51 +375,39 @@ func Run(cfg TestConfig, opts Options) (*Report, error) {
 // Options.Workers goroutines; see Options.Workers for the determinism
 // contract (results are identical for every worker count).
 func RunProgram(p *Program, opts Options) (*Report, error) {
+	return RunProgramContext(context.Background(), p, opts)
+}
+
+// RunProgramContext is RunProgram with cooperative cancellation: the
+// context is polled between iterations in every execution shard, between
+// signatures in every decode worker, and between graphs in every checking
+// shard, so cancellation returns promptly — with all pipeline goroutines
+// joined — carrying ctx.Err().
+func RunProgramContext(ctx context.Context, p *Program, opts Options) (*Report, error) {
 	opts = withDefaults(opts)
 	workers := opts.workerCount()
+	inj, err := injector(opts)
+	if err != nil {
+		return nil, err
+	}
 	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
 	if err != nil {
 		return nil, err
 	}
 	report := &Report{Program: p, SignatureBytes: meta.SignatureBytes()}
 
-	shards, err := runShards(p, meta, opts, workers)
-	if err != nil {
-		return nil, err
-	}
-	// Merge shard outputs in shard order; shards own contiguous ascending
-	// iteration blocks, so this order is global iteration order.
-	sets := make([]*sig.Set, len(shards))
-	wsBySig := make(map[string]graph.WS)
-	var firstErr error
-	for si, sh := range shards {
-		sets[si] = sh.set
-		report.Iterations += sh.iterations
-		report.TotalCycles += sh.cycles
-		report.Squashes += sh.squashes
-		report.Executions = append(report.Executions, sh.execs...)
-		report.AssertionFailures = append(report.AssertionFailures, sh.asserts...)
-		if opts.ObservedWS {
-			// Keep the write-serialization order of the globally first
-			// observation of each interleaving: earlier shards hold earlier
-			// iterations, so first-in-shard-order is first-globally.
-			for k, ws := range sh.ws {
-				if _, ok := wsBySig[k]; !ok {
-					wsBySig[k] = ws
-				}
-			}
-		}
-		if sh.err != nil && firstErr == nil {
-			firstErr = sh.err
-		}
-	}
-	uniques := sig.MergeSets(sets...)
-	report.UniqueSignatures = len(uniques)
-	if firstErr != nil {
+	lists, wsBySig, runErr := campaign(ctx, p, meta, opts, inj, workers, report)
+	uniques := sig.MergeUniques(lists...)
+	if runErr != nil {
 		// A crash is a finding (paper bug 3); the report covers every
 		// iteration that executed, and the error names the earliest crash.
-		return report, firstErr
+		report.UniqueSignatures = len(uniques)
+		return report, runErr
 	}
+	if inj != nil {
+		uniques, report.InjectedFaults = inj.Corrupt(uniques)
+	}
+	report.UniqueSignatures = len(uniques)
 
 	wsMode := graph.WSStatic
 	if opts.ObservedWS {
@@ -293,9 +417,17 @@ func RunProgram(p *Program, opts Options) (*Report, error) {
 		Forwarding: opts.Platform.Atomicity.AllowsForwarding(),
 		WS:         wsMode,
 	})
-	items, err := decodeItems(meta, builder, uniques, wsBySig, workers)
+	items, quarantined, err := decodeItems(ctx, meta, builder, uniques, wsBySig, workers, opts.Strict)
 	if err != nil {
 		return report, err
+	}
+	report.Quarantined = quarantined
+	if opts.QuarantineThreshold > 0 && len(uniques) > 0 {
+		if frac := float64(len(quarantined)) / float64(len(uniques)); frac > opts.QuarantineThreshold {
+			return report, fmt.Errorf("%w: %d of %d unique signatures (%.2f%% > %.2f%%)",
+				ErrQuarantineThreshold, len(quarantined), len(uniques),
+				100*frac, 100*opts.QuarantineThreshold)
+		}
 	}
 	switch opts.Checker {
 	case CheckerConventional:
@@ -306,7 +438,7 @@ func RunProgram(p *Program, opts Options) (*Report, error) {
 			return report, err
 		}
 	default:
-		report.CheckStats, err = check.Sharded(builder, items, workers)
+		report.CheckStats, err = check.Sharded(ctx, builder, items, workers)
 		if err != nil {
 			return report, err
 		}
@@ -315,11 +447,201 @@ func RunProgram(p *Program, opts Options) (*Report, error) {
 	return report, nil
 }
 
+// injector builds the fault injector for the options, rejecting
+// configurations injection cannot honor.
+func injector(opts Options) (*fault.Injector, error) {
+	if !opts.Fault.Enabled() {
+		return nil, nil
+	}
+	if opts.ObservedWS {
+		return nil, errors.New("mtracecheck: fault injection requires the static ws mode (corrupted signatures carry no recorded write serialization)")
+	}
+	return fault.NewInjector(opts.Fault)
+}
+
+// campaign runs the execution stage: optional checkpoint resume, the
+// iteration sequence in checkpoint-sized segments, per-shard retry and
+// degradation bookkeeping. It returns the sorted unique lists to merge
+// (checkpointed set first, then shard sets in global iteration order), the
+// observed-ws first-observation map (nil in static mode), and the first
+// fatal error. The report's execution accounting (Iterations, TotalCycles,
+// Squashes, Executions, AssertionFailures, ShardFailures,
+// ResumedIterations) is filled in as segments complete, so the report is
+// honest even when an error cuts the campaign short.
+func campaign(ctx context.Context, p *Program, meta *instrument.Meta, opts Options,
+	inj *fault.Injector, workers int, report *Report) ([][]sig.Unique, map[string]graph.WS, error) {
+	var lists [][]sig.Unique
+	var wsBySig map[string]graph.WS
+	if opts.ObservedWS {
+		wsBySig = make(map[string]graph.WS)
+	}
+	completed := 0
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, nil, errors.New("mtracecheck: Resume requires CheckpointPath")
+		}
+		if opts.ObservedWS {
+			return nil, nil, errors.New("mtracecheck: resume requires the static ws mode (checkpointed signatures carry no recorded write serialization)")
+		}
+		ck, err := readCheckpointFile(opts.CheckpointPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: %w", err)
+		}
+		if ck.Seed != opts.Seed {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint seed %d does not match run seed %d", ck.Seed, opts.Seed)
+		}
+		if h := progHash(p); ck.ProgHash != h {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint was written for a different test program")
+		}
+		if ck.Completed > opts.Iterations {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint covers %d iterations, campaign requests only %d", ck.Completed, opts.Iterations)
+		}
+		completed = ck.Completed
+		report.ResumedIterations = completed
+		report.Iterations += completed
+		if len(ck.Uniques) > 0 {
+			lists = append(lists, ck.Uniques)
+		}
+	}
+	checkpointing := opts.CheckpointPath != ""
+	segment := opts.Iterations - completed
+	if checkpointing {
+		segment = opts.CheckpointEvery
+		if segment <= 0 {
+			segment = opts.Iterations / 10
+		}
+		if segment < 1 {
+			segment = 1
+		}
+	}
+	for completed < opts.Iterations {
+		if err := ctx.Err(); err != nil {
+			return lists, wsBySig, err
+		}
+		n := opts.Iterations - completed
+		if checkpointing && segment < n {
+			n = segment
+		}
+		shards, err := runShards(ctx, p, meta, opts, inj, workers, completed, n)
+		if err != nil {
+			return lists, wsBySig, err
+		}
+		// Merge shard outputs in shard order; shards own contiguous
+		// ascending iteration blocks, so this order is global iteration
+		// order.
+		var firstErr error
+		segClean := true
+		for _, sh := range shards {
+			report.Iterations += sh.iterations
+			report.TotalCycles += sh.cycles
+			report.Squashes += sh.squashes
+			report.Executions = append(report.Executions, sh.execs...)
+			report.AssertionFailures = append(report.AssertionFailures, sh.asserts...)
+			if sh.set.Len() > 0 {
+				lists = append(lists, sh.set.Sorted())
+			}
+			if opts.ObservedWS {
+				// Keep the write-serialization order of the globally first
+				// observation of each interleaving: earlier shards hold
+				// earlier iterations, so first-in-shard-order is
+				// first-globally.
+				for k, ws := range sh.ws {
+					if _, ok := wsBySig[k]; !ok {
+						wsBySig[k] = ws
+					}
+				}
+			}
+			if sh.err == nil {
+				continue
+			}
+			segClean = false
+			if errors.Is(sh.err, ErrShardFailed) && !opts.Strict {
+				// Infra failure that survived its retries: degrade to
+				// partial results, recorded honestly.
+				report.ShardFailures = append(report.ShardFailures, ShardFailure{
+					Start: sh.start, Count: sh.count,
+					Executed: sh.iterations, Attempts: sh.attempts, Err: sh.err,
+				})
+				continue
+			}
+			if firstErr == nil {
+				firstErr = sh.err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return lists, wsBySig, err
+		}
+		if firstErr != nil {
+			return lists, wsBySig, firstErr
+		}
+		completed += n
+		if checkpointing {
+			if !segClean {
+				// A lost shard left a hole in the iteration sequence; a
+				// checkpoint would claim coverage the campaign never had.
+				checkpointing = false
+				continue
+			}
+			merged := sig.MergeUniques(lists...)
+			lists = [][]sig.Unique{merged}
+			ck := sig.Checkpoint{
+				Seed: opts.Seed, ProgHash: progHash(p),
+				Completed: completed, Uniques: merged,
+			}
+			if err := writeCheckpointFile(opts.CheckpointPath, ck); err != nil {
+				return lists, wsBySig, fmt.Errorf("mtracecheck: checkpoint: %w", err)
+			}
+		}
+	}
+	return lists, wsBySig, nil
+}
+
+// progHash fingerprints a program for checkpoint identity (FNV-64a of the
+// canonical text format).
+func progHash(p *Program) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, prog.Format(p))
+	return h.Sum64()
+}
+
+// readCheckpointFile loads a campaign checkpoint.
+func readCheckpointFile(path string) (sig.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sig.Checkpoint{}, err
+	}
+	defer f.Close()
+	return sig.ReadCheckpoint(f)
+}
+
+// writeCheckpointFile persists a checkpoint atomically (temp file + rename),
+// so an interruption mid-write never corrupts the previous checkpoint.
+func writeCheckpointFile(path string, ck sig.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sig.WriteCheckpoint(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // shardOut is what one execution shard produces: private signature set and
 // stats, merged by the caller in shard order.
 type shardOut struct {
 	set        *sig.Set
 	ws         map[string]graph.WS // sig key -> first-observation ws
+	start      int                 // global iteration block start
+	count      int                 // block size
+	attempts   int
 	iterations int
 	cycles     int64
 	squashes   int
@@ -328,19 +650,22 @@ type shardOut struct {
 	err        error
 }
 
-// runShards executes the iteration sequence split into workers contiguous
-// blocks, each on its own Runner over the same seed skipped ahead to the
-// block's start — so every iteration draws the same per-iteration seed as
-// the serial pipeline, whatever the worker count. Runners are constructed
-// up front so platform/program validation errors surface before any work.
-func runShards(p *Program, meta *instrument.Meta, opts Options, workers int) ([]*shardOut, error) {
-	if workers > opts.Iterations {
-		workers = opts.Iterations
+// runShards executes count iterations starting at global iteration start,
+// split into workers contiguous blocks, each on its own Runner over the
+// same seed skipped ahead to the block's start — so every iteration draws
+// the same per-iteration seed as the serial pipeline, whatever the worker
+// count. Runners are constructed up front so platform/program validation
+// errors surface before any work; a shard that fails mid-run is retried per
+// Options.ShardRetries.
+func runShards(ctx context.Context, p *Program, meta *instrument.Meta, opts Options,
+	inj *fault.Injector, workers, start, count int) ([]*shardOut, error) {
+	if workers > count {
+		workers = count
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	base, rem := opts.Iterations/workers, opts.Iterations%workers
+	base, rem := count/workers, count%workers
 	starts := make([]int, workers+1)
 	runners := make([]*sim.Runner, workers)
 	for si := 0; si < workers; si++ {
@@ -353,7 +678,7 @@ func runShards(p *Program, meta *instrument.Meta, opts Options, workers int) ([]
 		if err != nil {
 			return nil, err
 		}
-		runner.SkipIterations(starts[si])
+		runner.SkipIterations(start + starts[si])
 		runners[si] = runner
 	}
 	shards := make([]*shardOut, workers)
@@ -362,23 +687,105 @@ func runShards(p *Program, meta *instrument.Meta, opts Options, workers int) ([]
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			shards[si] = runShard(runners[si], meta, opts, starts[si], starts[si+1]-starts[si])
+			shards[si] = runShardRetrying(ctx, p, meta, opts, inj,
+				runners[si], start+starts[si], starts[si+1]-starts[si])
 		}(si)
 	}
 	wg.Wait()
 	return shards, nil
 }
 
-// runShard drives one runner through count iterations starting at global
-// iteration index start.
-func runShard(runner *sim.Runner, meta *instrument.Meta, opts Options, start, count int) *shardOut {
-	out := &shardOut{set: sig.NewSet()}
+// runShardRetrying drives one shard block to completion, re-running it from
+// the block start — on a fresh Runner, since a panicking one may hold
+// corrupt state — after transient failures (recovered panics, expired shard
+// deadlines), with capped exponential backoff between attempts. Platform
+// crashes are findings and parent-context cancellation is final; neither is
+// retried. A shard still failing after every retry returns its final
+// partial attempt with the failure wrapped in ErrShardFailed.
+func runShardRetrying(ctx context.Context, p *Program, meta *instrument.Meta, opts Options,
+	inj *fault.Injector, first *sim.Runner, start, count int) *shardOut {
+	backoff := time.Millisecond
+	const maxBackoff = 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		runner := first
+		if attempt > 0 {
+			r, err := sim.NewRunner(opts.Platform, p, opts.Seed)
+			if err != nil {
+				return &shardOut{set: sig.NewSet(), start: start, count: count,
+					attempts: attempt + 1, err: err}
+			}
+			r.SkipIterations(start)
+			runner = r
+		}
+		shardCtx, cancel := ctx, context.CancelFunc(func() {})
+		if opts.ShardTimeout > 0 {
+			shardCtx, cancel = context.WithTimeout(ctx, opts.ShardTimeout)
+		}
+		var src sim.Source = runner
+		if inj != nil {
+			src = inj.WrapShard(shardCtx, runner, start, count, attempt)
+		}
+		out := runShardAttempt(shardCtx, src, meta, opts, start, count)
+		cancel()
+		out.start, out.count, out.attempts = start, count, attempt+1
+		if out.err == nil || !retryable(out.err, ctx) {
+			return out
+		}
+		if attempt >= opts.ShardRetries {
+			out.err = fmt.Errorf("%w: iterations [%d,%d) after %d attempts: %v",
+				ErrShardFailed, start, start+count, attempt+1, out.err)
+			return out
+		}
+		select {
+		case <-ctx.Done():
+			out.err = ctx.Err()
+			return out
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// retryable classifies a shard error: recovered panics and expired
+// per-shard deadlines are transient infra faults worth retrying; anything
+// else — platform crashes (findings), encode errors, parent cancellation —
+// is final.
+func retryable(err error, parent context.Context) bool {
+	if parent.Err() != nil {
+		return false
+	}
+	return errors.Is(err, errShardPanic) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runShardAttempt drives one source through count iterations starting at
+// global iteration index start, polling the context between iterations and
+// converting a panic anywhere below — simulator, encoder, or an injected
+// shard fault — into a shard error instead of crashing the process.
+func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
+	opts Options, start, count int) (out *shardOut) {
+	out = &shardOut{set: sig.NewSet()}
 	if opts.ObservedWS {
 		out.ws = make(map[string]graph.WS)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("%w at iteration %d: %v", errShardPanic, start+out.iterations, r)
+		}
+	}()
 	for i := 0; i < count; i++ {
-		ex, err := runner.Run()
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		ex, err := src.Run()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// An interrupted stall, not a platform failure.
+				out.err = err
+				return out
+			}
 			out.err = fmt.Errorf("%w: iteration %d: %v", ErrCrash, start+i, err)
 			return out
 		}
@@ -412,25 +819,42 @@ func runShard(runner *sim.Runner, meta *instrument.Meta, opts Options, start, co
 // each signature is decoded to its reads-from relation (paper Alg. 1) and
 // combined with the write-serialization order observed by the harness.
 // Signatures decode independently, so the work fans out over GOMAXPROCS
-// goroutines into a pre-sized slice that preserves the sorted order.
-func DecodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
-	wsBySig map[string]graph.WS) ([]check.Item, error) {
-	return decodeItems(meta, b, uniques, wsBySig, runtime.GOMAXPROCS(0))
+// goroutines into a pre-sized slice that preserves the sorted order. It is
+// strict: the first failure aborts (the lowest-indexed one, as the serial
+// loop would hit); RunProgram's graceful quarantine path is configured via
+// Options.Strict instead.
+func DecodeItems(ctx context.Context, meta *instrument.Meta, b *graph.Builder,
+	uniques []sig.Unique, wsBySig map[string]graph.WS) ([]check.Item, error) {
+	items, _, err := decodeItems(ctx, meta, b, uniques, wsBySig, runtime.GOMAXPROCS(0), true)
+	return items, err
 }
 
-// decodeItems is DecodeItems over an explicit worker count. Workers fill
-// disjoint contiguous ranges of the result, and on failure the error for
-// the lowest-indexed failing signature is returned — the one the serial
-// loop would have hit first.
-func decodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
-	wsBySig map[string]graph.WS, workers int) ([]check.Item, error) {
+// decodeItems is the decode stage over an explicit worker count. Workers
+// fill disjoint contiguous ranges of the result and poll the context as
+// they go. In strict mode the error for the lowest-indexed failing
+// signature is returned — the one the serial loop would have hit first.
+// In graceful mode failing signatures are quarantined (in sorted order,
+// deterministically: failure is a pure function of signature and metadata)
+// and the surviving items are compacted, preserving ascending order for
+// the collective checker.
+func decodeItems(ctx context.Context, meta *instrument.Meta, b *graph.Builder,
+	uniques []sig.Unique, wsBySig map[string]graph.WS, workers int,
+	strict bool) ([]check.Item, []Quarantined, error) {
 	items := make([]check.Item, len(uniques))
+	quar := make([]*Quarantined, len(uniques))
 	decode := func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			u := uniques[i]
 			cands, err := meta.Decode(u.Sig)
 			if err != nil {
-				return err
+				if strict {
+					return err
+				}
+				quar[i] = &Quarantined{Sig: u.Sig, Count: u.Count, Kind: QuarantineDecode, Err: err}
+				continue
 			}
 			rf := make(graph.RF, len(cands))
 			for loadID, c := range cands {
@@ -438,7 +862,11 @@ func decodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
 			}
 			edges, err := b.DynamicEdges(rf, wsBySig[u.Sig.Key()])
 			if err != nil {
-				return err
+				if strict {
+					return err
+				}
+				quar[i] = &Quarantined{Sig: u.Sig, Count: u.Count, Kind: QuarantineEdges, Err: err}
+				continue
 			}
 			items[i] = check.Item{Sig: u.Sig, Edges: edges}
 		}
@@ -449,35 +877,44 @@ func decodeItems(meta *instrument.Meta, b *graph.Builder, uniques []sig.Unique,
 	}
 	if workers <= 1 {
 		if err := decode(0, len(uniques)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return items, nil
-	}
-	base, rem := len(uniques)/workers, len(uniques)%workers
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	lo := 0
-	for w := 0; w < workers; w++ {
-		size := base
-		if w < rem {
-			size++
+	} else {
+		base, rem := len(uniques)/workers, len(uniques)%workers
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		lo := 0
+		for w := 0; w < workers; w++ {
+			size := base
+			if w < rem {
+				size++
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				errs[w] = decode(lo, hi)
+			}(w, lo, lo+size)
+			lo += size
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			errs[w] = decode(lo, hi)
-		}(w, lo, lo+size)
-		lo += size
-	}
-	wg.Wait()
-	// Ranges ascend with the worker index, so the first recorded error is
-	// the one with the lowest signature index.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		wg.Wait()
+		// Ranges ascend with the worker index, so the first recorded error
+		// is the one with the lowest signature index.
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 	}
-	return items, nil
+	var quarantined []Quarantined
+	kept := items[:0]
+	for i := range items {
+		if quar[i] != nil {
+			quarantined = append(quarantined, *quar[i])
+			continue
+		}
+		kept = append(kept, items[i])
+	}
+	return kept, quarantined, nil
 }
 
 // RunLitmus executes a litmus test, reporting how often the interesting
@@ -541,31 +978,42 @@ func SaveSignatures(w io.Writer, report *Report, uniques []sig.Unique) error {
 // returned without any checking. This is the "device side" of the paper's
 // flow; pair it with CheckSignatures on the host. Execution shards across
 // Options.Workers exactly as RunProgram does, so both sides of the split
-// observe the same signatures for the same (Seed, Iterations).
+// observe the same signatures for the same (Seed, Iterations); fault
+// injection, checkpointing, and shard retry apply identically.
 func CollectSignatures(p *Program, opts Options) ([]sig.Unique, error) {
+	return CollectSignaturesContext(context.Background(), p, opts)
+}
+
+// CollectSignaturesContext is CollectSignatures with cooperative
+// cancellation.
+func CollectSignaturesContext(ctx context.Context, p *Program, opts Options) ([]sig.Unique, error) {
 	opts = withDefaults(opts)
+	inj, err := injector(opts)
+	if err != nil {
+		return nil, err
+	}
 	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
 	if err != nil {
 		return nil, err
 	}
-	shards, err := runShards(p, meta, opts, opts.workerCount())
-	if err != nil {
-		return nil, err
+	report := &Report{Program: p} // accounting sink; callers get signatures only
+	lists, _, runErr := campaign(ctx, p, meta, opts, inj, opts.workerCount(), report)
+	if runErr != nil {
+		return nil, runErr
 	}
-	sets := make([]*sig.Set, len(shards))
-	for si, sh := range shards {
-		sets[si] = sh.set
-		if sh.err != nil {
-			return nil, sh.err
-		}
+	uniques := sig.MergeUniques(lists...)
+	if inj != nil {
+		uniques, _ = inj.Corrupt(uniques)
 	}
-	return sig.MergeSets(sets...), nil
+	return uniques, nil
 }
 
 // CheckSignatures is the "host side": it decodes previously collected
 // unique signatures (e.g. loaded via sig.ReadSet) and checks them
 // collectively under the platform's model using the static
 // write-serialization mode, which needs nothing beyond the signatures.
+// It is strict — a corrupted signature aborts with the decode error; use
+// RunProgram with Options.Strict unset for the quarantining pipeline.
 func CheckSignatures(p *Program, plat Platform, uniques []sig.Unique,
 	pruner instrument.Pruner) (*check.Result, error) {
 	meta, err := instrument.Analyze(p, plat.RegWidthBits, pruner)
@@ -576,7 +1024,7 @@ func CheckSignatures(p *Program, plat Platform, uniques []sig.Unique,
 		Forwarding: plat.Atomicity.AllowsForwarding(),
 		WS:         graph.WSStatic,
 	})
-	items, err := DecodeItems(meta, builder, uniques, nil)
+	items, err := DecodeItems(context.Background(), meta, builder, uniques, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package mtracecheck
 
 import (
+	"context"
 	"testing"
 
 	"mtracecheck/internal/check"
@@ -60,7 +61,7 @@ func TestNoFalsePositivesSweep(t *testing.T) {
 				builder := graph.NewBuilder(p, model, graph.Options{
 					Forwarding: true, WS: ws,
 				})
-				items, err := DecodeItems(meta, builder, set.Sorted(), wsBySig)
+				items, err := DecodeItems(context.Background(), meta, builder, set.Sorted(), wsBySig)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -111,7 +112,7 @@ func TestStrongerModelExecutionsPassWeakerChecks(t *testing.T) {
 	}
 	for _, model := range mcm.Models {
 		builder := graph.NewBuilder(p, model, graph.Options{Forwarding: true, WS: graph.WSObserved})
-		items, err := DecodeItems(meta, builder, set.Sorted(), wsBySig)
+		items, err := DecodeItems(context.Background(), meta, builder, set.Sorted(), wsBySig)
 		if err != nil {
 			t.Fatal(err)
 		}
