@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench fuzz-short verify
+.PHONY: build vet test race bench bench-smoke fuzz-short verify
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,17 @@ fuzz-short:
 	$(GO) test ./internal/sig -run '^$$' -fuzz '^FuzzReadSet$$' -fuzztime $(FUZZTIME)
 
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short
+verify: build vet test race fuzz-short bench-smoke
 
+# Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
+# (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed
+# pre-dense-buffer baseline; diff later snapshots against it to catch
+# allocation regressions in the hot loop.
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	echo "writing BENCH_$$n.json"; \
+	$(GO) test -bench . -benchmem -count 1 -timeout 60m . | $(GO) run ./tools/benchjson > BENCH_$$n.json
+
+# One-iteration benchmark compile-and-run check, cheap enough for verify.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkSimIterationX86$$' -benchtime 10x .

@@ -1,0 +1,146 @@
+package mtracecheck
+
+import (
+	"testing"
+
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+// Allocation budgets for the hot loop (DESIGN.md "Performance"): the
+// execute → encode → dedup path must not allocate proportionally to
+// iterations. Encode-into and Set.AddWords are allocation-free at steady
+// state; Runner.Run's remaining allocations are the per-event closures the
+// discrete-event simulator schedules, bounded well below the cost of
+// rebuilding the platform per iteration.
+const (
+	runAllocBudget = 2500 // event closures for the 4×40 probe program
+	encAllocBudget = 0
+	addAllocBudget = 0
+)
+
+func allocProbeSetup(t *testing.T) (*sim.Runner, *instrument.Meta) {
+	t.Helper()
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5})
+	plat := sim.PlatformX86()
+	r, err := sim.NewRunner(plat, p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, meta
+}
+
+func TestRunnerRunAllocBudget(t *testing.T) {
+	r, _ := allocProbeSetup(t)
+	for i := 0; i < 3; i++ { // warm the reusable workspaces
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > runAllocBudget {
+		t.Errorf("Runner.Run steady state: %.0f allocs/run, budget %d", allocs, runAllocBudget)
+	}
+}
+
+func TestEncodeExecutionIntoAllocBudget(t *testing.T) {
+	r, meta := allocProbeSetup(t)
+	ex, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := meta.EncodeExecutionInto(nil, ex.LoadValues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var e error
+		buf, e = meta.EncodeExecutionInto(buf[:0], ex.LoadValues)
+		if e != nil {
+			t.Fatal(e)
+		}
+	})
+	if allocs > encAllocBudget {
+		t.Errorf("EncodeExecutionInto steady state: %.0f allocs/run, budget %d", allocs, encAllocBudget)
+	}
+}
+
+func TestSetAddAllocBudget(t *testing.T) {
+	r, meta := allocProbeSetup(t)
+	ex, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := meta.EncodeExecutionInto(nil, ex.LoadValues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sig.NewSet()
+	set.AddWords(buf) // first observation pays for the retained entry
+	allocs := testing.AllocsPerRun(100, func() { set.AddWords(buf) })
+	if allocs > addAllocBudget {
+		t.Errorf("Set.AddWords hit path: %.0f allocs/run, budget %d", allocs, addAllocBudget)
+	}
+	if set.Len() != 1 || set.Total() != 102 {
+		t.Errorf("Set after probe: Len %d Total %d, want 1 and 102", set.Len(), set.Total())
+	}
+}
+
+// TestReportBitIdenticalAcrossWorkers: the dense-buffer pipeline must keep
+// the PR-1 invariant — every worker count produces the same report, down to
+// the individual signature bits.
+func TestReportBitIdenticalAcrossWorkers(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5})
+	type result struct {
+		report  *Report
+		uniques []sig.Unique
+	}
+	results := map[int]result{}
+	for _, workers := range []int{1, 3, 4} {
+		opts := Options{Platform: PlatformX86(), Iterations: 150, Seed: 11, Workers: workers}
+		report, err := RunProgram(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniques, err := CollectSignatures(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[workers] = result{report, uniques}
+	}
+	base := results[1]
+	for _, workers := range []int{3, 4} {
+		got := results[workers]
+		if got.report.Iterations != base.report.Iterations ||
+			got.report.UniqueSignatures != base.report.UniqueSignatures ||
+			got.report.TotalCycles != base.report.TotalCycles ||
+			got.report.Squashes != base.report.Squashes {
+			t.Errorf("workers %d: report stats diverge from workers 1", workers)
+		}
+		if len(got.report.Violations) != len(base.report.Violations) {
+			t.Errorf("workers %d: %d violations, workers 1 has %d",
+				workers, len(got.report.Violations), len(base.report.Violations))
+		}
+		if len(got.uniques) != len(base.uniques) {
+			t.Fatalf("workers %d: %d uniques, workers 1 has %d",
+				workers, len(got.uniques), len(base.uniques))
+		}
+		for i, u := range base.uniques {
+			g := got.uniques[i]
+			if !g.Sig.Equal(u.Sig) || g.Count != u.Count {
+				t.Fatalf("workers %d: unique %d = (%v, %d), workers 1 (%v, %d)",
+					workers, i, g.Sig, g.Count, u.Sig, u.Count)
+			}
+		}
+	}
+}

@@ -147,7 +147,7 @@ func BenchmarkFig8UniqueInterleavings(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
+		s, err := meta.EncodeValues(ex.LoadValues)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -315,7 +315,7 @@ func BenchmarkTable3BugDetection(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := meta.EncodeExecution(ex.LoadValues); err != nil {
+		if _, err := meta.EncodeValues(ex.LoadValues); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -414,7 +414,7 @@ func simFixture(b *testing.B, tc TestConfig, plat sim.Platform, iters int) *fixt
 		if err != nil {
 			b.Fatal(err)
 		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
+		s, err := meta.EncodeValues(ex.LoadValues)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,6 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"slices"
 	"strings"
 
 	"mtracecheck"
@@ -87,9 +90,38 @@ func run() int {
 		fStallFor = flag.Duration("fault-stall-for", 0, "injected stall duration (0 = 250ms)")
 		fPanic    = flag.Float64("fault-panic", 0, "injected fault rate: panic an execution shard")
 		fSeed     = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	)
 	flag.Usage = usage
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return infra(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return infra(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mtracecheck: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mtracecheck: %v\n", err)
+			}
+		}()
+	}
 
 	plat, err := platform(*isa, *bug)
 	if err != nil {
@@ -231,6 +263,12 @@ Exit codes:
      error in strict mode
   3  quarantine overflow: the fraction of unique signatures quarantined
      as corrupted exceeded -max-quarantine
+
+Profiling:
+  -cpuprofile and -memprofile capture pprof profiles of a campaign
+  (e.g. mtracecheck -iters 65536 -cpuprofile cpu.out, then
+  go tool pprof cpu.out). The heap profile is taken after the run, so
+  it shows what the pipeline retains, not its transient churn.
 `)
 }
 
@@ -242,20 +280,19 @@ func printDegradation(report *mtracecheck.Report) {
 	}
 	if n := len(report.InjectedFaults); n > 0 {
 		fmt.Printf("injected faults:     ")
-		for kind, count := range report.InjectedFaults {
-			fmt.Printf(" %v=%d", kind, count)
+		// Sorted so the line is stable across runs (map order is not).
+		for _, kind := range sortedKeys(report.InjectedFaults) {
+			fmt.Printf(" %v=%d", kind, report.InjectedFaults[kind])
 		}
 		fmt.Println()
 	}
 	if counts := report.QuarantineCounts(); counts != nil {
 		fmt.Printf("quarantined:          %d signatures (", len(report.Quarantined))
-		first := true
-		for kind, count := range counts {
-			if !first {
+		for i, kind := range sortedKeys(counts) {
+			if i > 0 {
 				fmt.Print(", ")
 			}
-			fmt.Printf("%d %v", count, kind)
-			first = false
+			fmt.Printf("%d %v", counts[kind], kind)
 		}
 		fmt.Println(")")
 	}
@@ -266,6 +303,16 @@ func printDegradation(report *mtracecheck.Report) {
 				sf.Start, sf.Start+sf.Count, sf.Executed, sf.Attempts, sf.Err)
 		}
 	}
+}
+
+// sortedKeys returns m's keys sorted by their rendered names.
+func sortedKeys[K comparable](m map[K]int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b K) int { return strings.Compare(fmt.Sprint(a), fmt.Sprint(b)) })
+	return keys
 }
 
 func printViolations(report *mtracecheck.Report) {

@@ -94,7 +94,8 @@ var debugValidate func(g *graph.Graph, order []int32)
 // data structures are recycled across graphs, edges rebuilt per graph.
 func Conventional(b *graph.Builder, items []Item) *Result {
 	res := &Result{Total: len(items)}
-	w := newWorkspace(b)
+	w := getWorkspace(b)
+	defer putWorkspace(w)
 	for i, it := range items {
 		w.setDyn(it.Edges)
 		res.SortedVertices += int64(w.n)
@@ -130,12 +131,14 @@ func CollectiveContext(ctx context.Context, b *graph.Builder, items []Item) (*Re
 	}
 
 	n := b.NumOps()
-	pos := make([]int32, n)   // vertex -> position in current valid order
-	order := make([]int32, n) // position -> vertex
+	w := getWorkspace(b)
+	defer putWorkspace(w)
+	pos := w.pos     // vertex -> position in current valid order
+	order := w.order // position -> vertex
 	havePos := false
 	var baseEdges []graph.Edge // dynamic edges of the last valid graph
-	var diffBuf []graph.Edge   // reused new-edge scratch
-	w := newWorkspace(b)
+	diffBuf := w.diffBuf[:0]   // reused new-edge scratch
+	defer func() { w.diffBuf = diffBuf }()
 
 	for i, it := range items {
 		if err := ctx.Err(); err != nil {

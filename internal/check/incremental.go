@@ -32,11 +32,12 @@ func Incremental(b *graph.Builder, items []Item) (*Result, error) {
 		}
 	}
 	n := b.NumOps()
-	w := newWorkspace(b)
+	w := getWorkspace(b)
+	defer putWorkspace(w)
 	pk := &pkState{
 		w:       w,
-		pos:     make([]int32, n),
-		order:   make([]int32, n),
+		pos:     w.pos,
+		order:   w.order,
 		visited: make([]int32, n),
 		epoch:   0,
 	}
@@ -44,7 +45,8 @@ func Incremental(b *graph.Builder, items []Item) (*Result, error) {
 	backupOrder := make([]int32, n)
 	havePos := false
 	var baseEdges []graph.Edge
-	var diffBuf []graph.Edge
+	diffBuf := w.diffBuf[:0]
+	defer func() { w.diffBuf = diffBuf }()
 
 	for i, it := range items {
 		w.setDyn(it.Edges)

@@ -1,11 +1,16 @@
 package check
 
-import "mtracecheck/internal/graph"
+import (
+	"sync"
+
+	"mtracecheck/internal/graph"
+)
 
 // workspace holds the recycled vertex data structures both checkers run on
 // (the paper recycles vertex structures across graphs while edge structures
 // are rebuilt per graph, §6.2). One workspace serves one program's builder.
 type workspace struct {
+	owner   *graph.Builder // the builder this workspace was shaped for
 	n       int
 	static  [][]int32
 	dyn     [][]int32 // per-vertex dynamic out-edges of the current graph
@@ -16,6 +21,11 @@ type workspace struct {
 	classOf []int32 // vertex priority class (word-major)
 	bq      *bucketQueue
 	ladj    [][]int32 // recycled window-local adjacency
+	// pos/order/diffBuf back the checkers' maintained order and edge-diff
+	// scratch; contents are overwritten before use on every checking run.
+	pos     []int32
+	order   []int32
+	diffBuf []graph.Edge
 }
 
 func newWorkspace(b *graph.Builder) *workspace {
@@ -23,6 +33,7 @@ func newWorkspace(b *graph.Builder) *workspace {
 	g := b.FromDynamic(nil) // borrow the shared static adjacency
 	classOf, classes := b.WordClass()
 	return &workspace{
+		owner:   b,
 		n:       n,
 		static:  g.Static,
 		dyn:     make([][]int32, n),
@@ -32,8 +43,29 @@ func newWorkspace(b *graph.Builder) *workspace {
 		classOf: classOf,
 		bq:      newBucketQueue(classes),
 		ladj:    make([][]int32, n),
+		pos:     make([]int32, n),
+		order:   make([]int32, n),
 	}
 }
+
+// wsPool recycles workspaces across checking runs. Sharded collective
+// checking calls CollectiveContext once per shard item batch against one
+// shared builder, so without pooling every batch would rebuild the full
+// vertex structures the paper's §6.2 recycling is about.
+var wsPool sync.Pool
+
+// getWorkspace returns a pooled workspace shaped for b, or a fresh one. A
+// pooled workspace built against a different builder is discarded: its
+// static adjacency, class table, and buffer sizes belong to that builder's
+// program.
+func getWorkspace(b *graph.Builder) *workspace {
+	if w, _ := wsPool.Get().(*workspace); w != nil && w.owner == b {
+		return w
+	}
+	return newWorkspace(b)
+}
+
+func putWorkspace(w *workspace) { wsPool.Put(w) }
 
 // setDyn installs one graph's dynamic edges, clearing the previous graph's.
 func (w *workspace) setDyn(edges []graph.Edge) {

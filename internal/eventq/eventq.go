@@ -4,15 +4,20 @@
 // simulations are fully deterministic for a given seed.
 package eventq
 
-import "container/heap"
-
 // Time is a simulation timestamp in abstract cycles.
 type Time int64
 
 // Queue is a discrete-event scheduler. The zero value is not ready for use;
 // call New.
+//
+// The heap is hand-rolled over a flat []event rather than container/heap:
+// the standard interface boxes every pushed and popped element in an
+// interface value, which costs one allocation per event — far too much for a
+// scheduler that runs hundreds of events per simulated iteration. The
+// ordering (time, then scheduling sequence) is identical, so event execution
+// order is unchanged.
 type Queue struct {
-	h   eventHeap
+	h   []event
 	now Time
 	seq int64
 }
@@ -26,24 +31,30 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Now returns the current simulation time.
 func (q *Queue) Now() Time { return q.now }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
+
+// Reset discards all pending events and rewinds the clock and scheduling
+// sequence to zero, keeping the underlying storage for reuse. A reset queue
+// behaves exactly like a freshly New'd one.
+func (q *Queue) Reset() {
+	for i := range q.h {
+		q.h[i].fn = nil // release callback closures for GC
+	}
+	q.h = q.h[:0]
+	q.now = 0
+	q.seq = 0
+}
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // (before Now) runs the event at the current time instead; time never moves
@@ -53,11 +64,42 @@ func (q *Queue) At(at Time, fn func()) {
 		at = q.now
 	}
 	q.seq++
-	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.h = append(q.h, event{at: at, seq: q.seq, fn: fn})
+	q.siftUp(len(q.h) - 1)
 }
 
 // After schedules fn to run delay cycles from now.
 func (q *Queue) After(delay Time, fn func()) { q.At(q.now+delay, fn) }
+
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.h[r].before(q.h[l]) {
+			min = r
+		}
+		if !q.h[min].before(q.h[i]) {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}
 
 // Step runs the earliest pending event, advancing the clock to its time.
 // It reports whether an event was run.
@@ -65,7 +107,14 @@ func (q *Queue) Step() bool {
 	if len(q.h) == 0 {
 		return false
 	}
-	e := heap.Pop(&q.h).(event)
+	e := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = event{} // release callback for GC
+	q.h = q.h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
 	q.now = e.at
 	e.fn()
 	return true

@@ -36,13 +36,13 @@ func collectMode(p *prog.Program, plat sim.Platform, iters int, seed int64,
 		if err != nil {
 			return nil, err
 		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
+		s, err := meta.EncodeValues(ex.LoadValues)
 		if err != nil {
 			asserts++
 			continue
 		}
 		if set.Add(s) {
-			wsBySig[s.Key()] = ex.WS
+			wsBySig[s.Key()] = ex.WSByWord()
 		}
 	}
 	builder := graph.NewBuilder(p, plat.Model, graph.Options{
@@ -282,7 +282,7 @@ func FRAblation(cfg Config) (*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				if s, err := meta.EncodeExecution(ex.LoadValues); err == nil {
+				if s, err := meta.EncodeValues(ex.LoadValues); err == nil {
 					set.Add(s)
 				}
 			}
@@ -357,7 +357,7 @@ func Saturation(cfg Config) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if s, err := meta.EncodeExecution(ex.LoadValues); err == nil {
+			if s, err := meta.EncodeValues(ex.LoadValues); err == nil {
 				set.Add(s)
 			}
 		}
@@ -424,10 +424,10 @@ func Atomicity(cfg Config) (*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				if sub.outcome.Matches(ex.LoadValues) {
+				if sub.outcome.MatchesValues(ex.LoadValues) {
 					observed++
 				}
-				if s, err := meta.EncodeExecution(ex.LoadValues); err == nil {
+				if s, err := meta.EncodeValues(ex.LoadValues); err == nil {
 					set.Add(s)
 				}
 			}
@@ -501,10 +501,11 @@ func DynPrune(cfg Config) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := enc.Encode(ex.LoadValues); err != nil {
+			lvs := denseToMap(ex.LoadValues)
+			if _, err := enc.Encode(lvs); err != nil {
 				return nil, fmt.Errorf("%s: clean platform asserted: %w", tc.Label, err)
 			}
-			bits, err := enc.InformationBits(ex.LoadValues)
+			bits, err := enc.InformationBits(lvs)
 			if err != nil {
 				return nil, err
 			}
@@ -523,7 +524,7 @@ func DynPrune(cfg Config) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := enc.Encode(ex.LoadValues); err != nil {
+			if _, err := enc.Encode(denseToMap(ex.LoadValues)); err != nil {
 				asserts++
 			}
 		}
@@ -562,4 +563,15 @@ func Bias(cfg Config) (*report.Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// denseToMap converts a dense op-indexed value slice (sim.Execution.LoadValues)
+// into the map shape the dynamic encoder consumes; non-load entries are
+// harmless extras the encoder never looks up.
+func denseToMap(vals []uint32) map[int]uint32 {
+	m := make(map[int]uint32, len(vals))
+	for id, v := range vals {
+		m[id] = v
+	}
+	return m
 }

@@ -101,13 +101,13 @@ func collect(pc testgen.Config, plat sim.Platform, iters int, seed int64) (*coll
 		if err != nil {
 			return nil, err
 		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
+		s, err := meta.EncodeValues(ex.LoadValues)
 		if err != nil {
 			asserts++
 			continue
 		}
 		if set.Add(s) {
-			wsBySig[s.Key()] = ex.WS
+			wsBySig[s.Key()] = ex.WSByWord()
 		}
 	}
 	builder := graph.NewBuilder(p, plat.Model, graph.Options{
@@ -403,7 +403,7 @@ func Fig10(cfg Config) (*report.Table, error) {
 			}
 			origCycles += oMax
 			instCycles += iMax
-			if s, err := meta.EncodeExecution(vals); err == nil {
+			if s, err := meta.EncodeValues(vals); err == nil {
 				sigs = append(sigs, s)
 			}
 		}
@@ -621,11 +621,11 @@ func Litmus(cfg Config) (*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				if l.Interesting.Matches(ex.LoadValues) {
+				if l.Interesting.MatchesValues(ex.LoadValues) {
 					observed++
 				}
-				if s, err := meta.EncodeExecution(ex.LoadValues); err == nil && set.Add(s) {
-					wsBySig[s.Key()] = ex.WS
+				if s, err := meta.EncodeValues(ex.LoadValues); err == nil && set.Add(s) {
+					wsBySig[s.Key()] = ex.WSByWord()
 				}
 			}
 			for _, u := range set.Sorted() {

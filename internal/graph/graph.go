@@ -9,8 +9,7 @@ package graph
 
 import (
 	"fmt"
-
-	"sort"
+	"slices"
 
 	"mtracecheck/internal/mcm"
 	"mtracecheck/internal/prog"
@@ -101,6 +100,8 @@ type Builder struct {
 	// firstStores maps a word to each thread's first store to it (static
 	// fr targets for initial-value reads in WSStatic mode).
 	firstStores map[int][]int
+	// loads lists every load op ID in ID order (for the dense rf path).
+	loads []int32
 }
 
 // NewBuilder precomputes the static (execution-independent) edges.
@@ -117,6 +118,7 @@ func NewBuilder(p *prog.Program, model mcm.Model, opts Options) *Builder {
 		for _, op := range th.Ops {
 			switch op.Kind {
 			case prog.Load:
+				b.loads = append(b.loads, int32(op.ID))
 				if st, ok := latest[op.Word]; ok {
 					b.lastOwnStore[op.ID] = st
 				}
@@ -200,94 +202,143 @@ func (b *Builder) StaticEdgeCount() int { return b.statCnt }
 //     through the ws chain covers later stores.
 func (b *Builder) DynamicEdges(rf RF, ws WS) ([]Edge, error) {
 	var edges []Edge
-	observed := b.opts.WS == WSObserved
-	wsPos := make(map[int]int, 64) // store ID -> position within its word's order
-	if observed {
-		for _, stores := range ws {
-			for i, s := range stores {
-				wsPos[s] = i
-				if i > 0 {
-					edges = append(edges, Edge{int32(stores[i-1]), int32(s)})
-				}
-			}
-		}
+	edges, wsPos, err := b.startDynamicEdges(edges, ws)
+	if err != nil {
+		return nil, err
 	}
 	for loadID, storeID := range rf {
 		load := b.prog.OpByID(loadID)
 		if load.Kind != prog.Load {
 			return nil, fmt.Errorf("graph: rf references non-load op %d", loadID)
 		}
-		if storeID < 0 {
-			// Read the initial value: the load precedes every store to the
-			// word. Observed mode: the first store in coherence order
-			// suffices (ws chains cover the rest). Static mode: each
-			// thread's first store to the word. (DropFR omits these
-			// load→store constraints entirely.)
-			if b.opts.DropFR {
-				// no fr edges
-			} else if observed {
-				if chain := ws[load.Word]; len(chain) > 0 {
-					edges = append(edges, Edge{int32(loadID), int32(chain[0])})
-				}
-			} else {
-				for _, st := range b.firstStores[load.Word] {
-					edges = append(edges, Edge{int32(loadID), int32(st)})
-				}
-			}
-			if own, ok := b.lastOwnStore[loadID]; ok && b.opts.Forwarding {
-				// Reading the initial value despite an own preceding store
-				// is a uniprocessor violation; the reinstated edge (plus the
-				// fr edge above) exposes it as a cycle.
-				edges = append(edges, Edge{int32(own), int32(loadID)})
-			}
-			continue
-		}
-		st := b.prog.OpByID(storeID)
-		if st.Kind != prog.Store || st.Word != load.Word {
-			return nil, fmt.Errorf("graph: rf store %d incompatible with load %d", storeID, loadID)
-		}
-		if st.Thread != load.Thread {
-			edges = append(edges, Edge{int32(storeID), int32(loadID)})
-		} else if !b.opts.Forwarding {
-			// Single-copy atomicity: the read implies global visibility.
-			edges = append(edges, Edge{int32(storeID), int32(loadID)})
-		}
-		if b.opts.Forwarding {
-			// No forwarding happened if the load read anything other than
-			// its own latest preceding store: reinstate the same-address
-			// store→load program order for this execution.
-			if own, ok := b.lastOwnStore[loadID]; ok && own != storeID {
-				edges = append(edges, Edge{int32(own), int32(loadID)})
-			}
-		}
-		// from-read: the load precedes whatever overwrites the store it
-		// read. Observed mode: the immediate coherence-order successor.
-		// Static mode: the store's next same-thread same-word store.
-		if b.opts.DropFR {
-			continue
-		}
-		if observed {
-			pos, ok := wsPos[storeID]
-			if !ok {
-				return nil, fmt.Errorf("graph: rf store %d missing from ws of word %d", storeID, load.Word)
-			}
-			if chain := ws[load.Word]; pos+1 < len(chain) {
-				edges = append(edges, Edge{int32(loadID), int32(chain[pos+1])})
-			}
-		} else if next, ok := b.nextOwnStore[storeID]; ok {
-			edges = append(edges, Edge{int32(loadID), int32(next)})
+		edges, err = b.appendLoadEdges(edges, loadID, storeID, ws, wsPos)
+		if err != nil {
+			return nil, err
 		}
 	}
 	sortEdges(edges)
 	return dedupEdges(edges), nil
 }
 
-func sortEdges(edges []Edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+// AppendDynamicEdges is DynamicEdges over a dense reads-from slice indexed by
+// op ID (rf[loadID] = source store op ID, or -1 for a read of the initial
+// value — the shape instrument.Meta.DecodeInto fills). Every load op must
+// have an entry; non-load slots are ignored. Edges are appended to dst
+// (callers reuse a scratch buffer via dst[:0]) and the sorted, de-duplicated
+// result is returned. The output is identical to the map-based DynamicEdges
+// over the equivalent RF map.
+func (b *Builder) AppendDynamicEdges(dst []Edge, rf []int32, ws WS) ([]Edge, error) {
+	if len(rf) < b.n {
+		return nil, fmt.Errorf("graph: dense rf has %d entries, need %d", len(rf), b.n)
+	}
+	edges, wsPos, err := b.startDynamicEdges(dst, ws)
+	if err != nil {
+		return nil, err
+	}
+	for _, loadID := range b.loads {
+		edges, err = b.appendLoadEdges(edges, int(loadID), int(rf[loadID]), ws, wsPos)
+		if err != nil {
+			return nil, err
 		}
-		return edges[i].V < edges[j].V
+	}
+	sortEdges(edges)
+	return dedupEdges(edges), nil
+}
+
+// startDynamicEdges emits the ws-chain edges and builds the store→position
+// index when coherence order is observed; in static mode it does nothing
+// (and allocates nothing).
+func (b *Builder) startDynamicEdges(edges []Edge, ws WS) ([]Edge, map[int]int, error) {
+	if b.opts.WS != WSObserved {
+		return edges, nil, nil
+	}
+	wsPos := make(map[int]int, 64) // store ID -> position within its word's order
+	for _, stores := range ws {
+		for i, s := range stores {
+			wsPos[s] = i
+			if i > 0 {
+				edges = append(edges, Edge{int32(stores[i-1]), int32(s)})
+			}
+		}
+	}
+	return edges, wsPos, nil
+}
+
+// appendLoadEdges emits the rf/fr/forwarding edges contributed by one load
+// reading from storeID (negative = initial value). wsPos is non-nil exactly
+// in observed mode.
+func (b *Builder) appendLoadEdges(edges []Edge, loadID, storeID int, ws WS, wsPos map[int]int) ([]Edge, error) {
+	observed := wsPos != nil
+	load := b.prog.OpByID(loadID)
+	if storeID < 0 {
+		// Read the initial value: the load precedes every store to the
+		// word. Observed mode: the first store in coherence order
+		// suffices (ws chains cover the rest). Static mode: each
+		// thread's first store to the word. (DropFR omits these
+		// load→store constraints entirely.)
+		if b.opts.DropFR {
+			// no fr edges
+		} else if observed {
+			if chain := ws[load.Word]; len(chain) > 0 {
+				edges = append(edges, Edge{int32(loadID), int32(chain[0])})
+			}
+		} else {
+			for _, st := range b.firstStores[load.Word] {
+				edges = append(edges, Edge{int32(loadID), int32(st)})
+			}
+		}
+		if own, ok := b.lastOwnStore[loadID]; ok && b.opts.Forwarding {
+			// Reading the initial value despite an own preceding store
+			// is a uniprocessor violation; the reinstated edge (plus the
+			// fr edge above) exposes it as a cycle.
+			edges = append(edges, Edge{int32(own), int32(loadID)})
+		}
+		return edges, nil
+	}
+	st := b.prog.OpByID(storeID)
+	if st.Kind != prog.Store || st.Word != load.Word {
+		return nil, fmt.Errorf("graph: rf store %d incompatible with load %d", storeID, loadID)
+	}
+	if st.Thread != load.Thread {
+		edges = append(edges, Edge{int32(storeID), int32(loadID)})
+	} else if !b.opts.Forwarding {
+		// Single-copy atomicity: the read implies global visibility.
+		edges = append(edges, Edge{int32(storeID), int32(loadID)})
+	}
+	if b.opts.Forwarding {
+		// No forwarding happened if the load read anything other than
+		// its own latest preceding store: reinstate the same-address
+		// store→load program order for this execution.
+		if own, ok := b.lastOwnStore[loadID]; ok && own != storeID {
+			edges = append(edges, Edge{int32(own), int32(loadID)})
+		}
+	}
+	// from-read: the load precedes whatever overwrites the store it
+	// read. Observed mode: the immediate coherence-order successor.
+	// Static mode: the store's next same-thread same-word store.
+	if b.opts.DropFR {
+		return edges, nil
+	}
+	if observed {
+		pos, ok := wsPos[storeID]
+		if !ok {
+			return nil, fmt.Errorf("graph: rf store %d missing from ws of word %d", storeID, load.Word)
+		}
+		if chain := ws[load.Word]; pos+1 < len(chain) {
+			edges = append(edges, Edge{int32(loadID), int32(chain[pos+1])})
+		}
+	} else if next, ok := b.nextOwnStore[storeID]; ok {
+		edges = append(edges, Edge{int32(loadID), int32(next)})
+	}
+	return edges, nil
+}
+
+func sortEdges(edges []Edge) {
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
+		}
+		return int(a.V) - int(b.V)
 	})
 }
 

@@ -162,32 +162,82 @@ func (m *Meta) wordsBefore(ti int) int {
 	return n
 }
 
+// candIndex returns the index of value v in the load's candidate set, or -1.
+func candIndex(li *LoadInfo, v uint32) int {
+	for i, c := range li.Candidates {
+		if c.Value == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// EncodeExecutionInto computes the execution signature for dense observed
+// load values (indexed by op ID, the shape sim.Execution.LoadValues uses)
+// into dst, returning dst resized to TotalWords. It allocates only when
+// dst's capacity is insufficient, so a reused buffer makes steady-state
+// encoding allocation-free. A value outside a load's candidate set returns
+// an AssertionError — the instrumentation's inline assertion (paper §3.1)
+// that catches, e.g., program-order violations without any graph checking.
+func (m *Meta) EncodeExecutionInto(dst []uint64, vals []uint32) ([]uint64, error) {
+	total := m.TotalWords()
+	if cap(dst) < total {
+		dst = make([]uint64, total)
+	} else {
+		dst = dst[:total]
+		clear(dst)
+	}
+	base := 0
+	for ti := range m.Threads {
+		tm := &m.Threads[ti]
+		for i := range tm.Loads {
+			li := &tm.Loads[i]
+			if li.Op.ID >= len(vals) {
+				return dst, fmt.Errorf("instrument: no observed value for load %d", li.Op.ID)
+			}
+			v := vals[li.Op.ID]
+			idx := candIndex(li, v)
+			if idx < 0 {
+				return dst, &AssertionError{Load: li.Op, Value: v}
+			}
+			// Within a thread the first word is most significant: word 0 of
+			// the thread sits at offset 0.
+			dst[base+li.WordIndex] += li.Multiplier * uint64(idx)
+		}
+		base += tm.Words
+	}
+	return dst, nil
+}
+
+// EncodeValues is EncodeExecutionInto with a freshly allocated signature —
+// the convenient form for callers off the hot path.
+func (m *Meta) EncodeValues(vals []uint32) (sig.Signature, error) {
+	words, err := m.EncodeExecutionInto(nil, vals)
+	if err != nil {
+		return sig.Signature{}, err
+	}
+	return sig.New(words), nil
+}
+
 // EncodeExecution computes the execution signature for observed load values
-// (load op ID → value), exactly as the instrumented code would at runtime.
-// A value outside a load's candidate set returns an AssertionError — the
-// instrumentation's inline assertion (paper §3.1) that catches, e.g.,
-// program-order violations without any graph checking.
+// as a map (load op ID → value), exactly as the instrumented code would at
+// runtime. Thin map-shaped wrapper over the same per-load encoding the dense
+// EncodeExecutionInto fast path uses.
 func (m *Meta) EncodeExecution(loadValues map[int]uint32) (sig.Signature, error) {
 	words := make([]uint64, m.TotalWords())
 	base := 0
-	for _, tm := range m.Threads {
-		for _, li := range tm.Loads {
+	for ti := range m.Threads {
+		tm := &m.Threads[ti]
+		for i := range tm.Loads {
+			li := &tm.Loads[i]
 			v, ok := loadValues[li.Op.ID]
 			if !ok {
 				return sig.Signature{}, fmt.Errorf("instrument: no observed value for load %d", li.Op.ID)
 			}
-			idx := -1
-			for i, c := range li.Candidates {
-				if c.Value == v {
-					idx = i
-					break
-				}
-			}
+			idx := candIndex(li, v)
 			if idx < 0 {
 				return sig.Signature{}, &AssertionError{Load: li.Op, Value: v}
 			}
-			// Within a thread the first word is most significant: word 0 of
-			// the thread sits at offset 0.
 			words[base+li.WordIndex] += li.Multiplier * uint64(idx)
 		}
 		base += tm.Words
@@ -207,44 +257,77 @@ func (e *AssertionError) Error() string {
 		e.Load.ID, e.Load, e.Load.Thread, e.Value)
 }
 
+// decodeWalk runs Algorithm 1 over the signature, calling emit with each
+// load and its decoded candidate index. Within a thread, loads are stored in
+// program order and word indices only grow, so each word's loads form a
+// contiguous run — no per-call regrouping is needed. Words without loads
+// (threads with no loads emit one always-zero word) still get the residue
+// check.
+func (m *Meta) decodeWalk(s sig.Signature, emit func(li *LoadInfo, idx int)) error {
+	if s.Len() != m.TotalWords() {
+		return fmt.Errorf("instrument: signature has %d words, metadata expects %d",
+			s.Len(), m.TotalWords())
+	}
+	base := 0
+	for ti := range m.Threads {
+		tm := &m.Threads[ti]
+		loads := tm.Loads
+		lo := 0
+		for w := 0; w < tm.Words; w++ {
+			hi := lo
+			for hi < len(loads) && loads[hi].WordIndex == w {
+				hi++
+			}
+			// Decode the word from its last load to its first.
+			remaining := s.Word(base + w)
+			for i := hi - 1; i >= lo; i-- {
+				li := &loads[i]
+				idx := remaining / li.Multiplier
+				remaining %= li.Multiplier
+				if idx >= uint64(len(li.Candidates)) {
+					return fmt.Errorf("instrument: signature word %d decodes load %d to index %d of %d candidates",
+						base+w, li.Op.ID, idx, len(li.Candidates))
+				}
+				emit(li, int(idx))
+			}
+			if remaining != 0 {
+				return fmt.Errorf("instrument: signature word %d has residue %d after decoding",
+					base+w, remaining)
+			}
+			lo = hi
+		}
+		base += tm.Words
+	}
+	return nil
+}
+
 // Decode reconstructs the reads-from relation from an execution signature
 // (paper Algorithm 1): per thread, per word, loads are walked from last to
 // first, dividing by each load's multiplier. The result maps every load op
 // ID to its observed Candidate.
 func (m *Meta) Decode(s sig.Signature) (map[int]Candidate, error) {
-	if s.Len() != m.TotalWords() {
-		return nil, fmt.Errorf("instrument: signature has %d words, metadata expects %d",
-			s.Len(), m.TotalWords())
-	}
 	rf := make(map[int]Candidate)
-	base := 0
-	for _, tm := range m.Threads {
-		// Split the thread's loads by word, then decode each word from its
-		// last load to its first.
-		byWord := make([][]LoadInfo, tm.Words)
-		for _, li := range tm.Loads {
-			byWord[li.WordIndex] = append(byWord[li.WordIndex], li)
-		}
-		for w, loads := range byWord {
-			remaining := s.Word(base + w)
-			for i := len(loads) - 1; i >= 0; i-- {
-				li := loads[i]
-				idx := remaining / li.Multiplier
-				remaining %= li.Multiplier
-				if idx >= uint64(len(li.Candidates)) {
-					return nil, fmt.Errorf("instrument: signature word %d decodes load %d to index %d of %d candidates",
-						base+w, li.Op.ID, idx, len(li.Candidates))
-				}
-				rf[li.Op.ID] = li.Candidates[idx]
-			}
-			if remaining != 0 {
-				return nil, fmt.Errorf("instrument: signature word %d has residue %d after decoding",
-					base+w, remaining)
-			}
-		}
-		base += tm.Words
+	err := m.decodeWalk(s, func(li *LoadInfo, idx int) {
+		rf[li.Op.ID] = li.Candidates[idx]
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rf, nil
+}
+
+// DecodeInto reconstructs the reads-from relation into rf, a dense slice
+// indexed by operation ID: rf[loadID] = source store op ID, or -1 when the
+// load read the initial value. Entries for non-load operations are left
+// untouched. rf must be at least m.Prog.NumOps() long. This is the hot-path
+// form — it avoids the map[int]Candidate allocation per decoded signature.
+func (m *Meta) DecodeInto(s sig.Signature, rf []int32) error {
+	if n := m.Prog.NumOps(); len(rf) < n {
+		return fmt.Errorf("instrument: rf buffer has %d entries, program has %d ops", len(rf), n)
+	}
+	return m.decodeWalk(s, func(li *LoadInfo, idx int) {
+		rf[li.Op.ID] = int32(li.Candidates[idx].Store)
+	})
 }
 
 // Cardinality returns the paper's §3.2 estimate of per-thread signature

@@ -76,12 +76,14 @@ func newCache(s *System, id int) *cache {
 func (c *cache) reset() {
 	for i := range c.sets {
 		for j := range c.sets[i] {
-			c.sets[i][j] = cacheLine{}
+			ln := &c.sets[i][j]
+			// Keep the line buffer's capacity: refills reuse it.
+			*ln = cacheLine{data: ln.data[:0]}
 		}
 	}
-	c.mshrs = make(map[uint64]*mshr)
-	c.wb = make(map[uint64][]uint32)
-	c.stalled = nil
+	clear(c.mshrs)
+	clear(c.wb)
+	c.stalled = c.stalled[:0]
 	c.useCtr = 0
 }
 
@@ -175,7 +177,7 @@ func (c *cache) access(req memReq) {
 	}
 	c.evict(set, way)
 	ln = &c.sets[set][way]
-	*ln = cacheLine{base: base, state: stateI, pending: true}
+	*ln = cacheLine{base: base, state: stateI, pending: true, data: ln.data[:0]}
 	c.touch(ln)
 	m := &mshr{base: base, set: set, way: way, wantM: req.isWrite, queued: []memReq{req}}
 	c.mshrs[base] = m
@@ -227,7 +229,7 @@ func (c *cache) evict(set, way int) {
 		c.sys.send(-1, message{typ: msgPutM, from: c.id, base: ln.base, data: data, dirty: true})
 	}
 	ln.state = stateI
-	ln.data = nil
+	ln.data = ln.data[:0]
 }
 
 // retryStalled re-presents stalled requests after a way freed up.
@@ -274,7 +276,7 @@ func (c *cache) invalidate(base uint64, mayBeSMTransient bool) {
 	}
 	if ln := c.lookup(base); ln != nil && ln.state != stateI {
 		ln.state = stateI
-		ln.data = nil
+		ln.data = ln.data[:0]
 		c.sys.stats.Invalidations++
 	}
 	if notify && c.sys.invalHook != nil {
@@ -291,7 +293,7 @@ func (c *cache) forward(base uint64, isGetM bool) {
 		dirty := ln.state == stateM
 		if isGetM {
 			ln.state = stateI
-			ln.data = nil
+			ln.data = ln.data[:0]
 			c.sys.stats.Invalidations++
 			if c.sys.invalHook != nil {
 				c.sys.invalHook(c.id, base)
@@ -332,7 +334,11 @@ func (c *cache) fill(m message) {
 	if ln.base != m.base {
 		panic(fmt.Sprintf("mem: cache %d fill slot holds %#x, want %#x", c.id, ln.base, m.base))
 	}
-	ln.data = make([]uint32, len(m.data))
+	if cap(ln.data) >= len(m.data) {
+		ln.data = ln.data[:len(m.data)]
+	} else {
+		ln.data = make([]uint32, len(m.data))
+	}
 	copy(ln.data, m.data)
 	switch m.typ {
 	case msgDataS:

@@ -49,13 +49,27 @@ type dirLine struct {
 type directory struct {
 	sys   *System
 	lines map[uint64]*dirLine
+	fan   []int // scratch for deterministic invalidation fan-out
 }
 
 func newDirectory(s *System) *directory {
 	return &directory{sys: s, lines: make(map[uint64]*dirLine)}
 }
 
-func (d *directory) reset() { d.lines = make(map[uint64]*dirLine) }
+// reset rewinds every entry to the uncached state in place, keeping the
+// entries (and their sharer maps and queues) for reuse. Entry resets are
+// independent, so map iteration order does not matter.
+func (d *directory) reset() {
+	for _, l := range d.lines {
+		clear(l.sharers)
+		l.state = dirU
+		l.owner = 0
+		l.busy = false
+		l.cur = message{}
+		l.acksNeeded = 0
+		l.queue = l.queue[:0]
+	}
+}
 
 func (d *directory) line(base uint64) *dirLine {
 	l, ok := d.lines[base]
@@ -94,7 +108,7 @@ func (d *directory) receive(m message) {
 		if l.acksNeeded == 0 {
 			// All sharers gone: grant M to the requester from memory.
 			req := l.cur.from
-			l.sharers = map[int]bool{}
+			clear(l.sharers)
 			l.state = dirEM
 			l.owner = req
 			d.grant(req, msgDataM, m.base, 0)
@@ -110,7 +124,8 @@ func (d *directory) receive(m message) {
 		switch l.cur.typ {
 		case msgGetS:
 			l.state = dirS
-			l.sharers = map[int]bool{req: true}
+			clear(l.sharers)
+			l.sharers[req] = true
 			if m.keepsCopy {
 				l.sharers[m.from] = true
 			}
@@ -118,7 +133,7 @@ func (d *directory) receive(m message) {
 		case msgGetM:
 			l.state = dirEM
 			l.owner = req
-			l.sharers = map[int]bool{}
+			clear(l.sharers)
 			d.grant(req, msgDataM, m.base, 0)
 		default:
 			panic(fmt.Sprintf("mem: owner response while servicing %v", l.cur.typ))
@@ -177,7 +192,7 @@ func (d *directory) service(l *dirLine, m message) {
 			l.owner = m.from
 			d.grant(m.from, msgDataM, m.base, int(d.sys.cfg.MemLat))
 		case dirS:
-			others := make([]int, 0, len(l.sharers))
+			others := d.fan[:0]
 			for s := range l.sharers {
 				if s != m.from {
 					others = append(others, s)
@@ -186,10 +201,11 @@ func (d *directory) service(l *dirLine, m message) {
 			// Deterministic fan-out order: map iteration order must not
 			// influence message sequencing (and hence simulated timing).
 			sort.Ints(others)
+			d.fan = others
 			if len(others) == 0 {
 				l.state = dirEM
 				l.owner = m.from
-				l.sharers = map[int]bool{}
+				clear(l.sharers)
 				d.grant(m.from, msgDataM, m.base, 0)
 				return
 			}
@@ -210,7 +226,7 @@ func (d *directory) service(l *dirLine, m message) {
 			copy(d.sys.memLine(m.base), m.data)
 			l.state = dirU
 			l.owner = 0
-			l.sharers = map[int]bool{}
+			clear(l.sharers)
 		}
 		// Stale PutM (ownership already transferred via a forward): the data
 		// was already supplied to the directory by the writeback buffer.

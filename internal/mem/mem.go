@@ -238,16 +238,22 @@ func (s *System) Quiescent() bool {
 }
 
 // Reset restores the initial state (all memory zero, caches empty) between
-// test iterations. The system must be quiescent.
+// test iterations. The system must be quiescent. Backing storage (line
+// buffers, directory entries, map capacity) is zeroed in place and kept for
+// reuse, so a reset system behaves identically to a freshly built one
+// without re-paying its construction allocations.
 func (s *System) Reset() error {
 	if !s.Quiescent() {
 		return fmt.Errorf("mem: Reset while not quiescent (%d outstanding)", s.outstanding)
 	}
-	s.memory = make(map[uint64][]uint32)
+	for _, l := range s.memory {
+		clear(l)
+	}
 	for _, c := range s.caches {
 		c.reset()
 	}
 	s.dir.reset()
+	s.stats = Stats{}
 	return nil
 }
 

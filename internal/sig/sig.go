@@ -14,7 +14,7 @@ package sig
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -116,12 +116,12 @@ func (s Signature) String() string {
 // Sort sorts signatures ascending in place (paper §4.1: adjacent signatures
 // correspond to structurally similar constraint graphs).
 func Sort(sigs []Signature) {
-	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Compare(sigs[j]) < 0 })
+	slices.SortFunc(sigs, Signature.Compare)
 }
 
 // IsSorted reports whether sigs is ascending.
 func IsSorted(sigs []Signature) bool {
-	return sort.SliceIsSorted(sigs, func(i, j int) bool { return sigs[i].Compare(sigs[j]) < 0 })
+	return slices.IsSortedFunc(sigs, Signature.Compare)
 }
 
 // Unique is a de-duplicated signature with its observation count.
@@ -138,7 +138,8 @@ func Dedup(sigs []Signature) []Unique {
 		return nil
 	}
 	Sort(sigs)
-	out := []Unique{{Sig: sigs[0], Count: 1}}
+	out := make([]Unique, 0, len(sigs))
+	out = append(out, Unique{Sig: sigs[0], Count: 1})
 	for _, s := range sigs[1:] {
 		if s.Equal(out[len(out)-1].Sig) {
 			out[len(out)-1].Count++
@@ -152,42 +153,59 @@ func Dedup(sigs []Signature) []Unique {
 // Set accumulates signatures online, tracking unique values and counts.
 // It is what the on-device collection buffer holds before the host-side
 // sort; methods are not safe for concurrent use.
+//
+// Internally the Set keys uniques by their binary encoding, append-built in
+// a reusable scratch buffer: adding an already-seen signature (the common
+// case — the paper's runs see far fewer uniques than iterations) performs
+// one encode and one map lookup with no allocation at all. Only a genuinely
+// new signature pays for the retained key string and entry.
 type Set struct {
-	counts map[string]int
-	sigs   map[string]Signature
-	total  int
+	index   map[string]int // binary key → index into entries
+	entries []Unique
+	total   int
+	scratch []byte
 }
 
 // NewSet returns an empty Set.
 func NewSet() *Set {
-	return &Set{counts: make(map[string]int), sigs: make(map[string]Signature)}
+	return &Set{index: make(map[string]int)}
+}
+
+// AddWords inserts one observation of the signature formed by words (most
+// significant first), reporting whether it was new. The words are copied
+// only when new; the caller keeps ownership of the slice. This is the
+// hot-path form of Add.
+func (set *Set) AddWords(words []uint64) bool {
+	b := set.scratch[:0]
+	for _, w := range words {
+		b = binary.BigEndian.AppendUint64(b, w)
+	}
+	set.scratch = b
+	set.total++
+	// The []byte→string conversion inside a map index does not allocate.
+	if i, ok := set.index[string(b)]; ok {
+		set.entries[i].Count++
+		return false
+	}
+	set.index[string(b)] = len(set.entries)
+	set.entries = append(set.entries, Unique{Sig: New(words), Count: 1})
+	return true
 }
 
 // Add inserts one observation of s, reporting whether s was new.
-func (set *Set) Add(s Signature) bool {
-	k := s.Key()
-	set.total++
-	set.counts[k]++
-	if set.counts[k] == 1 {
-		set.sigs[k] = s
-		return true
-	}
-	return false
-}
+func (set *Set) Add(s Signature) bool { return set.AddWords(s.words) }
 
 // Len returns the number of unique signatures.
-func (set *Set) Len() int { return len(set.sigs) }
+func (set *Set) Len() int { return len(set.entries) }
 
 // Total returns the number of observations added.
 func (set *Set) Total() int { return set.total }
 
 // Sorted returns the unique signatures ascending with counts.
 func (set *Set) Sorted() []Unique {
-	out := make([]Unique, 0, len(set.sigs))
-	for k, s := range set.sigs {
-		out = append(out, Unique{Sig: s, Count: set.counts[k]})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Compare(out[j].Sig) < 0 })
+	out := make([]Unique, len(set.entries))
+	copy(out, set.entries)
+	slices.SortFunc(out, func(a, b Unique) int { return a.Sig.Compare(b.Sig) })
 	return out
 }
 

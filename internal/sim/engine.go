@@ -22,15 +22,27 @@ var ErrDeadlock = errors.New("sim: protocol deadlock: no progress with operation
 var ErrLivelock = errors.New("sim: iteration exceeded event budget")
 
 // Execution is the observable result of one test iteration.
+//
+// Load values, forwarding marks, and write-serialization orders are stored in
+// dense slices rather than maps: operation IDs are contiguous per program
+// (thread-major, 0..NumOps-1) and shared words are indexed 0..NumWords-1, so
+// index addressing replaces associative lookups on the hot path.
+//
+// Ownership: the Execution returned by Runner.Run is the Runner's reusable
+// scratch buffer — it is valid only until the next Run call on that Runner.
+// Callers that retain executions across iterations must Clone them.
 type Execution struct {
-	// LoadValues maps every load operation ID to the value it returned.
-	LoadValues map[int]uint32
-	// WS lists, per shared word, the store operation IDs in global
-	// write-serialization (coherence) order.
-	WS map[int][]int
-	// Forwarded marks loads satisfied by store-to-load forwarding from the
-	// thread's own store buffer (reads that preceded global visibility).
-	Forwarded map[int]bool
+	// LoadValues holds, indexed by operation ID, the value each load
+	// returned. Entries for non-load operations are zero.
+	LoadValues []uint32
+	// WS lists, per shared word (indexed by word), the store operation IDs in
+	// global write-serialization (coherence) order. Words without stores have
+	// empty slices.
+	WS [][]int
+	// Forwarded marks, indexed by operation ID, loads satisfied by
+	// store-to-load forwarding from the thread's own store buffer (reads that
+	// preceded global visibility).
+	Forwarded []bool
 	// Cycles is the iteration's duration in simulated cycles.
 	Cycles eventq.Time
 	// Squashes counts load-queue squash/replay events.
@@ -41,6 +53,77 @@ type Execution struct {
 	// set: perform (global visibility / value bind) and commit times plus
 	// per-op squash counts, in op-ID order.
 	Timeline []OpEvent
+}
+
+// reset prepares the scratch execution for a fresh iteration.
+func (ex *Execution) reset(numOps, numWords int) {
+	if cap(ex.LoadValues) < numOps {
+		ex.LoadValues = make([]uint32, numOps)
+		ex.Forwarded = make([]bool, numOps)
+	} else {
+		ex.LoadValues = ex.LoadValues[:numOps]
+		ex.Forwarded = ex.Forwarded[:numOps]
+		clear(ex.LoadValues)
+		clear(ex.Forwarded)
+	}
+	if cap(ex.WS) < numWords {
+		ex.WS = make([][]int, numWords)
+	} else {
+		ex.WS = ex.WS[:numWords]
+	}
+	for w := range ex.WS {
+		ex.WS[w] = ex.WS[w][:0]
+	}
+	ex.Cycles = 0
+	ex.Squashes = 0
+	ex.MemStats = mem.Stats{}
+	ex.Timeline = ex.Timeline[:0]
+}
+
+// Clone returns a deep copy safe to retain across subsequent Run calls.
+func (ex *Execution) Clone() *Execution {
+	c := &Execution{
+		LoadValues: append([]uint32(nil), ex.LoadValues...),
+		Forwarded:  append([]bool(nil), ex.Forwarded...),
+		WS:         make([][]int, len(ex.WS)),
+		Cycles:     ex.Cycles,
+		Squashes:   ex.Squashes,
+		MemStats:   ex.MemStats,
+	}
+	for w, ids := range ex.WS {
+		if len(ids) > 0 {
+			c.WS[w] = append([]int(nil), ids...)
+		}
+	}
+	if len(ex.Timeline) > 0 {
+		c.Timeline = append([]OpEvent(nil), ex.Timeline...)
+	}
+	return c
+}
+
+// WSByWord returns the write-serialization orders as a freshly allocated map
+// keyed by shared word, with entries only for words that saw at least one
+// store (the shape graph.WS consumers expect). The slices are copies, safe to
+// retain across iterations.
+func (ex *Execution) WSByWord() map[int][]int {
+	m := make(map[int][]int)
+	for w, ids := range ex.WS {
+		if len(ids) > 0 {
+			m[w] = append([]int(nil), ids...)
+		}
+	}
+	return m
+}
+
+// AnyForwarded reports whether any load in the execution was satisfied by
+// store-to-load forwarding.
+func (ex *Execution) AnyForwarded() bool {
+	for _, f := range ex.Forwarded {
+		if f {
+			return true
+		}
+	}
+	return false
 }
 
 // OpEvent is one operation's timing within an iteration (Runner.Trace).
@@ -94,14 +177,32 @@ type thread struct {
 
 	committedFences   int
 	drainedStores     int
-	drainedByWord     map[int]int // same-word drained-store count
-	performedLdByWord map[int]int
+	drainedByWord     []int // same-word drained-store count, indexed by word
+	performedLdByWord []int // indexed by word
+}
+
+// reset rewinds the thread to the start of an iteration.
+func (t *thread) reset(r *Runner) {
+	t.core = r.plat.coreOf(t.slot)
+	t.next, t.commit, t.low, t.sbUsed = 0, 0, 0, 0
+	t.running = true
+	t.started = false
+	t.committedFences = 0
+	t.drainedStores = 0
+	clear(t.drainedByWord)
+	clear(t.performedLdByWord)
+	ops := r.prog.Threads[t.slot].Ops
+	for i := range t.ops {
+		t.ops[i] = opRec{op: ops[i]}
+	}
 }
 
 // Source produces executions one iteration at a time. *Runner is the
 // canonical implementation; wrappers interpose on it (e.g. the fault
 // injector's stall/panic shim) without the pipeline knowing. Implementations
-// inherit Runner's ownership contract: one goroutine drives one Source.
+// inherit Runner's ownership contract: one goroutine drives one Source, and
+// the returned Execution may be a reusable scratch buffer valid only until
+// the next Run call.
 type Source interface {
 	Run() (*Execution, error)
 }
@@ -114,12 +215,28 @@ type Source interface {
 // Parallel pipelines must give each worker goroutine its own Runner over the
 // same seed and use SkipIterations to position it within the iteration
 // sequence; Run rejects concurrent use.
+//
+// All per-iteration state — the event queue, the memory system, thread and
+// op records, and the scratch Execution — is allocated once and reused, so a
+// steady-state Run performs no per-iteration setup allocations. Reuse is
+// observationally identical to rebuilding from scratch: the iteration RNG is
+// reseeded (same stream as a fresh rand.New), the event queue is emptied and
+// rewound, and the memory system is drained to quiescence and zeroed.
 type Runner struct {
 	plat   Platform
 	prog   *prog.Program
 	master *rand.Rand
 	static [][]opStatic
 	busy   atomic.Int32 // guards the single-goroutine ownership contract
+
+	// Reusable per-iteration state (see prepare/finish).
+	rng     *rand.Rand // iteration RNG, reseeded from master each Run
+	q       *eventq.Queue
+	ms      *mem.System
+	eng     engine
+	threads []*thread
+	exec    Execution
+	dirty   bool // platform state not reusable; rebuild before next Run
 
 	// MaxEvents bounds one iteration's event count (0 = default).
 	MaxEvents int
@@ -187,6 +304,23 @@ func NewRunner(plat Platform, p *prog.Program, seed int64) (*Runner, error) {
 		}
 		r.static[ti] = st
 	}
+	// Reusable iteration state. The RNG is reseeded from the master stream at
+	// the top of every Run; seeding an existing *rand.Rand yields exactly the
+	// stream a fresh rand.New(rand.NewSource(seed)) would.
+	r.rng = rand.New(rand.NewSource(0))
+	r.q = eventq.New()
+	r.threads = make([]*thread, 0, p.NumThreads())
+	for ti, th := range p.Threads {
+		t := &thread{
+			slot:              ti,
+			static:            r.static[ti],
+			ops:               make([]opRec, len(th.Ops)),
+			drainedByWord:     make([]int, p.NumWords),
+			performedLdByWord: make([]int, p.NumWords),
+		}
+		r.threads = append(r.threads, t)
+	}
+	r.eng = engine{r: r, threads: r.threads, exec: &r.exec}
 	return r, nil
 }
 
@@ -204,7 +338,47 @@ type engine struct {
 	rotateIdx    int // OS: next thread slot to schedule
 }
 
+// prepare readies the reusable platform state for an iteration, rebuilding
+// the event queue and memory system if a previous iteration left them in a
+// non-reusable state (error paths, failed quiescence).
+func (r *Runner) prepare() error {
+	if r.ms == nil || r.dirty {
+		r.q.Reset()
+		memCfg := r.plat.Mem
+		memCfg.Cores = r.plat.Cores
+		ms, err := mem.NewSystem(r.q, memCfg, r.rng)
+		if err != nil {
+			return err
+		}
+		r.ms = ms
+		ms.SetInvalHook(r.eng.onInvalidate)
+		r.dirty = false
+		return nil
+	}
+	// Reused path: the memory system was drained and zeroed by finish; only
+	// the clock needs rewinding.
+	r.q.Reset()
+	return nil
+}
+
+// finish returns the platform to a reusable state after a completed
+// iteration: residual protocol cleanup (writeback acks, fill acks, quantum
+// timers) drains here, after the execution snapshot. Every program operation
+// has already committed and performed, so these events cannot alter the
+// recorded execution — they only settle the coherence protocol so the memory
+// system can be zeroed in place instead of reallocated.
+func (r *Runner) finish(maxEvents int) {
+	r.q.Drain(maxEvents)
+	if r.q.Len() == 0 && r.ms.Quiescent() && r.ms.Reset() == nil {
+		return
+	}
+	r.dirty = true
+}
+
 // Run executes one iteration from a cold, zeroed platform state.
+//
+// The returned Execution is the Runner's reusable scratch buffer: it is
+// valid until the next Run call. Clone it to retain it longer.
 func (r *Runner) Run() (*Execution, error) {
 	if !r.busy.CompareAndSwap(0, 1) {
 		return nil, errors.New("sim: concurrent Runner.Run calls: each Runner must be driven by a single goroutine")
@@ -212,51 +386,30 @@ func (r *Runner) Run() (*Execution, error) {
 	defer r.busy.Store(0)
 	// Exactly one master draw per iteration — SkipIterations relies on this.
 	seed := r.master.Int63()
-	rng := rand.New(rand.NewSource(seed))
-	q := eventq.New()
-	memCfg := r.plat.Mem
-	memCfg.Cores = r.plat.Cores
-	ms, err := mem.NewSystem(q, memCfg, rng)
-	if err != nil {
+	if err := r.prepare(); err != nil {
 		return nil, err
 	}
-	e := &engine{
-		r: r, q: q, ms: ms, rng: rng,
-		exec: &Execution{
-			LoadValues: make(map[int]uint32),
-			WS:         make(map[int][]int),
-			Forwarded:  make(map[int]bool),
-		},
-		squashActive: r.plat.Model.Ordered(prog.Load, prog.Load),
+	r.rng.Seed(seed)
+	e := &r.eng
+	e.q, e.ms, e.rng = r.q, r.ms, r.rng
+	e.exec.reset(r.prog.NumOps(), r.prog.NumWords)
+	e.squashActive = r.plat.Model.Ordered(prog.Load, prog.Load)
+	e.doneFlag = false
+	e.rotateIdx = 0
+	for _, t := range e.threads {
+		t.reset(r)
 	}
-	for ti, th := range r.prog.Threads {
-		t := &thread{
-			slot:              ti,
-			core:              r.plat.coreOf(ti),
-			static:            r.static[ti],
-			running:           true,
-			drainedByWord:     make(map[int]int),
-			performedLdByWord: make(map[int]int),
-		}
-		t.ops = make([]opRec, len(th.Ops))
-		for i, op := range th.Ops {
-			t.ops[i] = opRec{op: op}
-		}
-		e.threads = append(e.threads, t)
-	}
-	ms.SetInvalHook(e.onInvalidate)
 	if r.plat.OS.Enabled {
 		e.initOS()
 	}
 	// Threads leave the iteration's release barrier with random skew.
 	for _, t := range e.threads {
 		t := t
-		t.started = false
 		delay := eventq.Time(0)
 		if m := r.plat.StartJitterMax; m > 0 {
-			delay = eventq.Time(rng.Intn(m + 1))
+			delay = eventq.Time(r.rng.Intn(m + 1))
 		}
-		q.After(delay, func() {
+		r.q.After(delay, func() {
 			t.started = true
 			e.pump()
 		})
@@ -267,15 +420,16 @@ func (r *Runner) Run() (*Execution, error) {
 	if maxEvents == 0 {
 		maxEvents = 200_000 + 20_000*r.prog.NumOps()
 	}
-	n := q.RunUntil(e.done, maxEvents)
+	n := r.q.RunUntil(e.done, maxEvents)
 	if !e.done() {
+		r.dirty = true
 		if n >= maxEvents {
 			return nil, ErrLivelock
 		}
 		return nil, ErrDeadlock
 	}
-	e.exec.Cycles = q.Now()
-	e.exec.MemStats = ms.Stats()
+	e.exec.Cycles = r.q.Now()
+	e.exec.MemStats = r.ms.Stats()
 	if r.Trace {
 		for _, t := range e.threads {
 			for i := range t.ops {
@@ -291,12 +445,13 @@ func (r *Runner) Run() (*Execution, error) {
 			}
 		}
 	}
+	r.finish(maxEvents)
 	return e.exec, nil
 }
 
-// RunMany executes n iterations, returning their executions. A deadlock or
-// livelock aborts the batch with the error (the "simulation crash" of the
-// paper's bug 3).
+// RunMany executes n iterations, returning their executions (cloned, so the
+// batch remains valid across iterations). A deadlock or livelock aborts the
+// batch with the error (the "simulation crash" of the paper's bug 3).
 func (r *Runner) RunMany(n int) ([]*Execution, error) {
 	out := make([]*Execution, 0, n)
 	for i := 0; i < n; i++ {
@@ -304,7 +459,7 @@ func (r *Runner) RunMany(n int) ([]*Execution, error) {
 		if err != nil {
 			return out, fmt.Errorf("iteration %d: %w", i, err)
 		}
-		out = append(out, ex)
+		out = append(out, ex.Clone())
 	}
 	return out, nil
 }
@@ -494,11 +649,7 @@ func (e *engine) finishLoad(t *thread, i, epoch int, v uint32, forwarded bool) {
 	o.value = v
 	o.forwarded = forwarded
 	e.exec.LoadValues[o.op.ID] = v
-	if forwarded {
-		e.exec.Forwarded[o.op.ID] = true
-	} else {
-		delete(e.exec.Forwarded, o.op.ID)
-	}
+	e.exec.Forwarded[o.op.ID] = forwarded
 	if !e.squashActive {
 		t.performedLdByWord[o.op.Word]++
 	}

@@ -24,6 +24,17 @@ func (o Outcome) Matches(observed map[int]uint32) bool {
 	return true
 }
 
+// MatchesValues is Matches over a dense load-value slice indexed by
+// operation ID (the shape sim.Execution.LoadValues uses).
+func (o Outcome) MatchesValues(vals []uint32) bool {
+	for id, want := range o {
+		if id >= len(vals) || vals[id] != want {
+			return false
+		}
+	}
+	return true
+}
+
 // Litmus is a directed test: a small program, an outcome of interest, and
 // the set of models under which that outcome is forbidden. Outcomes assume
 // multi-copy store atomicity (mcm.MultiCopy), matching the paper's

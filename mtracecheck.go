@@ -774,6 +774,7 @@ func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
 			out.err = fmt.Errorf("%w at iteration %d: %v", errShardPanic, start+out.iterations, r)
 		}
 	}()
+	var sigBuf []uint64 // per-attempt encode scratch, reused every iteration
 	for i := 0; i < count; i++ {
 		if err := ctx.Err(); err != nil {
 			out.err = err
@@ -793,9 +794,11 @@ func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
 		out.cycles += int64(ex.Cycles)
 		out.squashes += ex.Squashes
 		if opts.KeepExecutions {
-			out.execs = append(out.execs, ex)
+			// The source's execution is scratch, overwritten next iteration:
+			// retention requires a deep copy.
+			out.execs = append(out.execs, ex.Clone())
 		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
+		sigBuf, err = meta.EncodeExecutionInto(sigBuf[:0], ex.LoadValues)
 		if err != nil {
 			var ae *instrument.AssertionError
 			if errors.As(err, &ae) {
@@ -805,11 +808,11 @@ func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
 			out.err = err
 			return out
 		}
-		if out.set.Add(s) && opts.ObservedWS {
+		if out.set.AddWords(sigBuf) && opts.ObservedWS {
 			// First observation of this interleaving in this shard: keep its
 			// write-serialization order for graph construction. (The
 			// static-ws default needs nothing beyond the signature.)
-			out.ws[s.Key()] = ex.WS
+			out.ws[sig.New(sigBuf).Key()] = ex.WSByWord()
 		}
 	}
 	return out
@@ -843,24 +846,28 @@ func decodeItems(ctx context.Context, meta *instrument.Meta, b *graph.Builder,
 	items := make([]check.Item, len(uniques))
 	quar := make([]*Quarantined, len(uniques))
 	decode := func(lo, hi int) error {
+		// Per-worker scratch: a dense reads-from slice reused across
+		// signatures and a key buffer for the allocation-free ws lookup.
+		rf := make([]int32, b.NumOps())
+		var keyBuf []byte
 		for i := lo; i < hi; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			u := uniques[i]
-			cands, err := meta.Decode(u.Sig)
-			if err != nil {
+			if err := meta.DecodeInto(u.Sig, rf); err != nil {
 				if strict {
 					return err
 				}
 				quar[i] = &Quarantined{Sig: u.Sig, Count: u.Count, Kind: QuarantineDecode, Err: err}
 				continue
 			}
-			rf := make(graph.RF, len(cands))
-			for loadID, c := range cands {
-				rf[loadID] = c.Store
+			var ws graph.WS
+			if wsBySig != nil {
+				keyBuf = u.Sig.AppendBinary(keyBuf[:0])
+				ws = wsBySig[string(keyBuf)]
 			}
-			edges, err := b.DynamicEdges(rf, wsBySig[u.Sig.Key()])
+			edges, err := b.AppendDynamicEdges(nil, rf, ws)
 			if err != nil {
 				if strict {
 					return err
@@ -931,7 +938,7 @@ func RunLitmus(l Litmus, opts Options) (observed int, report *Report, err error)
 		return 0, report, err
 	}
 	for _, ex := range report.Executions {
-		if l.Interesting.Matches(ex.LoadValues) {
+		if l.Interesting.MatchesValues(ex.LoadValues) {
 			observed++
 		}
 	}

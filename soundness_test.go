@@ -49,12 +49,12 @@ func TestNoFalsePositivesSweep(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v %s: %v", model, tc.Name(), err)
 				}
-				s, err := meta.EncodeExecution(ex.LoadValues)
+				s, err := meta.EncodeValues(ex.LoadValues)
 				if err != nil {
 					t.Fatalf("%v %s: assertion on clean platform: %v", model, tc.Name(), err)
 				}
 				if set.Add(s) {
-					wsBySig[s.Key()] = ex.WS
+					wsBySig[s.Key()] = ex.WSByWord()
 				}
 			}
 			for _, ws := range []graph.WSMode{graph.WSStatic, graph.WSObserved} {
@@ -102,12 +102,12 @@ func TestStrongerModelExecutionsPassWeakerChecks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := meta.EncodeExecution(ex.LoadValues)
+		s, err := meta.EncodeValues(ex.LoadValues)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if set.Add(s) {
-			wsBySig[s.Key()] = ex.WS
+			wsBySig[s.Key()] = ex.WSByWord()
 		}
 	}
 	for _, model := range mcm.Models {

@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench -benchmem` text output (read
+// from stdin) into a machine-readable JSON object mapping benchmark name to
+// its metrics:
+//
+//	{"BenchmarkSimIterationX86": {"ns_op": 786043, "b_op": 414420, "allocs_op": 6410}, ...}
+//
+// The -cpu suffix GOMAXPROCS appends to benchmark names is stripped, so
+// successive runs on the same machine key identically. Custom ReportMetric
+// units (graphs/op, uniques/op, ...) are carried through under their unit
+// name with "/" replaced by "_". It backs `make bench`, which snapshots each
+// run as BENCH_<n>.json for allocation-regression comparisons.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type metrics map[string]float64
+
+func run(in io.Reader, out io.Writer) error {
+	results := map[string]metrics{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // echo so the run stays watchable
+		name, m, ok := parseLine(line)
+		if ok {
+			results[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseLine parses one benchmark result line, e.g.:
+//
+//	BenchmarkSimIterationX86-8  1627  786043 ns/op  414420 B/op  6410 allocs/op
+//
+// returning the -cpu-stripped name and the value of every "<num> <unit>"
+// metric pair.
+func parseLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false // not an iteration count: a header or status line
+	}
+	m := metrics{"iterations": mustFloat(fields[1])}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		unit := strings.ReplaceAll(fields[i+1], "/", "_")
+		m[unit] = v
+	}
+	if _, ok := m["ns_op"]; !ok {
+		return "", nil, false
+	}
+	return name, m, true
+}
+
+func mustFloat(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
