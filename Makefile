@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench bench-smoke fuzz-short verify
+.PHONY: build vet test race bench bench-smoke fuzz-short obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,17 +26,43 @@ fuzz-short:
 	$(GO) test ./internal/instrument -run '^$$' -fuzz '^FuzzEncodeValues$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sig -run '^$$' -fuzz '^FuzzReadSet$$' -fuzztime $(FUZZTIME)
 
+# Observability smoke: the same campaign run bare and with all three
+# observers attached must print a bit-identical report (the observers'
+# non-perturbation contract, end to end through the CLI), and the metrics
+# and trace artifacts must materialize with real content.
+obs-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf $$dir' EXIT; \
+	$(GO) run ./cmd/mtracecheck -threads 2 -ops 30 -words 8 -iters 200 -seed 7 > $$dir/bare.txt \
+		|| { cat $$dir/bare.txt; exit 1; }; \
+	$(GO) run ./cmd/mtracecheck -threads 2 -ops 30 -words 8 -iters 200 -seed 7 \
+		-metrics-out $$dir/metrics.prom -trace-out $$dir/trace.json -progress \
+		> $$dir/observed.txt 2> $$dir/progress.log \
+		|| { cat $$dir/observed.txt $$dir/progress.log; exit 1; }; \
+	cmp $$dir/bare.txt $$dir/observed.txt \
+		|| { echo "obs-smoke: observed report differs from the bare run"; exit 1; }; \
+	grep -q '^mtracecheck_iterations_total 200$$' $$dir/metrics.prom \
+		|| { echo "obs-smoke: metrics snapshot missing or wrong"; cat $$dir/metrics.prom; exit 1; }; \
+	grep -q '"ph":"X"' $$dir/trace.json && grep -q '\]$$' $$dir/trace.json \
+		|| { echo "obs-smoke: trace output missing spans or unterminated"; exit 1; }; \
+	grep -q 'obs:' $$dir/progress.log \
+		|| { echo "obs-smoke: no progress lines on stderr"; exit 1; }; \
+	echo "obs-smoke: OK (bare and observed reports bit-identical)"
+
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short bench-smoke
+verify: build vet test race fuzz-short bench-smoke obs-smoke
 
 # Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
 # (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed
 # pre-dense-buffer baseline; diff later snapshots against it to catch
-# allocation regressions in the hot loop.
+# allocation regressions in the hot loop. Each snapshot embeds a campaign
+# metrics snapshot ("_metrics" key) from a reference run, so timing shifts
+# can be read against the work actually performed.
 bench:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	echo "writing BENCH_$$n.json"; \
-	$(GO) test -bench . -benchmem -count 1 -timeout 60m . | $(GO) run ./tools/benchjson > BENCH_$$n.json
+	m=$$(mktemp); trap 'rm -f '$$m EXIT; \
+	$(GO) run ./cmd/mtracecheck -threads 4 -ops 50 -words 64 -iters 2048 -metrics-out $$m > /dev/null; \
+	$(GO) test -bench . -benchmem -count 1 -timeout 60m . | $(GO) run ./tools/benchjson -metrics $$m > BENCH_$$n.json
 
 # One-iteration benchmark compile-and-run check, cheap enough for verify.
 bench-smoke:

@@ -1,0 +1,843 @@
+package mtracecheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"mtracecheck/internal/check"
+	"mtracecheck/internal/fault"
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/obs"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+)
+
+// Campaign is the validation pipeline's spine: one analyzed (program,
+// options) pair whose stages — sharded execution, signature merge, decode,
+// collective checking, checkpointing — can be driven whole (Run) or split
+// across the paper's device/host boundary (Collect, Check). Every public
+// entry point (RunContext, RunProgramContext, CollectSignaturesContext,
+// CheckSignaturesContext, RunLitmusContext) is a thin wrapper over a
+// Campaign, so Options.Observer taps every stage regardless of which door
+// the caller came in through.
+//
+// A Campaign is immutable after construction and safe to Run repeatedly;
+// identical (program, Options) pairs produce identical results.
+type Campaign struct {
+	prog    *Program
+	opts    Options
+	meta    *instrument.Meta
+	inj     *fault.Injector
+	em      emitter
+	workers int
+}
+
+// NewCampaign analyzes the program and validates the options, surfacing
+// configuration errors before any execution work.
+func NewCampaign(p *Program, opts Options) (*Campaign, error) {
+	opts = withDefaults(opts)
+	inj, err := injector(opts)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{
+		prog: p, opts: opts, meta: meta, inj: inj,
+		em: emitter{o: opts.Observer}, workers: opts.workerCount(),
+	}, nil
+}
+
+// newReport seeds a report with the campaign's identity — the provenance
+// SaveSignatures persists and resume/check-only paths validate.
+func (c *Campaign) newReport() *Report {
+	return &Report{
+		Program: c.prog, SignatureBytes: c.meta.SignatureBytes(),
+		Seed: c.opts.Seed, Platform: c.opts.Platform.Name,
+	}
+}
+
+// Run drives the full pipeline: execute, merge, decode, check.
+func (c *Campaign) Run(ctx context.Context) (*Report, error) {
+	began := time.Now()
+	c.em.campaignStart(c.prog, c.opts, c.opts.Iterations, c.workers, began)
+	report := c.newReport()
+	lists, wsBySig, runErr := c.execute(ctx, report)
+	uniques := sig.MergeUniques(lists...)
+	if runErr != nil {
+		// A crash is a finding (paper bug 3); the report covers every
+		// iteration that executed, and the error names the earliest crash.
+		report.UniqueSignatures = len(uniques)
+		c.em.campaignEnd(report, runErr, began)
+		return report, runErr
+	}
+	var injected obs.FaultCounts
+	if c.inj != nil {
+		uniques, report.InjectedFaults = c.inj.Corrupt(uniques)
+		injected = faultCounts(report.InjectedFaults)
+	}
+	report.UniqueSignatures = len(uniques)
+	c.em.mergeDone(report.Iterations, len(uniques), injected, true)
+	err := c.decodeAndCheck(ctx, uniques, wsBySig, report)
+	c.em.campaignEnd(report, err, began)
+	return report, err
+}
+
+// Collect drives only the execution stage — the "device side" of the
+// paper's flow — returning the merged unique signatures without decoding
+// or checking them. Pair with Check on the host; both sides observe the
+// same signatures for the same (Seed, Iterations), and fault injection,
+// checkpointing, and shard retry apply identically.
+func (c *Campaign) Collect(ctx context.Context) ([]Unique, error) {
+	began := time.Now()
+	c.em.campaignStart(c.prog, c.opts, c.opts.Iterations, c.workers, began)
+	report := c.newReport() // accounting sink; callers get signatures only
+	lists, _, runErr := c.execute(ctx, report)
+	if runErr != nil {
+		c.em.campaignEnd(report, runErr, began)
+		return nil, runErr
+	}
+	uniques := sig.MergeUniques(lists...)
+	var injected obs.FaultCounts
+	if c.inj != nil {
+		var counts map[FaultKind]int
+		uniques, counts = c.inj.Corrupt(uniques)
+		injected = faultCounts(counts)
+	}
+	report.UniqueSignatures = len(uniques)
+	c.em.mergeDone(report.Iterations, len(uniques), injected, true)
+	c.em.campaignEnd(report, nil, began)
+	return uniques, nil
+}
+
+// Check drives only the host side: previously collected unique signatures
+// are decoded and checked under the campaign's options — checker
+// selection, Workers, Strict/QuarantineThreshold, and the observer all
+// apply. It requires the static ws mode, which needs nothing beyond the
+// signatures themselves.
+func (c *Campaign) Check(ctx context.Context, uniques []Unique) (*Report, error) {
+	if c.opts.ObservedWS {
+		return nil, errors.New("mtracecheck: checking stored signatures requires the static ws mode (stored signatures carry no recorded write serialization)")
+	}
+	began := time.Now()
+	c.em.campaignStart(c.prog, c.opts, 0, c.workers, began)
+	report := c.newReport()
+	report.UniqueSignatures = len(uniques)
+	err := c.decodeAndCheck(ctx, uniques, nil, report)
+	c.em.campaignEnd(report, err, began)
+	return report, err
+}
+
+// SignatureMetadata returns the provenance header this campaign writes via
+// SaveSignatures and validates on load.
+func (c *Campaign) SignatureMetadata() SignatureMeta {
+	return SignatureMeta{
+		ProgHash: progHash(c.prog), Seed: c.opts.Seed, Platform: c.opts.Platform.Name,
+	}
+}
+
+// decodeAndCheck is the shared host side of Run and Check: signature
+// decode (with quarantine in graceful mode), the quarantine-threshold
+// gate, and the selected checker.
+func (c *Campaign) decodeAndCheck(ctx context.Context, uniques []Unique,
+	wsBySig map[string]graph.WS, report *Report) error {
+	wsMode := graph.WSStatic
+	if c.opts.ObservedWS {
+		wsMode = graph.WSObserved
+	}
+	builder := graph.NewBuilder(c.prog, c.opts.Platform.Model, graph.Options{
+		Forwarding: c.opts.Platform.Atomicity.AllowsForwarding(),
+		WS:         wsMode,
+	})
+	items, quarantined, err := decodeItems(ctx, c.meta, builder, uniques, wsBySig,
+		c.workers, c.opts.Strict, c.em)
+	if err != nil {
+		return err
+	}
+	report.Quarantined = quarantined
+	if c.opts.QuarantineThreshold > 0 && len(uniques) > 0 {
+		if frac := float64(len(quarantined)) / float64(len(uniques)); frac > c.opts.QuarantineThreshold {
+			return fmt.Errorf("%w: %d of %d unique signatures (%.2f%% > %.2f%%)",
+				ErrQuarantineThreshold, len(quarantined), len(uniques),
+				100*frac, 100*c.opts.QuarantineThreshold)
+		}
+	}
+	switch c.opts.Checker {
+	case CheckerConventional:
+		began := time.Now()
+		report.CheckStats = check.Conventional(builder, items)
+		c.em.checkShardEnd(0, 0, len(items), report.CheckStats, began, time.Since(began))
+	case CheckerIncremental:
+		began := time.Now()
+		report.CheckStats, err = check.Incremental(builder, items)
+		if err != nil {
+			return err
+		}
+		c.em.checkShardEnd(0, 0, len(items), report.CheckStats, began, time.Since(began))
+	default:
+		report.CheckStats, err = check.ShardedObserved(ctx, builder, items, c.workers, c.em.checkShardFunc())
+		if err != nil {
+			return err
+		}
+	}
+	report.Violations = report.CheckStats.Violations
+	return nil
+}
+
+// execute runs the execution stage: optional checkpoint resume, the
+// iteration sequence in checkpoint-sized segments, per-shard retry and
+// degradation bookkeeping. It returns the sorted unique lists to merge
+// (checkpointed set first, then shard sets in global iteration order), the
+// observed-ws first-observation map (nil in static mode), and the first
+// fatal error. The report's execution accounting (Iterations, TotalCycles,
+// Squashes, Executions, AssertionFailures, ShardFailures,
+// ResumedIterations) is filled in as segments complete, so the report is
+// honest even when an error cuts the campaign short.
+func (c *Campaign) execute(ctx context.Context, report *Report) ([][]sig.Unique, map[string]graph.WS, error) {
+	opts := c.opts
+	var lists [][]sig.Unique
+	var wsBySig map[string]graph.WS
+	if opts.ObservedWS {
+		wsBySig = make(map[string]graph.WS)
+	}
+	completed := 0
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, nil, errors.New("mtracecheck: Resume requires CheckpointPath")
+		}
+		if opts.ObservedWS {
+			return nil, nil, errors.New("mtracecheck: resume requires the static ws mode (checkpointed signatures carry no recorded write serialization)")
+		}
+		ck, err := readCheckpointFile(opts.CheckpointPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: %w", err)
+		}
+		if ck.Seed != opts.Seed {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint seed %d does not match run seed %d", ck.Seed, opts.Seed)
+		}
+		if h := progHash(c.prog); ck.ProgHash != h {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint was written for a different test program")
+		}
+		if ck.Completed > opts.Iterations {
+			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint covers %d iterations, campaign requests only %d", ck.Completed, opts.Iterations)
+		}
+		completed = ck.Completed
+		report.ResumedIterations = completed
+		report.Iterations += completed
+		if len(ck.Uniques) > 0 {
+			lists = append(lists, ck.Uniques)
+		}
+		c.em.checkpointOp(obs.CheckpointResumed, opts.CheckpointPath, completed, len(ck.Uniques), 0)
+	}
+	checkpointing := opts.CheckpointPath != ""
+	segment := opts.Iterations - completed
+	if checkpointing {
+		segment = opts.CheckpointEvery
+		if segment <= 0 {
+			segment = opts.Iterations / 10
+		}
+		if segment < 1 {
+			segment = 1
+		}
+	}
+	for completed < opts.Iterations {
+		if err := ctx.Err(); err != nil {
+			return lists, wsBySig, err
+		}
+		n := opts.Iterations - completed
+		if checkpointing && segment < n {
+			n = segment
+		}
+		shards, err := c.runShards(ctx, completed, n)
+		if err != nil {
+			return lists, wsBySig, err
+		}
+		// Merge shard outputs in shard order; shards own contiguous
+		// ascending iteration blocks, so this order is global iteration
+		// order.
+		var firstErr error
+		segClean := true
+		for _, sh := range shards {
+			report.Iterations += sh.iterations
+			report.TotalCycles += sh.cycles
+			report.Squashes += sh.squashes
+			report.Executions = append(report.Executions, sh.execs...)
+			report.AssertionFailures = append(report.AssertionFailures, sh.asserts...)
+			if sh.set.Len() > 0 {
+				lists = append(lists, sh.set.Sorted())
+			}
+			if opts.ObservedWS {
+				// Keep the write-serialization order of the globally first
+				// observation of each interleaving: earlier shards hold
+				// earlier iterations, so first-in-shard-order is
+				// first-globally.
+				for k, ws := range sh.ws {
+					if _, ok := wsBySig[k]; !ok {
+						wsBySig[k] = ws
+					}
+				}
+			}
+			if sh.err == nil {
+				continue
+			}
+			segClean = false
+			if errors.Is(sh.err, ErrShardFailed) && !opts.Strict {
+				// Infra failure that survived its retries: degrade to
+				// partial results, recorded honestly.
+				report.ShardFailures = append(report.ShardFailures, ShardFailure{
+					Start: sh.start, Count: sh.count,
+					Executed: sh.iterations, Attempts: sh.attempts, Err: sh.err,
+				})
+				continue
+			}
+			if firstErr == nil {
+				firstErr = sh.err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return lists, wsBySig, err
+		}
+		if firstErr != nil {
+			return lists, wsBySig, firstErr
+		}
+		completed += n
+		if checkpointing {
+			if !segClean {
+				// A lost shard left a hole in the iteration sequence; a
+				// checkpoint would claim coverage the campaign never had.
+				checkpointing = false
+				continue
+			}
+			merged := sig.MergeUniques(lists...)
+			lists = [][]sig.Unique{merged}
+			c.em.mergeDone(completed, len(merged), obs.FaultCounts{}, false)
+			ck := sig.Checkpoint{
+				Seed: opts.Seed, ProgHash: progHash(c.prog),
+				Completed: completed, Uniques: merged,
+			}
+			bytes, err := writeCheckpointFile(opts.CheckpointPath, ck)
+			if err != nil {
+				return lists, wsBySig, fmt.Errorf("mtracecheck: checkpoint: %w", err)
+			}
+			c.em.checkpointOp(obs.CheckpointSaved, opts.CheckpointPath, completed, len(merged), bytes)
+		}
+	}
+	return lists, wsBySig, nil
+}
+
+// runShards executes count iterations starting at global iteration start,
+// split into contiguous blocks, each on its own Runner over the same seed
+// skipped ahead to the block's start — so every iteration draws the same
+// per-iteration seed as the serial pipeline, whatever the worker count.
+// Runners are constructed up front so platform/program validation errors
+// surface before any work; a shard that fails mid-run is retried per
+// Options.ShardRetries.
+func (c *Campaign) runShards(ctx context.Context, start, count int) ([]*shardOut, error) {
+	workers := c.workers
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	base, rem := count/workers, count%workers
+	starts := make([]int, workers+1)
+	runners := make([]*sim.Runner, workers)
+	for si := 0; si < workers; si++ {
+		size := base
+		if si < rem {
+			size++
+		}
+		starts[si+1] = starts[si] + size
+		runner, err := sim.NewRunner(c.opts.Platform, c.prog, c.opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		runner.SkipIterations(start + starts[si])
+		runners[si] = runner
+	}
+	shards := make([]*shardOut, workers)
+	var wg sync.WaitGroup
+	for si := 0; si < workers; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			shards[si] = c.runShardRetrying(ctx, si, runners[si],
+				start+starts[si], starts[si+1]-starts[si])
+		}(si)
+	}
+	wg.Wait()
+	return shards, nil
+}
+
+// runShardRetrying drives one shard block to completion, re-running it from
+// the block start — on a fresh Runner, since a panicking one may hold
+// corrupt state — after transient failures (recovered panics, expired shard
+// deadlines), with capped exponential backoff between attempts. Platform
+// crashes are findings and parent-context cancellation is final; neither is
+// retried. A shard still failing after every retry returns its final
+// partial attempt with the failure wrapped in ErrShardFailed.
+func (c *Campaign) runShardRetrying(ctx context.Context, shard int, first *sim.Runner,
+	start, count int) *shardOut {
+	opts := c.opts
+	backoff := time.Millisecond
+	const maxBackoff = 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		runner := first
+		if attempt > 0 {
+			r, err := sim.NewRunner(opts.Platform, c.prog, opts.Seed)
+			if err != nil {
+				return &shardOut{set: sig.NewSet(), start: start, count: count,
+					attempts: attempt + 1, err: err}
+			}
+			r.SkipIterations(start)
+			runner = r
+		}
+		shardCtx, cancel := ctx, context.CancelFunc(func() {})
+		if opts.ShardTimeout > 0 {
+			shardCtx, cancel = context.WithTimeout(ctx, opts.ShardTimeout)
+		}
+		var src sim.Source = runner
+		if c.inj != nil {
+			src = c.inj.WrapShard(shardCtx, runner, start, count, attempt)
+		}
+		began := time.Now()
+		c.em.shardStart(obs.StageExecute, shard, attempt, start, count, began)
+		out := runShardAttempt(shardCtx, src, c.meta, opts, start, count)
+		cancel()
+		out.start, out.count, out.attempts = start, count, attempt+1
+		willRetry := out.err != nil && retryable(out.err, ctx) && attempt < opts.ShardRetries
+		if out.err != nil && retryable(out.err, ctx) && !willRetry {
+			out.err = fmt.Errorf("%w: iterations [%d,%d) after %d attempts: %v",
+				ErrShardFailed, start, start+count, attempt+1, out.err)
+		}
+		retrySleep := time.Duration(0)
+		if willRetry {
+			retrySleep = backoff
+		}
+		c.em.execShardEnd(shard, out, began, willRetry, retrySleep)
+		if !willRetry {
+			return out
+		}
+		select {
+		case <-ctx.Done():
+			out.err = ctx.Err()
+			return out
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// emitter is the pipeline's nil-safe observer tap. The zero value (nil
+// observer) makes every method a single branch, preserving the pipeline's
+// allocation budgets; events are flat structs built on the caller's stack.
+type emitter struct {
+	o obs.Observer
+}
+
+func (em emitter) campaignStart(p *Program, opts Options, iterations, workers int, began time.Time) {
+	if em.o == nil {
+		return
+	}
+	threads, ops := 0, 0
+	for _, t := range p.Threads {
+		threads++
+		ops += len(t.Ops)
+	}
+	em.o.CampaignStart(obs.CampaignStart{
+		Program: p.Name, Threads: threads, Ops: ops,
+		Platform: opts.Platform.Name, Model: opts.Platform.Model.String(),
+		Iterations: iterations, Workers: workers, Time: began,
+	})
+}
+
+func (em emitter) campaignEnd(r *Report, err error, began time.Time) {
+	if em.o == nil {
+		return
+	}
+	now := time.Now()
+	em.o.CampaignEnd(obs.CampaignEnd{
+		Iterations: r.Iterations, Uniques: r.UniqueSignatures,
+		Quarantined: len(r.Quarantined), Violations: len(r.Violations),
+		Asserts: len(r.AssertionFailures), Partial: r.Partial(), Err: err,
+		Time: now, Duration: now.Sub(began),
+	})
+}
+
+func (em emitter) shardStart(stage obs.Stage, shard, attempt, start, count int, began time.Time) {
+	if em.o == nil {
+		return
+	}
+	em.o.ShardStart(obs.ShardStart{
+		Stage: stage, Shard: shard, Attempt: attempt,
+		Start: start, Count: count, Time: began,
+	})
+}
+
+func (em emitter) execShardEnd(shard int, out *shardOut, began time.Time, willRetry bool, backoff time.Duration) {
+	if em.o == nil {
+		return
+	}
+	now := time.Now()
+	em.o.ShardEnd(obs.ShardEnd{
+		Stage: obs.StageExecute, Shard: shard, Attempt: out.attempts - 1,
+		Start: out.start, Count: out.count,
+		Iterations: out.iterations, Cycles: out.cycles, Squashes: out.squashes,
+		Uniques: out.set.Len(), Asserts: len(out.asserts),
+		Err: out.err, WillRetry: willRetry, Backoff: backoff,
+		Time: now, Duration: now.Sub(began),
+	})
+}
+
+func (em emitter) decodeShardEnd(shard, start, count, decoded int, quar []*Quarantined, err error, began time.Time) {
+	if em.o == nil {
+		return
+	}
+	var qd, qe int
+	for i := start; i < start+count; i++ {
+		if quar[i] == nil {
+			continue
+		}
+		if quar[i].Kind == QuarantineDecode {
+			qd++
+		} else {
+			qe++
+		}
+	}
+	now := time.Now()
+	em.o.ShardEnd(obs.ShardEnd{
+		Stage: obs.StageDecode, Shard: shard, Start: start, Count: count,
+		Decoded: decoded, QuarantinedDecode: qd, QuarantinedEdges: qe,
+		Err: err, Time: now, Duration: now.Sub(began),
+	})
+}
+
+func (em emitter) checkShardEnd(shard, start, count int, part *check.Result, began time.Time, took time.Duration) {
+	if em.o == nil {
+		return
+	}
+	e := obs.ShardEnd{
+		Stage: obs.StageCheck, Shard: shard, Start: start, Count: count,
+		Time: began.Add(took), Duration: took,
+	}
+	if part != nil {
+		complete, noResort, incremental := part.Counts()
+		e.Graphs = part.Total
+		e.Complete, e.NoResort, e.Incremental = complete, noResort, incremental
+		e.SortedVertices = part.SortedVertices
+		e.BackwardEdges = part.BackwardEdges
+		e.MaxWindow = part.MaxWindow
+		e.Violations = len(part.Violations)
+	}
+	em.o.ShardEnd(e)
+}
+
+// checkShardFunc adapts the emitter to check.ShardedObserved's callback;
+// nil when unobserved so the checker skips callback work entirely.
+func (em emitter) checkShardFunc() check.ShardFunc {
+	if em.o == nil {
+		return nil
+	}
+	return func(shard, start, count int, part *check.Result, began time.Time, took time.Duration) {
+		em.checkShardEnd(shard, start, count, part, began, took)
+	}
+}
+
+func (em emitter) mergeDone(completed, uniques int, injected obs.FaultCounts, final bool) {
+	if em.o == nil {
+		return
+	}
+	em.o.MergeDone(obs.MergeDone{
+		Completed: completed, Uniques: uniques, Injected: injected,
+		Final: final, Time: time.Now(),
+	})
+}
+
+func (em emitter) checkpointOp(op obs.CheckpointOp, path string, completed, uniques int, bytes int64) {
+	if em.o == nil {
+		return
+	}
+	em.o.Checkpoint(obs.Checkpoint{
+		Op: op, Path: path, Completed: completed, Uniques: uniques,
+		Bytes: bytes, Time: time.Now(),
+	})
+}
+
+// faultCounts flattens the report's injected-fault map into the event
+// struct (signature-corruption kinds only, which is all Corrupt reports).
+func faultCounts(m map[FaultKind]int) obs.FaultCounts {
+	return obs.FaultCounts{
+		BitFlip:    m[FaultBitFlip],
+		Truncate:   m[FaultTruncate],
+		Duplicate:  m[FaultDuplicate],
+		OutOfRange: m[FaultOutOfRange],
+	}
+}
+
+// injector builds the fault injector for the options, rejecting
+// configurations injection cannot honor.
+func injector(opts Options) (*fault.Injector, error) {
+	if !opts.Fault.Enabled() {
+		return nil, nil
+	}
+	if opts.ObservedWS {
+		return nil, errors.New("mtracecheck: fault injection requires the static ws mode (corrupted signatures carry no recorded write serialization)")
+	}
+	return fault.NewInjector(opts.Fault)
+}
+
+// progHash fingerprints a program for checkpoint and signature-set
+// identity (FNV-64a of the canonical text format).
+func progHash(p *Program) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, prog.Format(p))
+	return h.Sum64()
+}
+
+// ProgramHash returns the fingerprint used to tie checkpoints and saved
+// signature sets to the test program they were collected from.
+func ProgramHash(p *Program) uint64 { return progHash(p) }
+
+// readCheckpointFile loads a campaign checkpoint.
+func readCheckpointFile(path string) (sig.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sig.Checkpoint{}, err
+	}
+	defer f.Close()
+	return sig.ReadCheckpoint(f)
+}
+
+// writeCheckpointFile persists a checkpoint atomically (temp file + rename),
+// so an interruption mid-write never corrupts the previous checkpoint. It
+// returns the encoded payload size.
+func writeCheckpointFile(path string, ck sig.Checkpoint) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: f}
+	if err := sig.WriteCheckpoint(cw, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return cw.n, os.Rename(tmp, path)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// shardOut is what one execution shard produces: private signature set and
+// stats, merged by the caller in shard order.
+type shardOut struct {
+	set        *sig.Set
+	ws         map[string]graph.WS // sig key -> first-observation ws
+	start      int                 // global iteration block start
+	count      int                 // block size
+	attempts   int
+	iterations int
+	cycles     int64
+	squashes   int
+	execs      []*sim.Execution
+	asserts    []error
+	err        error
+}
+
+// retryable classifies a shard error: recovered panics and expired
+// per-shard deadlines are transient infra faults worth retrying; anything
+// else — platform crashes (findings), encode errors, parent cancellation —
+// is final.
+func retryable(err error, parent context.Context) bool {
+	if parent.Err() != nil {
+		return false
+	}
+	return errors.Is(err, errShardPanic) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runShardAttempt drives one source through count iterations starting at
+// global iteration index start, polling the context between iterations and
+// converting a panic anywhere below — simulator, encoder, or an injected
+// shard fault — into a shard error instead of crashing the process. It is
+// deliberately free of observer hooks: events fire at the shard boundary,
+// never inside the per-iteration hot loop.
+func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
+	opts Options, start, count int) (out *shardOut) {
+	out = &shardOut{set: sig.NewSet()}
+	if opts.ObservedWS {
+		out.ws = make(map[string]graph.WS)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("%w at iteration %d: %v", errShardPanic, start+out.iterations, r)
+		}
+	}()
+	var sigBuf []uint64 // per-attempt encode scratch, reused every iteration
+	for i := 0; i < count; i++ {
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		ex, err := src.Run()
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// An interrupted stall, not a platform failure.
+				out.err = err
+				return out
+			}
+			out.err = fmt.Errorf("%w: iteration %d: %v", ErrCrash, start+i, err)
+			return out
+		}
+		out.iterations++
+		out.cycles += int64(ex.Cycles)
+		out.squashes += ex.Squashes
+		if opts.KeepExecutions {
+			// The source's execution is scratch, overwritten next iteration:
+			// retention requires a deep copy.
+			out.execs = append(out.execs, ex.Clone())
+		}
+		sigBuf, err = meta.EncodeExecutionInto(sigBuf[:0], ex.LoadValues)
+		if err != nil {
+			var ae *instrument.AssertionError
+			if errors.As(err, &ae) {
+				out.asserts = append(out.asserts, ae)
+				continue
+			}
+			out.err = err
+			return out
+		}
+		if out.set.AddWords(sigBuf) && opts.ObservedWS {
+			// First observation of this interleaving in this shard: keep its
+			// write-serialization order for graph construction. (The
+			// static-ws default needs nothing beyond the signature.)
+			out.ws[sig.New(sigBuf).Key()] = ex.WSByWord()
+		}
+	}
+	return out
+}
+
+// decodeItems is the decode stage over an explicit worker count. Workers
+// fill disjoint contiguous ranges of the result and poll the context as
+// they go. In strict mode the error for the lowest-indexed failing
+// signature is returned — the one the serial loop would have hit first.
+// In graceful mode failing signatures are quarantined (in sorted order,
+// deterministically: failure is a pure function of signature and metadata)
+// and the surviving items are compacted, preserving ascending order for
+// the collective checker.
+func decodeItems(ctx context.Context, meta *instrument.Meta, b *graph.Builder,
+	uniques []sig.Unique, wsBySig map[string]graph.WS, workers int,
+	strict bool, em emitter) ([]check.Item, []Quarantined, error) {
+	items := make([]check.Item, len(uniques))
+	quar := make([]*Quarantined, len(uniques))
+	decode := func(lo, hi int) (int, error) {
+		// Per-worker scratch: a dense reads-from slice reused across
+		// signatures and a key buffer for the allocation-free ws lookup.
+		rf := make([]int32, b.NumOps())
+		var keyBuf []byte
+		decoded := 0
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return decoded, err
+			}
+			u := uniques[i]
+			if err := meta.DecodeInto(u.Sig, rf); err != nil {
+				if strict {
+					return decoded, err
+				}
+				quar[i] = &Quarantined{Sig: u.Sig, Count: u.Count, Kind: QuarantineDecode, Err: err}
+				continue
+			}
+			var ws graph.WS
+			if wsBySig != nil {
+				keyBuf = u.Sig.AppendBinary(keyBuf[:0])
+				ws = wsBySig[string(keyBuf)]
+			}
+			edges, err := b.AppendDynamicEdges(nil, rf, ws)
+			if err != nil {
+				if strict {
+					return decoded, err
+				}
+				quar[i] = &Quarantined{Sig: u.Sig, Count: u.Count, Kind: QuarantineEdges, Err: err}
+				continue
+			}
+			items[i] = check.Item{Sig: u.Sig, Edges: edges}
+			decoded++
+		}
+		return decoded, nil
+	}
+	if workers > len(uniques) {
+		workers = len(uniques)
+	}
+	if workers <= 1 {
+		began := time.Now()
+		decoded, err := decode(0, len(uniques))
+		em.decodeShardEnd(0, 0, len(uniques), decoded, quar, err, began)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		base, rem := len(uniques)/workers, len(uniques)%workers
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		lo := 0
+		for w := 0; w < workers; w++ {
+			size := base
+			if w < rem {
+				size++
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				began := time.Now()
+				var decoded int
+				decoded, errs[w] = decode(lo, hi)
+				em.decodeShardEnd(w, lo, hi-lo, decoded, quar, errs[w], began)
+			}(w, lo, lo+size)
+			lo += size
+		}
+		wg.Wait()
+		// Ranges ascend with the worker index, so the first recorded error
+		// is the one with the lowest signature index.
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	var quarantined []Quarantined
+	kept := items[:0]
+	for i := range items {
+		if quar[i] != nil {
+			quarantined = append(quarantined, *quar[i])
+			continue
+		}
+		kept = append(kept, items[i])
+	}
+	return kept, quarantined, nil
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"mtracecheck"
 	"mtracecheck/internal/experiments"
 	"mtracecheck/internal/report"
 )
@@ -31,6 +32,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "master seed")
 		quick    = flag.Bool("quick", false, "smoke-test scale")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
+
+		metricsOut = flag.String("metrics-out", "", "write collection metrics (Prometheus text format) to this file at exit")
+		progress   = flag.Bool("progress", false, "log rate-limited per-collection progress to stderr")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +50,12 @@ func main() {
 		cfg.Tests = *tests
 	}
 	cfg.Seed = *seed
+	fin, err := attachObservers(&cfg, *metricsOut, *progress, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	finishObs = fin
+	defer finishObs()
 
 	render := func(t *report.Table) {
 		if *markdown {
@@ -120,7 +131,70 @@ func main() {
 	}
 }
 
+// finishObs finalizes the observability artifacts; fatal runs it too,
+// since os.Exit skips deferred calls and a partial trace/metrics file from
+// a failed run is still worth keeping.
+var finishObs = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mtc-experiments:", err)
+	finishObs()
 	os.Exit(1)
+}
+
+// attachObservers wires the observability flags into the experiment
+// configuration; every signature collection the experiments perform feeds
+// the same aggregators. The returned finalizer writes the artifacts.
+func attachObservers(cfg *experiments.Config, metricsOut string, progress bool, traceOut string) (func(), error) {
+	var observers []mtracecheck.Observer
+	var metrics *mtracecheck.Metrics
+	if metricsOut != "" {
+		metrics = mtracecheck.NewMetrics()
+		observers = append(observers, metrics)
+	}
+	if progress {
+		observers = append(observers, mtracecheck.NewProgress(os.Stderr, 0))
+	}
+	var trace *mtracecheck.Trace
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		traceFile = f
+		trace = mtracecheck.NewTraceJSON(f)
+		observers = append(observers, trace)
+	}
+	cfg.Observer = mtracecheck.MultiObserver(observers...)
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		if trace != nil {
+			if err := trace.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-experiments: finishing trace: %v\n", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-experiments: finishing trace: %v\n", err)
+			}
+		}
+		if metrics != nil {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-experiments: writing metrics: %v\n", err)
+				return
+			}
+			if err := metrics.WritePrometheus(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-experiments: writing metrics: %v\n", err)
+			}
+		}
+	}, nil
 }

@@ -93,6 +93,10 @@ func run() int {
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
+
+		metricsOut = flag.String("metrics-out", "", "write campaign metrics (Prometheus text format) to this file at exit")
+		progress   = flag.Bool("progress", false, "log rate-limited per-stage progress to stderr")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event timeline (open in Perfetto or chrome://tracing) to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -160,6 +164,11 @@ func run() int {
 	if err != nil {
 		return infra(err)
 	}
+	finishObs, err := attachObservers(&opts, *metricsOut, *progress, *traceOut)
+	if err != nil {
+		return infra(err)
+	}
+	defer finishObs()
 	cfg := mtracecheck.TestConfig{
 		Threads:      *threads,
 		OpsPerThread: *ops,
@@ -178,7 +187,7 @@ func run() int {
 		if err != nil {
 			return infra(err)
 		}
-		return runCheckOnly(*sigsIn, p, plat, *verbose)
+		return runCheckOnly(*sigsIn, p, opts, *verbose)
 	}
 
 	var report *mtracecheck.Report
@@ -220,13 +229,13 @@ func run() int {
 	}
 	printDegradation(report)
 	if *traceTo != "" {
-		if err := dumpTrace(*traceTo, cfg, opts); err != nil {
+		if err := dumpTrace(*traceTo, report.Program, opts); err != nil {
 			return infra(err)
 		}
 		fmt.Printf("timeline written to %s\n", *traceTo)
 	}
 	if *sigsOut != "" {
-		if err := dumpSignatures(*sigsOut, cfg, opts); err != nil {
+		if err := dumpSignatures(*sigsOut, report.Program, opts); err != nil {
 			return infra(err)
 		}
 		fmt.Printf("signatures written to %s\n", *sigsOut)
@@ -337,31 +346,43 @@ func checkProgram(progIn string, cfg mtracecheck.TestConfig) (*mtracecheck.Progr
 	return testgen.Generate(cfg)
 }
 
-// runCheckOnly is the host side: load previously collected signatures and
-// check them against the model without executing anything.
-func runCheckOnly(path string, p *mtracecheck.Program, plat mtracecheck.Platform, verbose bool) int {
+// runCheckOnly is the host side: load previously collected signatures,
+// validate their provenance header against this campaign's program, seed,
+// and platform, and check them against the model without executing
+// anything. Checker selection, -workers, quarantine handling, and the
+// observability flags all apply, exactly as in the full pipeline.
+func runCheckOnly(path string, p *mtracecheck.Program, opts mtracecheck.Options, verbose bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		return infra(err)
 	}
-	uniques, err := mtracecheck.LoadSignatures(f)
+	uniques, meta, err := mtracecheck.LoadSignaturesMeta(f)
 	f.Close()
 	if err != nil {
 		return infra(err)
 	}
-	fmt.Printf("mtracecheck: checking %d unique signatures from %s against %s (%s)\n",
-		len(uniques), path, plat.Name, mtracecheck.ModelName(plat))
-	res, err := mtracecheck.CheckSignatures(p, plat, uniques, nil)
-	if err != nil {
+	if err := mtracecheck.ValidateSignatureMeta(meta, p, opts); err != nil {
 		return infra(err)
 	}
-	c, nr, inc := res.Counts()
+	if meta != nil {
+		fmt.Printf("signature provenance: program %#x, seed %d, platform %q — matches this configuration\n",
+			meta.ProgHash, meta.Seed, meta.Platform)
+	}
+	plat := opts.Platform
+	fmt.Printf("mtracecheck: checking %d unique signatures from %s against %s (%s)\n",
+		len(uniques), path, plat.Name, mtracecheck.ModelName(plat))
+	report, err := mtracecheck.CheckSignatures(p, uniques, opts)
+	if err != nil {
+		return reportRunError(report, err)
+	}
+	c, nr, inc := report.CheckStats.Counts()
 	fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
-		c, nr, inc, res.SortedVertices)
-	if len(res.Violations) > 0 {
-		fmt.Printf("RESULT: FAIL — %d graph violations\n", len(res.Violations))
+		c, nr, inc, report.CheckStats.SortedVertices)
+	printDegradation(report)
+	if len(report.Violations) > 0 {
+		fmt.Printf("RESULT: FAIL — %d graph violations\n", len(report.Violations))
 		if verbose {
-			for _, v := range res.Violations {
+			for _, v := range report.Violations {
 				fmt.Printf("  violation: signature %v, cycle through ops %v\n", v.Sig, v.Cycle)
 			}
 		}
@@ -369,6 +390,59 @@ func runCheckOnly(path string, p *mtracecheck.Program, plat mtracecheck.Platform
 	}
 	fmt.Println("RESULT: PASS — all recorded interleavings consistent with the model")
 	return exitPass
+}
+
+// attachObservers wires the observability flags into the campaign options.
+// The returned finalizer terminates the trace JSON array and writes the
+// metrics snapshot; run() defers it so the artifacts land even when the
+// campaign errors.
+func attachObservers(opts *mtracecheck.Options, metricsOut string, progress bool, traceOut string) (func(), error) {
+	var observers []mtracecheck.Observer
+	var metrics *mtracecheck.Metrics
+	if metricsOut != "" {
+		metrics = mtracecheck.NewMetrics()
+		observers = append(observers, metrics)
+	}
+	if progress {
+		observers = append(observers, mtracecheck.NewProgress(os.Stderr, 0))
+	}
+	var trace *mtracecheck.Trace
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		traceFile = f
+		trace = mtracecheck.NewTraceJSON(f)
+		observers = append(observers, trace)
+	}
+	opts.Observer = mtracecheck.MultiObserver(observers...)
+	return func() {
+		if trace != nil {
+			if err := trace.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mtracecheck: finishing trace: %v\n", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mtracecheck: finishing trace: %v\n", err)
+			}
+		}
+		if metrics != nil {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mtracecheck: writing metrics: %v\n", err)
+				return
+			}
+			if err := metrics.WritePrometheus(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mtracecheck: writing metrics: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 // parseChecker maps the -checker flag to a checker selection; unknown
@@ -407,13 +481,10 @@ func platform(isa, bug string) (mtracecheck.Platform, error) {
 	return sim.ForISA(isa)
 }
 
-// dumpSignatures re-collects the test's signatures (same seed, hence the
-// same executions) and writes them in the binary device-to-host format.
-func dumpSignatures(path string, cfg mtracecheck.TestConfig, opts mtracecheck.Options) error {
-	p, err := testgen.Generate(cfg)
-	if err != nil {
-		return err
-	}
+// dumpSignatures re-collects the executed program's signatures (same seed,
+// hence the same executions) and writes them in the binary device-to-host
+// format, provenance header included.
+func dumpSignatures(path string, p *mtracecheck.Program, opts mtracecheck.Options) error {
 	uniques, err := mtracecheck.CollectSignatures(p, opts)
 	if err != nil {
 		return err
@@ -423,15 +494,14 @@ func dumpSignatures(path string, cfg mtracecheck.TestConfig, opts mtracecheck.Op
 		return err
 	}
 	defer f.Close()
-	return mtracecheck.SaveSignatures(f, nil, uniques)
+	// A minimal report carrying the campaign identity is enough for
+	// SaveSignatures to record real provenance in the set's header.
+	report := &mtracecheck.Report{Program: p, Seed: opts.Seed, Platform: opts.Platform.Name}
+	return mtracecheck.SaveSignatures(f, report, uniques)
 }
 
 // dumpTrace runs a single traced iteration and writes its timeline.
-func dumpTrace(path string, cfg mtracecheck.TestConfig, opts mtracecheck.Options) error {
-	p, err := testgen.Generate(cfg)
-	if err != nil {
-		return err
-	}
+func dumpTrace(path string, p *mtracecheck.Program, opts mtracecheck.Options) error {
 	runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
 	if err != nil {
 		return err

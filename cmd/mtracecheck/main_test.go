@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mtracecheck"
+	"mtracecheck/internal/testgen"
 )
 
 func TestPlatformSelection(t *testing.T) {
@@ -47,8 +48,12 @@ func TestDumpSignaturesRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "sigs.bin")
 	cfg := mtracecheck.TestConfig{Threads: 2, OpsPerThread: 20, Words: 4, Seed: 1}
+	p, err := testgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opts := mtracecheck.Options{Iterations: 30, Seed: 2}
-	if err := dumpSignatures(path, cfg, opts); err != nil {
+	if err := dumpSignatures(path, p, opts); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -130,19 +135,24 @@ func TestRunCheckOnly(t *testing.T) {
 	path := filepath.Join(dir, "sigs.bin")
 	cfg := mtracecheck.TestConfig{Threads: 2, OpsPerThread: 20, Words: 4, Seed: 1}
 	opts := mtracecheck.Options{Iterations: 50, Seed: 2}
-	if err := dumpSignatures(path, cfg, opts); err != nil {
-		t.Fatal(err)
-	}
 	p, err := checkProgram("", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plat := mtracecheck.PlatformX86()
-	if code := runCheckOnly(path, p, plat, false); code != exitPass {
+	if err := dumpSignatures(path, p, opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Platform = mtracecheck.PlatformX86()
+	if code := runCheckOnly(path, p, opts, false); code != exitPass {
 		t.Errorf("clean signatures: exit %d, want %d", code, exitPass)
 	}
-	if code := runCheckOnly(filepath.Join(dir, "missing.bin"), p, plat, false); code != exitInfra {
+	if code := runCheckOnly(filepath.Join(dir, "missing.bin"), p, opts, false); code != exitInfra {
 		t.Errorf("missing file: exit %d, want %d", code, exitInfra)
+	}
+	// Provenance mismatch: a different seed must be rejected before checking.
+	opts.Seed = 99
+	if code := runCheckOnly(path, p, opts, false); code != exitInfra {
+		t.Errorf("mismatched seed: exit %d, want %d", code, exitInfra)
 	}
 }
 

@@ -22,16 +22,18 @@ func main() {
 	}
 	plat := mtracecheck.PlatformX86()
 	const iterations = 1024
+	opts := mtracecheck.Options{Platform: plat, Iterations: iterations, Seed: 11}
 
 	// --- Device side: run the instrumented test, collect signatures. ---
-	uniques, err := mtracecheck.CollectSignatures(p, mtracecheck.Options{
-		Platform: plat, Iterations: iterations, Seed: 11,
-	})
+	uniques, err := mtracecheck.CollectSignatures(p, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var wire bytes.Buffer
-	if err := mtracecheck.SaveSignatures(&wire, nil, uniques); err != nil {
+	// The report identifies the campaign; SaveSignatures records it in the
+	// set's provenance header so the host can refuse mismatched artifacts.
+	device := &mtracecheck.Report{Program: p, Seed: opts.Seed, Platform: plat.Name}
+	if err := mtracecheck.SaveSignatures(&wire, device, uniques); err != nil {
 		log.Fatal(err)
 	}
 	raw := iterations * 50 * 4 / 2 // register-flushing: 4 B per executed load
@@ -39,21 +41,27 @@ func main() {
 		iterations, len(uniques), wire.Len())
 	fmt.Printf("        (a register-flushing log would ship ≈%d kB)\n", raw*4/1024)
 
-	// --- Host side: load, decode (Algorithm 1), check collectively. ---
-	loaded, err := mtracecheck.LoadSignatures(&wire)
+	// --- Host side: load, validate provenance, decode (Algorithm 1), check
+	// collectively. ---
+	loaded, meta, err := mtracecheck.LoadSignaturesMeta(&wire)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := mtracecheck.CheckSignatures(p, plat, loaded, nil)
+	if err := mtracecheck.ValidateSignatureMeta(meta, p, opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host:   provenance ok (program %#x, seed %d, %s)\n",
+		meta.ProgHash, meta.Seed, meta.Platform)
+	report, err := mtracecheck.CheckSignatures(p, loaded, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	complete, noResort, incremental := res.Counts()
+	complete, noResort, incremental := report.CheckStats.Counts()
 	fmt.Printf("host:   checked %d graphs (%d complete, %d free, %d incremental)\n",
-		res.Total, complete, noResort, incremental)
-	if len(res.Violations) == 0 {
+		report.CheckStats.Total, complete, noResort, incremental)
+	if len(report.Violations) == 0 {
 		fmt.Println("host:   RESULT: PASS")
 		return
 	}
-	fmt.Printf("host:   RESULT: FAIL — %d violations\n", len(res.Violations))
+	fmt.Printf("host:   RESULT: FAIL — %d violations\n", len(report.Violations))
 }

@@ -67,6 +67,12 @@ type Result struct {
 	// SortedVertices counts every vertex visited by a topological (re)sort —
 	// the computation metric behind Fig. 9's speedup.
 	SortedVertices int64
+	// BackwardEdges counts new edges found backward against the maintained
+	// order — the quantity whose span defines each re-sort window (§4.2).
+	BackwardEdges int64
+	// MaxWindow is the largest window re-sorted incrementally (0 when every
+	// graph was validated by a complete sort or for free).
+	MaxWindow int
 }
 
 // Complete, NoResort, and Incremental count graphs per validation kind.
@@ -174,6 +180,7 @@ func CollectiveContext(ctx context.Context, b *graph.Builder, items []Item) (*Re
 		for _, e := range added {
 			pu, pv := pos[e.U], pos[e.V]
 			if pu > pv { // backward edge
+				res.BackwardEdges++
 				if lo < 0 || pv < lo {
 					lo = pv
 				}
@@ -192,6 +199,9 @@ func CollectiveContext(ctx context.Context, b *graph.Builder, items []Item) (*Re
 
 		window := int(hi - lo + 1)
 		res.SortedVertices += int64(window)
+		if window > res.MaxWindow {
+			res.MaxWindow = window
+		}
 		w.setDyn(it.Edges)
 		if window*4 >= n*3 {
 			// The window spans almost the whole order: a from-scratch sort

@@ -4,9 +4,17 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"mtracecheck/internal/graph"
 )
+
+// ShardFunc is notified as each checking shard completes, with the shard's
+// item range, its (shard-local) result, and its wall-clock span. Shards
+// complete concurrently, so implementations must be safe for concurrent
+// use. A nil ShardFunc is never called. part is nil when the shard failed
+// (cancellation or an ordering error).
+type ShardFunc func(shard, start, count int, part *Result, began time.Time, took time.Duration)
 
 // Sharded partitions the sorted items into shards contiguous ranges and
 // runs Collective on each range concurrently, then merges the per-range
@@ -27,11 +35,24 @@ import (
 // set) are identical for every shard count; only the effort accounting
 // (PerGraph, SortedVertices) carries the per-shard boundary overhead.
 func Sharded(ctx context.Context, b *graph.Builder, items []Item, shards int) (*Result, error) {
+	return ShardedObserved(ctx, b, items, shards, nil)
+}
+
+// ShardedObserved is Sharded with a per-shard completion callback for
+// observability; onShard receives each shard's range and result as it
+// finishes (including the degenerate single-shard case, reported as shard
+// 0 over the whole range). Verdicts are unaffected by the callback.
+func ShardedObserved(ctx context.Context, b *graph.Builder, items []Item, shards int, onShard ShardFunc) (*Result, error) {
 	if shards > len(items) {
 		shards = len(items)
 	}
 	if shards <= 1 {
-		return CollectiveContext(ctx, b, items)
+		began := time.Now()
+		res, err := CollectiveContext(ctx, b, items)
+		if onShard != nil {
+			onShard(0, 0, len(items), res, began, time.Since(began))
+		}
+		return res, err
 	}
 	// Validate global sorted order up front: per-shard Collective calls can
 	// only see their own range, and their error would carry a shard-local
@@ -50,7 +71,11 @@ func Sharded(ctx context.Context, b *graph.Builder, items []Item, shards int) (*
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
+			began := time.Now()
 			parts[s], errs[s] = CollectiveContext(ctx, b, items[lo:hi])
+			if onShard != nil {
+				onShard(s, lo, hi-lo, parts[s], began, time.Since(began))
+			}
 		}(s, lo, hi)
 	}
 	wg.Wait()
@@ -91,6 +116,10 @@ func MergeResults(offsets []int, parts []*Result) *Result {
 		}
 		out.Total += part.Total
 		out.SortedVertices += part.SortedVertices
+		out.BackwardEdges += part.BackwardEdges
+		if part.MaxWindow > out.MaxWindow {
+			out.MaxWindow = part.MaxWindow
+		}
 		out.PerGraph = append(out.PerGraph, part.PerGraph...)
 		for _, v := range part.Violations {
 			v.Index += offsets[s]

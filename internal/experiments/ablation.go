@@ -9,6 +9,7 @@ import (
 	"mtracecheck/internal/instrument"
 	"mtracecheck/internal/mcm"
 	"mtracecheck/internal/mem"
+	"mtracecheck/internal/obs"
 	"mtracecheck/internal/prog"
 	"mtracecheck/internal/report"
 	"mtracecheck/internal/sig"
@@ -16,9 +17,13 @@ import (
 	"mtracecheck/internal/testgen"
 )
 
-// collectMode is collect with an explicit write-serialization mode and an
-// optional pruner, for the ablation studies.
-func collectMode(p *prog.Program, plat sim.Platform, iters int, seed int64,
+// collectMode is the experiments' shared collection path (collect is a
+// wrapper generating the program first): one serial campaign with an
+// explicit write-serialization mode and an optional pruner for the
+// ablation studies. A non-nil observer o receives the campaign's events —
+// execution shard, final merge, decode shard — exactly as the library
+// pipeline emits them; results are identical either way.
+func collectMode(o obs.Observer, p *prog.Program, plat sim.Platform, iters int, seed int64,
 	ws graph.WSMode, pruner instrument.Pruner) (*collected, error) {
 	meta, err := instrument.Analyze(p, plat.RegWidthBits, pruner)
 	if err != nil {
@@ -28,14 +33,30 @@ func collectMode(p *prog.Program, plat sim.Platform, iters int, seed int64,
 	if err != nil {
 		return nil, err
 	}
+	began := time.Now()
+	if o != nil {
+		threads, ops := 0, 0
+		for _, t := range p.Threads {
+			threads++
+			ops += len(t.Ops)
+		}
+		o.CampaignStart(obs.CampaignStart{Program: p.Name, Threads: threads, Ops: ops,
+			Platform: plat.Name, Model: plat.Model.String(),
+			Iterations: iters, Workers: 1, Time: began})
+		o.ShardStart(obs.ShardStart{Stage: obs.StageExecute, Count: iters, Time: began})
+	}
 	set := sig.NewSet()
 	wsBySig := map[string]graph.WS{}
 	asserts := 0
+	var cycles int64
+	squashes := 0
 	for i := 0; i < iters; i++ {
 		ex, err := runner.Run()
 		if err != nil {
 			return nil, err
 		}
+		cycles += int64(ex.Cycles)
+		squashes += ex.Squashes
 		s, err := meta.EncodeValues(ex.LoadValues)
 		if err != nil {
 			asserts++
@@ -45,11 +66,21 @@ func collectMode(p *prog.Program, plat sim.Platform, iters int, seed int64,
 			wsBySig[s.Key()] = ex.WSByWord()
 		}
 	}
+	uniques := set.Sorted()
+	if o != nil {
+		now := time.Now()
+		o.ShardEnd(obs.ShardEnd{Stage: obs.StageExecute, Count: iters,
+			Iterations: iters, Cycles: cycles, Squashes: squashes,
+			Uniques: len(uniques), Asserts: asserts,
+			Time: now, Duration: now.Sub(began)})
+		o.MergeDone(obs.MergeDone{Completed: iters, Uniques: len(uniques),
+			Final: true, Time: now})
+	}
 	builder := graph.NewBuilder(p, plat.Model, graph.Options{
 		Forwarding: plat.Atomicity.AllowsForwarding(),
 		WS:         ws,
 	})
-	uniques := set.Sorted()
+	decodeBegan := time.Now()
 	items := make([]check.Item, 0, len(uniques))
 	for _, u := range uniques {
 		cands, err := meta.Decode(u.Sig)
@@ -65,6 +96,13 @@ func collectMode(p *prog.Program, plat sim.Platform, iters int, seed int64,
 			return nil, err
 		}
 		items = append(items, check.Item{Sig: u.Sig, Edges: edges})
+	}
+	if o != nil {
+		now := time.Now()
+		o.ShardEnd(obs.ShardEnd{Stage: obs.StageDecode, Count: len(uniques),
+			Decoded: len(items), Time: now, Duration: now.Sub(decodeBegan)})
+		o.CampaignEnd(obs.CampaignEnd{Iterations: iters, Uniques: len(uniques),
+			Asserts: asserts, Time: now, Duration: now.Sub(began)})
 	}
 	return &collected{meta: meta, builder: builder, uniques: uniques,
 		items: items, asserts: asserts}, nil
@@ -93,7 +131,7 @@ func WSAblation(cfg Config) (*report.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			col, err := collectMode(p, plat, cfg.Table3Iters, tc.Seed+1, ws, nil)
+			col, err := collectMode(cfg.Observer, p, plat, cfg.Table3Iters, tc.Seed+1, ws, nil)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -131,7 +169,7 @@ func WSAblation(cfg Config) (*report.Table, error) {
 		name string
 		ws   graph.WSMode
 	}{{"static ws (paper mode)", graph.WSStatic}, {"observed ws", graph.WSObserved}} {
-		col, err := collectMode(p, x86, cfg.Iterations, cfg.Seed, mode.ws, nil)
+		col, err := collectMode(cfg.Observer, p, x86, cfg.Iterations, cfg.Seed, mode.ws, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +235,7 @@ func PruneAblation(cfg Config) (*report.Table, error) {
 				return nil, err
 			}
 			_, inst, _ := gp.CodeSizes()
-			col, err := collectMode(p, plat, cfg.Iterations, cfg.Seed+9, graph.WSStatic, pr.prune)
+			col, err := collectMode(cfg.Observer, p, plat, cfg.Iterations, cfg.Seed+9, graph.WSStatic, pr.prune)
 			if err != nil {
 				return nil, err
 			}
@@ -223,7 +261,7 @@ func ScalingAblation(cfg Config) (*report.Table, error) {
 		return nil, err
 	}
 	for _, iters := range []int{256, 1024, 4096} {
-		col, err := collectMode(p, sim.PlatformX86(), iters, cfg.Seed, graph.WSStatic, nil)
+		col, err := collectMode(cfg.Observer, p, sim.PlatformX86(), iters, cfg.Seed, graph.WSStatic, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -555,7 +593,7 @@ func Bias(cfg Config) (*report.Table, error) {
 		for _, bias := range []float64{0, 0.5, 0.9} {
 			c := tc
 			c.HotWordBias = bias
-			col, err := collect(c, sim.PlatformX86(), cfg.Iterations, cfg.Seed+3)
+			col, err := collect(cfg.Observer, c, sim.PlatformX86(), cfg.Iterations, cfg.Seed+3)
 			if err != nil {
 				return nil, err
 			}

@@ -23,6 +23,7 @@ import (
 	"mtracecheck/internal/isa"
 	"mtracecheck/internal/mcm"
 	"mtracecheck/internal/mem"
+	"mtracecheck/internal/obs"
 	"mtracecheck/internal/report"
 	"mtracecheck/internal/sig"
 	"mtracecheck/internal/sim"
@@ -40,6 +41,11 @@ type Config struct {
 	Fig6Runs    int   // SC-reference executions for the limit study (paper: 1000)
 	Table3Tests int   // tests per bug campaign (paper: 101)
 	Table3Iters int   // iterations per bug test (paper: 1024)
+
+	// Observer, when non-nil, receives pipeline events from every signature
+	// collection the experiments perform (one campaign per collected test).
+	// Results are bit-identical with and without it.
+	Observer obs.Observer
 }
 
 // Default returns a laptop-scale configuration preserving every trend.
@@ -80,59 +86,12 @@ type collected struct {
 
 // collect runs a test program for iters iterations on plat and gathers its
 // sorted unique signatures plus checkable items.
-func collect(pc testgen.Config, plat sim.Platform, iters int, seed int64) (*collected, error) {
+func collect(o obs.Observer, pc testgen.Config, plat sim.Platform, iters int, seed int64) (*collected, error) {
 	p, err := testgen.Generate(pc)
 	if err != nil {
 		return nil, err
 	}
-	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
-	if err != nil {
-		return nil, err
-	}
-	runner, err := sim.NewRunner(plat, p, seed)
-	if err != nil {
-		return nil, err
-	}
-	set := sig.NewSet()
-	wsBySig := map[string]graph.WS{}
-	asserts := 0
-	for i := 0; i < iters; i++ {
-		ex, err := runner.Run()
-		if err != nil {
-			return nil, err
-		}
-		s, err := meta.EncodeValues(ex.LoadValues)
-		if err != nil {
-			asserts++
-			continue
-		}
-		if set.Add(s) {
-			wsBySig[s.Key()] = ex.WSByWord()
-		}
-	}
-	builder := graph.NewBuilder(p, plat.Model, graph.Options{
-		Forwarding: plat.Atomicity.AllowsForwarding(),
-		WS:         graph.WSStatic,
-	})
-	uniques := set.Sorted()
-	items := make([]check.Item, 0, len(uniques))
-	for _, u := range uniques {
-		cands, err := meta.Decode(u.Sig)
-		if err != nil {
-			return nil, err
-		}
-		rf := make(graph.RF, len(cands))
-		for id, c := range cands {
-			rf[id] = c.Store
-		}
-		edges, err := builder.DynamicEdges(rf, wsBySig[u.Sig.Key()])
-		if err != nil {
-			return nil, err
-		}
-		items = append(items, check.Item{Sig: u.Sig, Edges: edges})
-	}
-	return &collected{meta: meta, builder: builder, uniques: uniques,
-		items: items, asserts: asserts}, nil
+	return collectMode(o, p, plat, iters, seed, graph.WSStatic, nil)
 }
 
 // Platforms renders the simulated systems-under-validation (paper Table 1).
@@ -253,7 +212,7 @@ func Fig8(cfg Config) (*report.Table, error) {
 				if v.osMode {
 					plat.OS = sim.OSConfig{Enabled: true, Quantum: 400, QuantumJitter: 120, Migrate: true}
 				}
-				col, err := collect(tc, plat, cfg.Iterations, cfg.Seed+int64(test))
+				col, err := collect(cfg.Observer, tc, plat, cfg.Iterations, cfg.Seed+int64(test))
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s: %w", pc.Label, v.name, err)
 				}
@@ -284,7 +243,7 @@ func Fig9And14(cfg Config) (fig9, fig14 *report.Table, err error) {
 	for _, pc := range testgen.PaperConfigs() {
 		tc := pc.Config
 		tc.Seed = cfg.Seed
-		col, cerr := collect(tc, platformFor(pc.ISA), cfg.Iterations, cfg.Seed)
+		col, cerr := collect(cfg.Observer, tc, platformFor(pc.ISA), cfg.Iterations, cfg.Seed)
 		if cerr != nil {
 			return nil, nil, fmt.Errorf("%s: %w", pc.Label, cerr)
 		}
@@ -539,7 +498,7 @@ func Table3(cfg Config) (*report.Table, error) {
 		for test := 0; test < cfg.Table3Tests; test++ {
 			tc := c.tc
 			tc.Seed = cfg.Seed + int64(ci*10007+test)
-			col, err := collectWithCrash(tc, c.plat, cfg.Table3Iters, tc.Seed+1)
+			col, err := collectWithCrash(cfg.Observer, tc, c.plat, cfg.Table3Iters, tc.Seed+1)
 			if err != nil {
 				crashes++
 				testsDetecting++
@@ -578,8 +537,8 @@ func bug3Platform() sim.Platform {
 
 // collectWithCrash is collect, but surfaces simulator crashes (deadlocks) to
 // the caller as errors rather than failing the campaign.
-func collectWithCrash(tc testgen.Config, plat sim.Platform, iters int, seed int64) (*collected, error) {
-	return collect(tc, plat, iters, seed)
+func collectWithCrash(o obs.Observer, tc testgen.Config, plat sim.Platform, iters int, seed int64) (*collected, error) {
+	return collect(o, tc, plat, iters, seed)
 }
 
 // Litmus audits the directed litmus library across all four models

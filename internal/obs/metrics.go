@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics aggregates pipeline events into atomic counters, split into two
+// groups with different guarantees:
+//
+//   - Totals are worker-invariant: for the same campaign configuration they
+//     are bit-identical for every Workers value, including under fault
+//     injection, because they aggregate only quantities the pipeline's
+//     determinism contract fixes — final-attempt execution counters, the
+//     merged unique set, per-signature quarantine verdicts, and checking
+//     verdicts.
+//
+//   - Effort records how the work was actually partitioned — shard
+//     attempts, retries, sorted vertices (each checking shard's first graph
+//     pays a boundary re-sort), stage wall time — and legitimately varies
+//     with Workers and machine load.
+//
+// All event methods are safe for concurrent use and allocation-free except
+// for growth-curve appends (one per merge, never per iteration).
+type Metrics struct {
+	// Invariant totals.
+	campaigns    atomic.Int64
+	iterations   atomic.Int64
+	cycles       atomic.Int64
+	squashes     atomic.Int64
+	asserts      atomic.Int64
+	uniques      atomic.Int64 // final merged set of the last campaign (gauge)
+	fBitFlip     atomic.Int64
+	fTruncate    atomic.Int64
+	fDuplicate   atomic.Int64
+	fOutOfRange  atomic.Int64
+	decoded      atomic.Int64
+	quarDecode   atomic.Int64
+	quarEdges    atomic.Int64
+	graphs       atomic.Int64
+	violations   atomic.Int64
+	ckptSaves    atomic.Int64
+	ckptBytes    atomic.Int64
+	ckptResumes  atomic.Int64
+	resumedIters atomic.Int64
+
+	// Partition-dependent effort.
+	shardAttempts  atomic.Int64
+	shardRetries   atomic.Int64
+	retriedIters   atomic.Int64 // iterations executed by attempts that were discarded
+	sortedVertices atomic.Int64
+	backwardEdges  atomic.Int64
+	complete       atomic.Int64
+	noResort       atomic.Int64
+	incremental    atomic.Int64
+	maxWindow      atomic.Int64
+	stageNanos     [numStages]atomic.Int64
+
+	mu    sync.Mutex
+	curve []CurvePoint
+}
+
+// NewMetrics returns an empty aggregator.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// CurvePoint is one sample of the unique-interleaving growth curve (the
+// paper's Fig. 8 metric over campaign time), taken at each merge boundary.
+type CurvePoint struct {
+	Iterations int
+	Uniques    int
+}
+
+// Totals is the worker-invariant aggregate: identical for every Workers
+// value on the same campaign configuration.
+type Totals struct {
+	Campaigns         int64
+	Iterations        int64
+	Cycles            int64
+	Squashes          int64
+	Asserts           int64
+	Uniques           int64 // final merged unique set of the last campaign
+	Faults            FaultCounts
+	Decoded           int64
+	QuarantinedDecode int64
+	QuarantinedEdges  int64
+	Graphs            int64
+	Violations        int64
+	CheckpointSaves   int64
+	CheckpointBytes   int64
+	CheckpointResumes int64
+	ResumedIterations int64
+	Curve             []CurvePoint
+}
+
+// Effort is the partition-dependent accounting: it varies with Workers
+// (each checking shard's first graph pays a full boundary sort; fault plans
+// are keyed by shard blocks) and with wall-clock conditions.
+type Effort struct {
+	ShardAttempts     int64
+	ShardRetries      int64
+	RetriedIterations int64
+	SortedVertices    int64
+	BackwardEdges     int64
+	Complete          int64
+	NoResort          int64
+	Incremental       int64
+	MaxWindow         int64
+	ExecuteNanos      int64
+	DecodeNanos       int64
+	CheckNanos        int64
+}
+
+// Snapshot is a consistent copy of the aggregated metrics.
+type Snapshot struct {
+	Totals Totals
+	Effort Effort
+}
+
+// Snapshot returns a copy of the current aggregates. It is safe to call
+// concurrently with event delivery; call it after the campaign returns for
+// totals covering the whole run.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	curve := make([]CurvePoint, len(m.curve))
+	copy(curve, m.curve)
+	m.mu.Unlock()
+	return Snapshot{
+		Totals: Totals{
+			Campaigns:  m.campaigns.Load(),
+			Iterations: m.iterations.Load(),
+			Cycles:     m.cycles.Load(),
+			Squashes:   m.squashes.Load(),
+			Asserts:    m.asserts.Load(),
+			Uniques:    m.uniques.Load(),
+			Faults: FaultCounts{
+				BitFlip:    int(m.fBitFlip.Load()),
+				Truncate:   int(m.fTruncate.Load()),
+				Duplicate:  int(m.fDuplicate.Load()),
+				OutOfRange: int(m.fOutOfRange.Load()),
+			},
+			Decoded:           m.decoded.Load(),
+			QuarantinedDecode: m.quarDecode.Load(),
+			QuarantinedEdges:  m.quarEdges.Load(),
+			Graphs:            m.graphs.Load(),
+			Violations:        m.violations.Load(),
+			CheckpointSaves:   m.ckptSaves.Load(),
+			CheckpointBytes:   m.ckptBytes.Load(),
+			CheckpointResumes: m.ckptResumes.Load(),
+			ResumedIterations: m.resumedIters.Load(),
+			Curve:             curve,
+		},
+		Effort: Effort{
+			ShardAttempts:     m.shardAttempts.Load(),
+			ShardRetries:      m.shardRetries.Load(),
+			RetriedIterations: m.retriedIters.Load(),
+			SortedVertices:    m.sortedVertices.Load(),
+			BackwardEdges:     m.backwardEdges.Load(),
+			Complete:          m.complete.Load(),
+			NoResort:          m.noResort.Load(),
+			Incremental:       m.incremental.Load(),
+			MaxWindow:         m.maxWindow.Load(),
+			ExecuteNanos:      m.stageNanos[StageExecute].Load(),
+			DecodeNanos:       m.stageNanos[StageDecode].Load(),
+			CheckNanos:        m.stageNanos[StageCheck].Load(),
+		},
+	}
+}
+
+// CampaignStart implements Observer.
+func (m *Metrics) CampaignStart(e CampaignStart) { m.campaigns.Add(1) }
+
+// ShardStart implements Observer.
+func (m *Metrics) ShardStart(e ShardStart) {}
+
+// ShardEnd implements Observer.
+func (m *Metrics) ShardEnd(e ShardEnd) {
+	if int(e.Stage) < int(numStages) {
+		m.stageNanos[e.Stage].Add(int64(e.Duration))
+	}
+	switch e.Stage {
+	case StageExecute:
+		m.shardAttempts.Add(1)
+		if e.WillRetry {
+			// Discarded progress: effort, not results. Totals only ever see
+			// the final attempt, which is what the report covers — the basis
+			// of the worker-invariance guarantee under fault injection.
+			m.shardRetries.Add(1)
+			m.retriedIters.Add(int64(e.Iterations))
+			return
+		}
+		m.iterations.Add(int64(e.Iterations))
+		m.cycles.Add(e.Cycles)
+		m.squashes.Add(int64(e.Squashes))
+		m.asserts.Add(int64(e.Asserts))
+	case StageDecode:
+		m.decoded.Add(int64(e.Decoded))
+		m.quarDecode.Add(int64(e.QuarantinedDecode))
+		m.quarEdges.Add(int64(e.QuarantinedEdges))
+	case StageCheck:
+		m.graphs.Add(int64(e.Graphs))
+		m.violations.Add(int64(e.Violations))
+		m.sortedVertices.Add(e.SortedVertices)
+		m.backwardEdges.Add(e.BackwardEdges)
+		m.complete.Add(int64(e.Complete))
+		m.noResort.Add(int64(e.NoResort))
+		m.incremental.Add(int64(e.Incremental))
+		storeMax(&m.maxWindow, int64(e.MaxWindow))
+	}
+}
+
+// MergeDone implements Observer.
+func (m *Metrics) MergeDone(e MergeDone) {
+	m.mu.Lock()
+	m.curve = append(m.curve, CurvePoint{Iterations: e.Completed, Uniques: e.Uniques})
+	m.mu.Unlock()
+	if e.Final {
+		m.uniques.Store(int64(e.Uniques))
+		m.fBitFlip.Add(int64(e.Injected.BitFlip))
+		m.fTruncate.Add(int64(e.Injected.Truncate))
+		m.fDuplicate.Add(int64(e.Injected.Duplicate))
+		m.fOutOfRange.Add(int64(e.Injected.OutOfRange))
+	}
+}
+
+// Checkpoint implements Observer.
+func (m *Metrics) Checkpoint(e Checkpoint) {
+	switch e.Op {
+	case CheckpointSaved:
+		m.ckptSaves.Add(1)
+		m.ckptBytes.Add(e.Bytes)
+	case CheckpointResumed:
+		m.ckptResumes.Add(1)
+		m.resumedIters.Add(int64(e.Completed))
+	}
+}
+
+// CampaignEnd implements Observer.
+func (m *Metrics) CampaignEnd(e CampaignEnd) {}
+
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4), suitable for a textfile-collector drop or a
+// scrape endpoint. Metric order is fixed so successive snapshots diff
+// cleanly.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	bw := bufio.NewWriter(w)
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mtracecheck_campaigns_total", "Validation campaigns observed.", s.Totals.Campaigns)
+	counter("mtracecheck_iterations_total", "Test iterations executed (final attempts only).", s.Totals.Iterations)
+	counter("mtracecheck_cycles_total", "Simulated cycles over executed iterations.", s.Totals.Cycles)
+	counter("mtracecheck_squashes_total", "Load-queue squash/replay events.", s.Totals.Squashes)
+	counter("mtracecheck_assertion_failures_total", "Instrumentation assertion failures.", s.Totals.Asserts)
+	gauge("mtracecheck_unique_signatures", "Unique interleavings in the last campaign's merged set (Fig. 8).", s.Totals.Uniques)
+
+	fmt.Fprintf(bw, "# HELP mtracecheck_injected_faults_total Deterministic device-side faults injected, by kind.\n")
+	fmt.Fprintf(bw, "# TYPE mtracecheck_injected_faults_total counter\n")
+	for _, kv := range []struct {
+		kind string
+		v    int
+	}{
+		{"bit-flip", s.Totals.Faults.BitFlip},
+		{"truncate", s.Totals.Faults.Truncate},
+		{"duplicate", s.Totals.Faults.Duplicate},
+		{"out-of-range", s.Totals.Faults.OutOfRange},
+	} {
+		fmt.Fprintf(bw, "mtracecheck_injected_faults_total{kind=%q} %d\n", kv.kind, kv.v)
+	}
+
+	counter("mtracecheck_decoded_signatures_total", "Unique signatures decoded into checkable items.", s.Totals.Decoded)
+	fmt.Fprintf(bw, "# HELP mtracecheck_quarantined_total Corrupted signatures held out of checking, by kind.\n")
+	fmt.Fprintf(bw, "# TYPE mtracecheck_quarantined_total counter\n")
+	fmt.Fprintf(bw, "mtracecheck_quarantined_total{kind=\"decode\"} %d\n", s.Totals.QuarantinedDecode)
+	fmt.Fprintf(bw, "mtracecheck_quarantined_total{kind=\"edge-build\"} %d\n", s.Totals.QuarantinedEdges)
+	counter("mtracecheck_graphs_checked_total", "Constraint graphs checked.", s.Totals.Graphs)
+	counter("mtracecheck_violations_total", "MCM violations found by graph checking.", s.Totals.Violations)
+	counter("mtracecheck_checkpoint_saves_total", "Campaign checkpoints written.", s.Totals.CheckpointSaves)
+	counter("mtracecheck_checkpoint_bytes_total", "Bytes of checkpoint payload written.", s.Totals.CheckpointBytes)
+	counter("mtracecheck_checkpoint_resumes_total", "Campaigns resumed from a checkpoint.", s.Totals.CheckpointResumes)
+	counter("mtracecheck_resumed_iterations_total", "Iterations restored from checkpoints instead of executed.", s.Totals.ResumedIterations)
+
+	counter("mtracecheck_shard_attempts_total", "Execution shard attempts, including retries.", s.Effort.ShardAttempts)
+	counter("mtracecheck_shard_retries_total", "Execution shard attempts that failed and were retried.", s.Effort.ShardRetries)
+	counter("mtracecheck_retried_iterations_total", "Iterations executed by attempts later discarded by a retry.", s.Effort.RetriedIterations)
+	counter("mtracecheck_sorted_vertices_total", "Vertices visited by topological (re)sorts (Fig. 9 effort).", s.Effort.SortedVertices)
+	counter("mtracecheck_backward_edges_total", "Backward edges found against the maintained orders.", s.Effort.BackwardEdges)
+	fmt.Fprintf(bw, "# HELP mtracecheck_graphs_by_kind_total Graphs validated per collective-checking kind (Fig. 14).\n")
+	fmt.Fprintf(bw, "# TYPE mtracecheck_graphs_by_kind_total counter\n")
+	fmt.Fprintf(bw, "mtracecheck_graphs_by_kind_total{kind=\"complete\"} %d\n", s.Effort.Complete)
+	fmt.Fprintf(bw, "mtracecheck_graphs_by_kind_total{kind=\"no-resort\"} %d\n", s.Effort.NoResort)
+	fmt.Fprintf(bw, "mtracecheck_graphs_by_kind_total{kind=\"incremental\"} %d\n", s.Effort.Incremental)
+	gauge("mtracecheck_max_resort_window", "Largest re-sorted vertex window.", s.Effort.MaxWindow)
+	fmt.Fprintf(bw, "# HELP mtracecheck_stage_seconds_total Wall time summed over shard attempts, by stage.\n")
+	fmt.Fprintf(bw, "# TYPE mtracecheck_stage_seconds_total counter\n")
+	for _, kv := range []struct {
+		stage string
+		ns    int64
+	}{
+		{"execute", s.Effort.ExecuteNanos},
+		{"decode", s.Effort.DecodeNanos},
+		{"check", s.Effort.CheckNanos},
+	} {
+		fmt.Fprintf(bw, "mtracecheck_stage_seconds_total{stage=%q} %.6f\n", kv.stage, float64(kv.ns)/1e9)
+	}
+	return bw.Flush()
+}

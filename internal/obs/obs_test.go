@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// feed delivers a small synthetic campaign to an observer: two execution
+// shards (one retried attempt), a decode shard, a check shard, a
+// checkpoint save, a final merge, and the campaign bookends.
+func feed(o Observer) {
+	base := time.Unix(1700000000, 0)
+	o.CampaignStart(CampaignStart{
+		Program: "probe", Threads: 4, Ops: 160, Platform: "sim-x86", Model: "TSO",
+		Iterations: 100, Workers: 2, Time: base,
+	})
+	o.ShardStart(ShardStart{Stage: StageExecute, Shard: 0, Start: 0, Count: 50, Time: base})
+	o.ShardEnd(ShardEnd{
+		Stage: StageExecute, Shard: 0, Attempt: 0, Start: 0, Count: 50,
+		Iterations: 12, Err: errors.New("injected stall"), WillRetry: true,
+		Backoff: time.Millisecond, Time: base.Add(time.Millisecond), Duration: time.Millisecond,
+	})
+	o.ShardEnd(ShardEnd{
+		Stage: StageExecute, Shard: 0, Attempt: 1, Start: 0, Count: 50,
+		Iterations: 50, Cycles: 5000, Squashes: 3, Uniques: 7,
+		Time: base.Add(3 * time.Millisecond), Duration: 2 * time.Millisecond,
+	})
+	o.ShardEnd(ShardEnd{
+		Stage: StageExecute, Shard: 1, Attempt: 0, Start: 50, Count: 50,
+		Iterations: 50, Cycles: 4800, Squashes: 1, Uniques: 6, Asserts: 1,
+		Time: base.Add(3 * time.Millisecond), Duration: 3 * time.Millisecond,
+	})
+	o.Checkpoint(Checkpoint{Op: CheckpointSaved, Path: "ckpt.bin", Completed: 100, Uniques: 9, Bytes: 512, Time: base.Add(4 * time.Millisecond)})
+	o.MergeDone(MergeDone{Completed: 100, Uniques: 9, Injected: FaultCounts{BitFlip: 2}, Final: true, Time: base.Add(4 * time.Millisecond)})
+	o.ShardEnd(ShardEnd{
+		Stage: StageDecode, Shard: 0, Start: 0, Count: 9, Decoded: 8,
+		QuarantinedDecode: 1, Time: base.Add(5 * time.Millisecond), Duration: time.Millisecond,
+	})
+	o.ShardEnd(ShardEnd{
+		Stage: StageCheck, Shard: 0, Start: 0, Count: 8, Graphs: 8,
+		Complete: 1, NoResort: 5, Incremental: 2, SortedVertices: 200,
+		BackwardEdges: 14, MaxWindow: 12, Violations: 1,
+		Time: base.Add(6 * time.Millisecond), Duration: time.Millisecond,
+	})
+	o.CampaignEnd(CampaignEnd{
+		Iterations: 100, Uniques: 9, Quarantined: 1, Violations: 1, Asserts: 1,
+		Time: base.Add(7 * time.Millisecond), Duration: 7 * time.Millisecond,
+	})
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	feed(m)
+	s := m.Snapshot()
+
+	tot := s.Totals
+	if tot.Campaigns != 1 || tot.Iterations != 100 || tot.Cycles != 9800 || tot.Squashes != 4 || tot.Asserts != 1 {
+		t.Errorf("execution totals wrong: %+v", tot)
+	}
+	if tot.Uniques != 9 {
+		t.Errorf("uniques gauge = %d, want 9", tot.Uniques)
+	}
+	if tot.Faults != (FaultCounts{BitFlip: 2}) {
+		t.Errorf("faults = %+v", tot.Faults)
+	}
+	if tot.Decoded != 8 || tot.QuarantinedDecode != 1 || tot.QuarantinedEdges != 0 {
+		t.Errorf("decode totals wrong: %+v", tot)
+	}
+	if tot.Graphs != 8 || tot.Violations != 1 {
+		t.Errorf("check totals wrong: %+v", tot)
+	}
+	if tot.CheckpointSaves != 1 || tot.CheckpointBytes != 512 {
+		t.Errorf("checkpoint totals wrong: %+v", tot)
+	}
+	if len(tot.Curve) != 1 || tot.Curve[0] != (CurvePoint{Iterations: 100, Uniques: 9}) {
+		t.Errorf("growth curve = %+v", tot.Curve)
+	}
+
+	eff := s.Effort
+	if eff.ShardAttempts != 3 || eff.ShardRetries != 1 || eff.RetriedIterations != 12 {
+		t.Errorf("retry effort wrong: %+v", eff)
+	}
+	if eff.SortedVertices != 200 || eff.BackwardEdges != 14 || eff.MaxWindow != 12 {
+		t.Errorf("check effort wrong: %+v", eff)
+	}
+	if eff.Complete != 1 || eff.NoResort != 5 || eff.Incremental != 2 {
+		t.Errorf("graph kinds wrong: %+v", eff)
+	}
+	if eff.ExecuteNanos != int64(6*time.Millisecond) {
+		t.Errorf("execute nanos = %d (should include retried attempts)", eff.ExecuteNanos)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	feed(m)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mtracecheck_iterations_total 100",
+		"mtracecheck_unique_signatures 9",
+		`mtracecheck_injected_faults_total{kind="bit-flip"} 2`,
+		`mtracecheck_quarantined_total{kind="decode"} 1`,
+		"mtracecheck_graphs_checked_total 8",
+		"mtracecheck_shard_retries_total 1",
+		`mtracecheck_graphs_by_kind_total{kind="no-resort"} 5`,
+		"mtracecheck_max_resort_window 12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestProgressOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Nanosecond) // effectively unlimited rate
+	feed(p)
+	out := buf.String()
+	for _, want := range []string{
+		"campaign probe: 100 iterations on sim-x86 (TSO), 2 workers",
+		"shard 0 attempt 1 failed after 12 iterations",
+		"merge: 9 uniques over 100 iterations (2 faults injected)",
+		"checkpoint: saved 100 iterations (9 uniques, 512 bytes) to ckpt.bin",
+		"campaign done in 7ms: 100 iterations, 9 uniques, 1 quarantined, 1 violations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestProgressRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour)
+	feed(p)
+	// Rate-limited ticks are suppressed; boundary lines still appear.
+	if got := strings.Count(buf.String(), "execute: "); got != 1 {
+		// Only the never-limited retry line.
+		t.Errorf("expected only the retry execute line, got %d:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "campaign done") {
+		t.Errorf("campaign end line missing:\n%s", buf.String())
+	}
+}
+
+func TestTraceJSONValid(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTraceJSON(&buf)
+	feed(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not a valid JSON array: %v\n%s", err, buf.String())
+	}
+	var spans, metas int
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if ev["dur"] == nil {
+				t.Errorf("complete event without dur: %v", ev)
+			}
+		case "M":
+			metas++
+		}
+	}
+	// 5 shard spans (incl. the retried attempt) + campaign span; 6
+	// process_name records.
+	if spans != 6 || metas != 6 {
+		t.Errorf("spans=%d metas=%d, want 6 and 6", spans, metas)
+	}
+	// Timestamps are relative to campaign start: first span at >= 0.
+	for _, ev := range events {
+		if ts, ok := ev["ts"].(float64); ok && ts < 0 {
+			t.Errorf("negative relative timestamp: %v", ev)
+		}
+	}
+}
+
+func TestTraceEmptyCampaignCloses(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTraceJSON(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%q", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Errorf("expected empty array, got %d events", len(events))
+	}
+}
+
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	m := NewMetrics()
+	if got := Multi(nil, m, nil); got != Observer(m) {
+		t.Error("Multi with one live observer should unwrap it")
+	}
+	p := NewProgress(new(bytes.Buffer), time.Hour)
+	fan := Multi(m, p)
+	if fan == nil {
+		t.Fatal("Multi(m, p) should not be nil")
+	}
+	feed(fan)
+	if s := m.Snapshot(); s.Totals.Iterations != 100 {
+		t.Errorf("fan-out did not reach metrics: %+v", s.Totals)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StageExecute: "execute", StageMerge: "merge", StageDecode: "decode",
+		StageCheck: "check", StageCheckpoint: "checkpoint", numStages: "stage?",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}

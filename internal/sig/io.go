@@ -14,16 +14,75 @@ import (
 //
 // Layout (all little-endian):
 //
+// Layout v1 (all little-endian):
+//
 //	magic   [8]byte  "MTCSIG01"
 //	words   uint32   words per signature
 //	count   uint32   number of unique signatures
 //	entries count × { count uint32, words × uint64 }
+//
+// Layout v2 prepends a provenance header so the host-side check-only path
+// can reject sets collected from a different program, seed, or platform —
+// the wrong-artifact mistake the checkpoint format already catches:
+//
+//	magic    [8]byte  "MTCSIG02"
+//	proghash uint64   FNV-64a of the canonical program listing
+//	seed     uint64   campaign seed (int64 bit pattern)
+//	platlen  uint16   platform-name byte length
+//	platform platlen bytes (UTF-8)
+//	body     the v1 layout, magic included
 var magic = [8]byte{'M', 'T', 'C', 'S', 'I', 'G', '0', '1'}
 
-// WriteSet serializes unique signatures with their observation counts.
-// All signatures must have the same word count.
+var metaMagic = [8]byte{'M', 'T', 'C', 'S', 'I', 'G', '0', '2'}
+
+// FileMeta is the provenance header of a v2 signature-set file: enough to
+// verify that a stored set matches the (program, seed, platform) the host
+// is about to check it against.
+type FileMeta struct {
+	ProgHash uint64
+	Seed     int64
+	Platform string
+}
+
+// WriteSet serializes unique signatures with their observation counts in
+// the headerless v1 layout. All signatures must have the same word count.
 func WriteSet(w io.Writer, uniques []Unique) error {
 	bw := bufio.NewWriter(w)
+	if err := writeSetBody(bw, uniques); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteSetMeta serializes a signature set in the v2 layout, prefixed with
+// the provenance header meta.
+func WriteSetMeta(w io.Writer, meta FileMeta, uniques []Unique) error {
+	if len(meta.Platform) > 0xffff {
+		return fmt.Errorf("sig: platform name too long (%d bytes)", len(meta.Platform))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(metaMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, meta.ProgHash); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(meta.Seed)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(meta.Platform))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(meta.Platform); err != nil {
+		return err
+	}
+	if err := writeSetBody(bw, uniques); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeSetBody(bw *bufio.Writer, uniques []Unique) error {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
@@ -53,19 +112,57 @@ func WriteSet(w io.Writer, uniques []Unique) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadSet deserializes a signature set written by WriteSet.
+// ReadSet deserializes a signature set written by WriteSet or WriteSetMeta,
+// discarding any provenance header. Use ReadSetMeta to inspect it.
 func ReadSet(r io.Reader) ([]Unique, error) {
+	uniques, _, err := ReadSetMeta(r)
+	return uniques, err
+}
+
+// ReadSetMeta deserializes a signature set along with its provenance
+// header. Headerless v1 files load with a nil meta.
+func ReadSetMeta(r io.Reader) ([]Unique, *FileMeta, error) {
 	br := bufio.NewReader(r)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("sig: reading magic: %w", err)
+		return nil, nil, fmt.Errorf("sig: reading magic: %w", err)
+	}
+	var meta *FileMeta
+	if got == metaMagic {
+		var progHash, seed uint64
+		if err := binary.Read(br, binary.LittleEndian, &progHash); err != nil {
+			return nil, nil, fmt.Errorf("sig: reading header: %w", err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &seed); err != nil {
+			return nil, nil, fmt.Errorf("sig: reading header: %w", err)
+		}
+		var platLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &platLen); err != nil {
+			return nil, nil, fmt.Errorf("sig: reading header: %w", err)
+		}
+		plat := make([]byte, platLen)
+		if _, err := io.ReadFull(br, plat); err != nil {
+			return nil, nil, fmt.Errorf("sig: reading header: %w", err)
+		}
+		meta = &FileMeta{ProgHash: progHash, Seed: int64(seed), Platform: string(plat)}
+		if _, err := io.ReadFull(br, got[:]); err != nil {
+			return nil, nil, fmt.Errorf("sig: reading body magic: %w", err)
+		}
 	}
 	if got != magic {
-		return nil, fmt.Errorf("sig: bad magic %q", got[:])
+		return nil, nil, fmt.Errorf("sig: bad magic %q", got[:])
 	}
+	uniques, err := readSetBody(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return uniques, meta, nil
+}
+
+func readSetBody(br *bufio.Reader) ([]Unique, error) {
 	var words, count uint32
 	if err := binary.Read(br, binary.LittleEndian, &words); err != nil {
 		return nil, err

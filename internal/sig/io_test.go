@@ -83,3 +83,69 @@ func TestReadSetTruncated(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteReadSetMetaRoundTrip(t *testing.T) {
+	set := NewSet()
+	set.Add(New([]uint64{3, 1}))
+	set.Add(New([]uint64{9, 4}))
+	uniques := set.Sorted()
+	meta := FileMeta{ProgHash: 0xdeadbeefcafe, Seed: -42, Platform: "sim-x86/TSO"}
+
+	var buf bytes.Buffer
+	if err := WriteSetMeta(&buf, meta, uniques); err != nil {
+		t.Fatal(err)
+	}
+	back, got, err := ReadSetMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || *got != meta {
+		t.Fatalf("meta round trip: got %+v, want %+v", got, meta)
+	}
+	if len(back) != len(uniques) {
+		t.Fatalf("read %d signatures, wrote %d", len(back), len(uniques))
+	}
+	for i := range back {
+		if !back[i].Sig.Equal(uniques[i].Sig) || back[i].Count != uniques[i].Count {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+
+	// The headerless reader skips the provenance transparently.
+	viaV1, err := ReadSet(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(viaV1) != len(uniques) {
+		t.Fatalf("ReadSet on v2 file: %v, %d entries", err, len(viaV1))
+	}
+}
+
+func TestReadSetMetaHeaderlessFile(t *testing.T) {
+	set := NewSet()
+	set.Add(New([]uint64{5}))
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set.Sorted()); err != nil {
+		t.Fatal(err)
+	}
+	back, meta, err := ReadSetMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Fatalf("v1 file produced meta %+v", meta)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d entries", len(back))
+	}
+}
+
+func TestReadSetMetaTruncatedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSetMeta(&buf, FileMeta{ProgHash: 1, Seed: 2, Platform: "p"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, _, err := ReadSetMeta(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

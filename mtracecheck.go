@@ -45,11 +45,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
-	"os"
 	"runtime"
-	"sync"
 	"time"
 
 	"mtracecheck/internal/check"
@@ -89,6 +86,10 @@ type (
 	Quarantined = fault.Quarantined
 	// QuarantineKind classifies why a signature was quarantined.
 	QuarantineKind = fault.QuarantineKind
+	// Unique is one unique signature with its observation count — the unit
+	// of the device-to-host channel (CollectSignatures, SaveSignatures,
+	// LoadSignatures, CheckSignatures).
+	Unique = sig.Unique
 )
 
 // Quarantine kinds (see fault.QuarantineKind).
@@ -262,6 +263,14 @@ type Options struct {
 	// and assertion failures cover only the iterations executed after the
 	// resume point. Requires the static ws mode.
 	Resume bool
+	// Observer, when set, receives typed events from every pipeline stage —
+	// execution shards, the signature merge, decode workers, checking
+	// shards, and checkpoints. Observers are strictly read-only taps: any
+	// observer (or combination via MultiObserver) leaves every report
+	// bit-identical to an unobserved run, and nil (the default) adds zero
+	// work and zero allocations to the pipeline. See the Observer docs and
+	// the built-ins NewMetrics, NewProgress, and NewTraceJSON.
+	Observer Observer
 }
 
 // workerCount resolves Workers (0 = GOMAXPROCS).
@@ -284,6 +293,11 @@ type ShardFailure struct {
 // Report is the outcome of validating one test program.
 type Report struct {
 	Program *Program
+	// Seed and Platform record the campaign identity the report was
+	// produced under — the provenance SaveSignatures persists alongside
+	// the signatures.
+	Seed     int64
+	Platform string
 	// Iterations covered by the report: executed this run plus any restored
 	// from a checkpoint (ResumedIterations).
 	Iterations int
@@ -355,12 +369,10 @@ var ErrShardFailed = errors.New("mtracecheck: execution shard failed")
 // retries are exhausted, surfaces wrapped in ErrShardFailed.
 var errShardPanic = errors.New("mtracecheck: shard panicked")
 
-// Run executes the full pipeline on a constrained-random configuration.
-func Run(cfg TestConfig, opts Options) (*Report, error) {
-	return RunContext(context.Background(), cfg, opts)
-}
-
-// RunContext is Run with cooperative cancellation; see RunProgramContext.
+// RunContext generates a constrained-random test program from cfg and
+// drives the full validation pipeline over it; see RunProgramContext for
+// the pipeline and cancellation contract. This is the documented core of
+// the Run/RunContext pair.
 func RunContext(ctx context.Context, cfg TestConfig, opts Options) (*Report, error) {
 	p, err := testgen.Generate(cfg)
 	if err != nil {
@@ -369,453 +381,33 @@ func RunContext(ctx context.Context, cfg TestConfig, opts Options) (*Report, err
 	return RunProgramContext(ctx, p, opts)
 }
 
-// RunProgram executes the full pipeline on an existing program (e.g. a
-// litmus test or a hand-built scenario). The three hot stages — execution,
-// signature decoding, and collective checking — are sharded across
-// Options.Workers goroutines; see Options.Workers for the determinism
-// contract (results are identical for every worker count).
+// Run is RunContext with context.Background().
+func Run(cfg TestConfig, opts Options) (*Report, error) {
+	return RunContext(context.Background(), cfg, opts)
+}
+
+// RunProgramContext drives the full pipeline — sharded execution,
+// signature merge, decode, collective checking — over an existing program
+// (e.g. a litmus test or a hand-built scenario). It is a thin wrapper over
+// NewCampaign + Campaign.Run, the spine every entry point shares.
+//
+// The three hot stages are sharded across Options.Workers goroutines; see
+// Options.Workers for the determinism contract (results are identical for
+// every worker count). The context is polled between iterations in every
+// execution shard, between signatures in every decode worker, and between
+// graphs in every checking shard, so cancellation returns promptly — with
+// all pipeline goroutines joined — carrying ctx.Err().
+func RunProgramContext(ctx context.Context, p *Program, opts Options) (*Report, error) {
+	c, err := NewCampaign(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx)
+}
+
+// RunProgram is RunProgramContext with context.Background().
 func RunProgram(p *Program, opts Options) (*Report, error) {
 	return RunProgramContext(context.Background(), p, opts)
-}
-
-// RunProgramContext is RunProgram with cooperative cancellation: the
-// context is polled between iterations in every execution shard, between
-// signatures in every decode worker, and between graphs in every checking
-// shard, so cancellation returns promptly — with all pipeline goroutines
-// joined — carrying ctx.Err().
-func RunProgramContext(ctx context.Context, p *Program, opts Options) (*Report, error) {
-	opts = withDefaults(opts)
-	workers := opts.workerCount()
-	inj, err := injector(opts)
-	if err != nil {
-		return nil, err
-	}
-	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
-	if err != nil {
-		return nil, err
-	}
-	report := &Report{Program: p, SignatureBytes: meta.SignatureBytes()}
-
-	lists, wsBySig, runErr := campaign(ctx, p, meta, opts, inj, workers, report)
-	uniques := sig.MergeUniques(lists...)
-	if runErr != nil {
-		// A crash is a finding (paper bug 3); the report covers every
-		// iteration that executed, and the error names the earliest crash.
-		report.UniqueSignatures = len(uniques)
-		return report, runErr
-	}
-	if inj != nil {
-		uniques, report.InjectedFaults = inj.Corrupt(uniques)
-	}
-	report.UniqueSignatures = len(uniques)
-
-	wsMode := graph.WSStatic
-	if opts.ObservedWS {
-		wsMode = graph.WSObserved
-	}
-	builder := graph.NewBuilder(p, opts.Platform.Model, graph.Options{
-		Forwarding: opts.Platform.Atomicity.AllowsForwarding(),
-		WS:         wsMode,
-	})
-	items, quarantined, err := decodeItems(ctx, meta, builder, uniques, wsBySig, workers, opts.Strict)
-	if err != nil {
-		return report, err
-	}
-	report.Quarantined = quarantined
-	if opts.QuarantineThreshold > 0 && len(uniques) > 0 {
-		if frac := float64(len(quarantined)) / float64(len(uniques)); frac > opts.QuarantineThreshold {
-			return report, fmt.Errorf("%w: %d of %d unique signatures (%.2f%% > %.2f%%)",
-				ErrQuarantineThreshold, len(quarantined), len(uniques),
-				100*frac, 100*opts.QuarantineThreshold)
-		}
-	}
-	switch opts.Checker {
-	case CheckerConventional:
-		report.CheckStats = check.Conventional(builder, items)
-	case CheckerIncremental:
-		report.CheckStats, err = check.Incremental(builder, items)
-		if err != nil {
-			return report, err
-		}
-	default:
-		report.CheckStats, err = check.Sharded(ctx, builder, items, workers)
-		if err != nil {
-			return report, err
-		}
-	}
-	report.Violations = report.CheckStats.Violations
-	return report, nil
-}
-
-// injector builds the fault injector for the options, rejecting
-// configurations injection cannot honor.
-func injector(opts Options) (*fault.Injector, error) {
-	if !opts.Fault.Enabled() {
-		return nil, nil
-	}
-	if opts.ObservedWS {
-		return nil, errors.New("mtracecheck: fault injection requires the static ws mode (corrupted signatures carry no recorded write serialization)")
-	}
-	return fault.NewInjector(opts.Fault)
-}
-
-// campaign runs the execution stage: optional checkpoint resume, the
-// iteration sequence in checkpoint-sized segments, per-shard retry and
-// degradation bookkeeping. It returns the sorted unique lists to merge
-// (checkpointed set first, then shard sets in global iteration order), the
-// observed-ws first-observation map (nil in static mode), and the first
-// fatal error. The report's execution accounting (Iterations, TotalCycles,
-// Squashes, Executions, AssertionFailures, ShardFailures,
-// ResumedIterations) is filled in as segments complete, so the report is
-// honest even when an error cuts the campaign short.
-func campaign(ctx context.Context, p *Program, meta *instrument.Meta, opts Options,
-	inj *fault.Injector, workers int, report *Report) ([][]sig.Unique, map[string]graph.WS, error) {
-	var lists [][]sig.Unique
-	var wsBySig map[string]graph.WS
-	if opts.ObservedWS {
-		wsBySig = make(map[string]graph.WS)
-	}
-	completed := 0
-	if opts.Resume {
-		if opts.CheckpointPath == "" {
-			return nil, nil, errors.New("mtracecheck: Resume requires CheckpointPath")
-		}
-		if opts.ObservedWS {
-			return nil, nil, errors.New("mtracecheck: resume requires the static ws mode (checkpointed signatures carry no recorded write serialization)")
-		}
-		ck, err := readCheckpointFile(opts.CheckpointPath)
-		if err != nil {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: %w", err)
-		}
-		if ck.Seed != opts.Seed {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint seed %d does not match run seed %d", ck.Seed, opts.Seed)
-		}
-		if h := progHash(p); ck.ProgHash != h {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint was written for a different test program")
-		}
-		if ck.Completed > opts.Iterations {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint covers %d iterations, campaign requests only %d", ck.Completed, opts.Iterations)
-		}
-		completed = ck.Completed
-		report.ResumedIterations = completed
-		report.Iterations += completed
-		if len(ck.Uniques) > 0 {
-			lists = append(lists, ck.Uniques)
-		}
-	}
-	checkpointing := opts.CheckpointPath != ""
-	segment := opts.Iterations - completed
-	if checkpointing {
-		segment = opts.CheckpointEvery
-		if segment <= 0 {
-			segment = opts.Iterations / 10
-		}
-		if segment < 1 {
-			segment = 1
-		}
-	}
-	for completed < opts.Iterations {
-		if err := ctx.Err(); err != nil {
-			return lists, wsBySig, err
-		}
-		n := opts.Iterations - completed
-		if checkpointing && segment < n {
-			n = segment
-		}
-		shards, err := runShards(ctx, p, meta, opts, inj, workers, completed, n)
-		if err != nil {
-			return lists, wsBySig, err
-		}
-		// Merge shard outputs in shard order; shards own contiguous
-		// ascending iteration blocks, so this order is global iteration
-		// order.
-		var firstErr error
-		segClean := true
-		for _, sh := range shards {
-			report.Iterations += sh.iterations
-			report.TotalCycles += sh.cycles
-			report.Squashes += sh.squashes
-			report.Executions = append(report.Executions, sh.execs...)
-			report.AssertionFailures = append(report.AssertionFailures, sh.asserts...)
-			if sh.set.Len() > 0 {
-				lists = append(lists, sh.set.Sorted())
-			}
-			if opts.ObservedWS {
-				// Keep the write-serialization order of the globally first
-				// observation of each interleaving: earlier shards hold
-				// earlier iterations, so first-in-shard-order is
-				// first-globally.
-				for k, ws := range sh.ws {
-					if _, ok := wsBySig[k]; !ok {
-						wsBySig[k] = ws
-					}
-				}
-			}
-			if sh.err == nil {
-				continue
-			}
-			segClean = false
-			if errors.Is(sh.err, ErrShardFailed) && !opts.Strict {
-				// Infra failure that survived its retries: degrade to
-				// partial results, recorded honestly.
-				report.ShardFailures = append(report.ShardFailures, ShardFailure{
-					Start: sh.start, Count: sh.count,
-					Executed: sh.iterations, Attempts: sh.attempts, Err: sh.err,
-				})
-				continue
-			}
-			if firstErr == nil {
-				firstErr = sh.err
-			}
-		}
-		if err := ctx.Err(); err != nil {
-			return lists, wsBySig, err
-		}
-		if firstErr != nil {
-			return lists, wsBySig, firstErr
-		}
-		completed += n
-		if checkpointing {
-			if !segClean {
-				// A lost shard left a hole in the iteration sequence; a
-				// checkpoint would claim coverage the campaign never had.
-				checkpointing = false
-				continue
-			}
-			merged := sig.MergeUniques(lists...)
-			lists = [][]sig.Unique{merged}
-			ck := sig.Checkpoint{
-				Seed: opts.Seed, ProgHash: progHash(p),
-				Completed: completed, Uniques: merged,
-			}
-			if err := writeCheckpointFile(opts.CheckpointPath, ck); err != nil {
-				return lists, wsBySig, fmt.Errorf("mtracecheck: checkpoint: %w", err)
-			}
-		}
-	}
-	return lists, wsBySig, nil
-}
-
-// progHash fingerprints a program for checkpoint identity (FNV-64a of the
-// canonical text format).
-func progHash(p *Program) uint64 {
-	h := fnv.New64a()
-	io.WriteString(h, prog.Format(p))
-	return h.Sum64()
-}
-
-// readCheckpointFile loads a campaign checkpoint.
-func readCheckpointFile(path string) (sig.Checkpoint, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return sig.Checkpoint{}, err
-	}
-	defer f.Close()
-	return sig.ReadCheckpoint(f)
-}
-
-// writeCheckpointFile persists a checkpoint atomically (temp file + rename),
-// so an interruption mid-write never corrupts the previous checkpoint.
-func writeCheckpointFile(path string, ck sig.Checkpoint) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := sig.WriteCheckpoint(f, ck); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// shardOut is what one execution shard produces: private signature set and
-// stats, merged by the caller in shard order.
-type shardOut struct {
-	set        *sig.Set
-	ws         map[string]graph.WS // sig key -> first-observation ws
-	start      int                 // global iteration block start
-	count      int                 // block size
-	attempts   int
-	iterations int
-	cycles     int64
-	squashes   int
-	execs      []*sim.Execution
-	asserts    []error
-	err        error
-}
-
-// runShards executes count iterations starting at global iteration start,
-// split into workers contiguous blocks, each on its own Runner over the
-// same seed skipped ahead to the block's start — so every iteration draws
-// the same per-iteration seed as the serial pipeline, whatever the worker
-// count. Runners are constructed up front so platform/program validation
-// errors surface before any work; a shard that fails mid-run is retried per
-// Options.ShardRetries.
-func runShards(ctx context.Context, p *Program, meta *instrument.Meta, opts Options,
-	inj *fault.Injector, workers, start, count int) ([]*shardOut, error) {
-	if workers > count {
-		workers = count
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	base, rem := count/workers, count%workers
-	starts := make([]int, workers+1)
-	runners := make([]*sim.Runner, workers)
-	for si := 0; si < workers; si++ {
-		size := base
-		if si < rem {
-			size++
-		}
-		starts[si+1] = starts[si] + size
-		runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		runner.SkipIterations(start + starts[si])
-		runners[si] = runner
-	}
-	shards := make([]*shardOut, workers)
-	var wg sync.WaitGroup
-	for si := 0; si < workers; si++ {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			shards[si] = runShardRetrying(ctx, p, meta, opts, inj,
-				runners[si], start+starts[si], starts[si+1]-starts[si])
-		}(si)
-	}
-	wg.Wait()
-	return shards, nil
-}
-
-// runShardRetrying drives one shard block to completion, re-running it from
-// the block start — on a fresh Runner, since a panicking one may hold
-// corrupt state — after transient failures (recovered panics, expired shard
-// deadlines), with capped exponential backoff between attempts. Platform
-// crashes are findings and parent-context cancellation is final; neither is
-// retried. A shard still failing after every retry returns its final
-// partial attempt with the failure wrapped in ErrShardFailed.
-func runShardRetrying(ctx context.Context, p *Program, meta *instrument.Meta, opts Options,
-	inj *fault.Injector, first *sim.Runner, start, count int) *shardOut {
-	backoff := time.Millisecond
-	const maxBackoff = 50 * time.Millisecond
-	for attempt := 0; ; attempt++ {
-		runner := first
-		if attempt > 0 {
-			r, err := sim.NewRunner(opts.Platform, p, opts.Seed)
-			if err != nil {
-				return &shardOut{set: sig.NewSet(), start: start, count: count,
-					attempts: attempt + 1, err: err}
-			}
-			r.SkipIterations(start)
-			runner = r
-		}
-		shardCtx, cancel := ctx, context.CancelFunc(func() {})
-		if opts.ShardTimeout > 0 {
-			shardCtx, cancel = context.WithTimeout(ctx, opts.ShardTimeout)
-		}
-		var src sim.Source = runner
-		if inj != nil {
-			src = inj.WrapShard(shardCtx, runner, start, count, attempt)
-		}
-		out := runShardAttempt(shardCtx, src, meta, opts, start, count)
-		cancel()
-		out.start, out.count, out.attempts = start, count, attempt+1
-		if out.err == nil || !retryable(out.err, ctx) {
-			return out
-		}
-		if attempt >= opts.ShardRetries {
-			out.err = fmt.Errorf("%w: iterations [%d,%d) after %d attempts: %v",
-				ErrShardFailed, start, start+count, attempt+1, out.err)
-			return out
-		}
-		select {
-		case <-ctx.Done():
-			out.err = ctx.Err()
-			return out
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
-	}
-}
-
-// retryable classifies a shard error: recovered panics and expired
-// per-shard deadlines are transient infra faults worth retrying; anything
-// else — platform crashes (findings), encode errors, parent cancellation —
-// is final.
-func retryable(err error, parent context.Context) bool {
-	if parent.Err() != nil {
-		return false
-	}
-	return errors.Is(err, errShardPanic) || errors.Is(err, context.DeadlineExceeded)
-}
-
-// runShardAttempt drives one source through count iterations starting at
-// global iteration index start, polling the context between iterations and
-// converting a panic anywhere below — simulator, encoder, or an injected
-// shard fault — into a shard error instead of crashing the process.
-func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
-	opts Options, start, count int) (out *shardOut) {
-	out = &shardOut{set: sig.NewSet()}
-	if opts.ObservedWS {
-		out.ws = make(map[string]graph.WS)
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			out.err = fmt.Errorf("%w at iteration %d: %v", errShardPanic, start+out.iterations, r)
-		}
-	}()
-	var sigBuf []uint64 // per-attempt encode scratch, reused every iteration
-	for i := 0; i < count; i++ {
-		if err := ctx.Err(); err != nil {
-			out.err = err
-			return out
-		}
-		ex, err := src.Run()
-		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				// An interrupted stall, not a platform failure.
-				out.err = err
-				return out
-			}
-			out.err = fmt.Errorf("%w: iteration %d: %v", ErrCrash, start+i, err)
-			return out
-		}
-		out.iterations++
-		out.cycles += int64(ex.Cycles)
-		out.squashes += ex.Squashes
-		if opts.KeepExecutions {
-			// The source's execution is scratch, overwritten next iteration:
-			// retention requires a deep copy.
-			out.execs = append(out.execs, ex.Clone())
-		}
-		sigBuf, err = meta.EncodeExecutionInto(sigBuf[:0], ex.LoadValues)
-		if err != nil {
-			var ae *instrument.AssertionError
-			if errors.As(err, &ae) {
-				out.asserts = append(out.asserts, ae)
-				continue
-			}
-			out.err = err
-			return out
-		}
-		if out.set.AddWords(sigBuf) && opts.ObservedWS {
-			// First observation of this interleaving in this shard: keep its
-			// write-serialization order for graph construction. (The
-			// static-ws default needs nothing beyond the signature.)
-			out.ws[sig.New(sigBuf).Key()] = ex.WSByWord()
-		}
-	}
-	return out
 }
 
 // DecodeItems converts sorted unique signatures back into checkable items:
@@ -827,113 +419,23 @@ func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
 // loop would hit); RunProgram's graceful quarantine path is configured via
 // Options.Strict instead.
 func DecodeItems(ctx context.Context, meta *instrument.Meta, b *graph.Builder,
-	uniques []sig.Unique, wsBySig map[string]graph.WS) ([]check.Item, error) {
-	items, _, err := decodeItems(ctx, meta, b, uniques, wsBySig, runtime.GOMAXPROCS(0), true)
+	uniques []Unique, wsBySig map[string]graph.WS) ([]check.Item, error) {
+	items, _, err := decodeItems(ctx, meta, b, uniques, wsBySig, runtime.GOMAXPROCS(0), true, emitter{})
 	return items, err
 }
 
-// decodeItems is the decode stage over an explicit worker count. Workers
-// fill disjoint contiguous ranges of the result and poll the context as
-// they go. In strict mode the error for the lowest-indexed failing
-// signature is returned — the one the serial loop would have hit first.
-// In graceful mode failing signatures are quarantined (in sorted order,
-// deterministically: failure is a pure function of signature and metadata)
-// and the surviving items are compacted, preserving ascending order for
-// the collective checker.
-func decodeItems(ctx context.Context, meta *instrument.Meta, b *graph.Builder,
-	uniques []sig.Unique, wsBySig map[string]graph.WS, workers int,
-	strict bool) ([]check.Item, []Quarantined, error) {
-	items := make([]check.Item, len(uniques))
-	quar := make([]*Quarantined, len(uniques))
-	decode := func(lo, hi int) error {
-		// Per-worker scratch: a dense reads-from slice reused across
-		// signatures and a key buffer for the allocation-free ws lookup.
-		rf := make([]int32, b.NumOps())
-		var keyBuf []byte
-		for i := lo; i < hi; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			u := uniques[i]
-			if err := meta.DecodeInto(u.Sig, rf); err != nil {
-				if strict {
-					return err
-				}
-				quar[i] = &Quarantined{Sig: u.Sig, Count: u.Count, Kind: QuarantineDecode, Err: err}
-				continue
-			}
-			var ws graph.WS
-			if wsBySig != nil {
-				keyBuf = u.Sig.AppendBinary(keyBuf[:0])
-				ws = wsBySig[string(keyBuf)]
-			}
-			edges, err := b.AppendDynamicEdges(nil, rf, ws)
-			if err != nil {
-				if strict {
-					return err
-				}
-				quar[i] = &Quarantined{Sig: u.Sig, Count: u.Count, Kind: QuarantineEdges, Err: err}
-				continue
-			}
-			items[i] = check.Item{Sig: u.Sig, Edges: edges}
-		}
-		return nil
-	}
-	if workers > len(uniques) {
-		workers = len(uniques)
-	}
-	if workers <= 1 {
-		if err := decode(0, len(uniques)); err != nil {
-			return nil, nil, err
-		}
-	} else {
-		base, rem := len(uniques)/workers, len(uniques)%workers
-		errs := make([]error, workers)
-		var wg sync.WaitGroup
-		lo := 0
-		for w := 0; w < workers; w++ {
-			size := base
-			if w < rem {
-				size++
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				errs[w] = decode(lo, hi)
-			}(w, lo, lo+size)
-			lo += size
-		}
-		wg.Wait()
-		// Ranges ascend with the worker index, so the first recorded error
-		// is the one with the lowest signature index.
-		for _, err := range errs {
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-	var quarantined []Quarantined
-	kept := items[:0]
-	for i := range items {
-		if quar[i] != nil {
-			quarantined = append(quarantined, *quar[i])
-			continue
-		}
-		kept = append(kept, items[i])
-	}
-	return kept, quarantined, nil
-}
-
-// RunLitmus executes a litmus test, reporting how often the interesting
-// outcome was observed alongside the full validation report. A forbidden
-// outcome that is observed also surfaces as a graph-check violation.
-func RunLitmus(l Litmus, opts Options) (observed int, report *Report, err error) {
+// RunLitmusContext executes a litmus test, reporting how often the
+// interesting outcome was observed alongside the full validation report. A
+// forbidden outcome that is observed also surfaces as a graph-check
+// violation. This is the documented core of the RunLitmus pair; the
+// context cancels the underlying campaign as in RunProgramContext.
+func RunLitmusContext(ctx context.Context, l Litmus, opts Options) (observed int, report *Report, err error) {
 	opts = withDefaults(opts)
 	// Outcome counting needs the raw executions even when the caller does
 	// not: force retention for the run, then honor the caller's flag.
 	keep := opts.KeepExecutions
 	opts.KeepExecutions = true
-	report, err = RunProgram(l.Prog, opts)
+	report, err = RunProgramContext(ctx, l.Prog, opts)
 	if err != nil {
 		return 0, report, err
 	}
@@ -946,6 +448,11 @@ func RunLitmus(l Litmus, opts Options) (observed int, report *Report, err error)
 		report.Executions = nil
 	}
 	return observed, report, nil
+}
+
+// RunLitmus is RunLitmusContext with context.Background().
+func RunLitmus(l Litmus, opts Options) (observed int, report *Report, err error) {
+	return RunLitmusContext(context.Background(), l, opts)
 }
 
 func withDefaults(opts Options) Options {
@@ -972,74 +479,100 @@ func Models() []string {
 	return out
 }
 
-// SaveSignatures writes a report's unique signatures (with observation
-// counts) in the compact binary device-to-host format. Callers typically
-// stream this to disk for later offline checking or regression comparison.
-func SaveSignatures(w io.Writer, report *Report, uniques []sig.Unique) error {
-	_ = report // reserved for future metadata (program hash, platform)
-	return sig.WriteSet(w, uniques)
+// SaveSignatures writes unique signatures (with observation counts) in the
+// compact binary device-to-host format. A report carrying a program
+// records real provenance — program hash, seed, platform name — in a
+// versioned header that LoadSignaturesMeta returns and
+// ValidateSignatureMeta checks, catching the wrong-program/wrong-seed
+// mistake before any host-side checking. A nil report writes the
+// headerless legacy format, which loads everywhere but validates nothing.
+func SaveSignatures(w io.Writer, report *Report, uniques []Unique) error {
+	if report == nil || report.Program == nil {
+		return sig.WriteSet(w, uniques)
+	}
+	return sig.WriteSetMeta(w, sig.FileMeta{
+		ProgHash: progHash(report.Program),
+		Seed:     report.Seed,
+		Platform: report.Platform,
+	}, uniques)
 }
 
-// CollectSignatures runs only the execution stage: the program is executed
-// for the configured iterations and the sorted unique signatures are
-// returned without any checking. This is the "device side" of the paper's
-// flow; pair it with CheckSignatures on the host. Execution shards across
-// Options.Workers exactly as RunProgram does, so both sides of the split
-// observe the same signatures for the same (Seed, Iterations); fault
-// injection, checkpointing, and shard retry apply identically.
-func CollectSignatures(p *Program, opts Options) ([]sig.Unique, error) {
+// CollectSignaturesContext runs only the execution stage: the program is
+// executed for the configured iterations and the sorted unique signatures
+// are returned without any checking. This is the "device side" of the
+// paper's flow (a thin wrapper over NewCampaign + Campaign.Collect); pair
+// it with CheckSignaturesContext on the host. Execution shards across
+// Options.Workers exactly as RunProgramContext does, so both sides of the
+// split observe the same signatures for the same (Seed, Iterations); fault
+// injection, checkpointing, shard retry, and the observer apply
+// identically. This is the documented core of the CollectSignatures pair.
+func CollectSignaturesContext(ctx context.Context, p *Program, opts Options) ([]Unique, error) {
+	c, err := NewCampaign(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Collect(ctx)
+}
+
+// CollectSignatures is CollectSignaturesContext with context.Background().
+func CollectSignatures(p *Program, opts Options) ([]Unique, error) {
 	return CollectSignaturesContext(context.Background(), p, opts)
 }
 
-// CollectSignaturesContext is CollectSignatures with cooperative
-// cancellation.
-func CollectSignaturesContext(ctx context.Context, p *Program, opts Options) ([]sig.Unique, error) {
+// CheckSignaturesContext is the "host side": it decodes previously
+// collected unique signatures (e.g. loaded via LoadSignatures) and checks
+// them under the campaign options — checker selection, Workers,
+// Strict/QuarantineThreshold, and Options.Observer all apply, exactly as
+// in the full pipeline (it is a thin wrapper over NewCampaign +
+// Campaign.Check). The static write-serialization mode is required (and is
+// the default): stored signatures carry nothing beyond themselves. The
+// returned report covers the host-side stages only — UniqueSignatures,
+// Quarantined, CheckStats, Violations; its execution counters are zero.
+// This is the documented core of the CheckSignatures pair.
+func CheckSignaturesContext(ctx context.Context, p *Program, uniques []Unique, opts Options) (*Report, error) {
+	c, err := NewCampaign(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Check(ctx, uniques)
+}
+
+// CheckSignatures is CheckSignaturesContext with context.Background().
+func CheckSignatures(p *Program, uniques []Unique, opts Options) (*Report, error) {
+	return CheckSignaturesContext(context.Background(), p, uniques, opts)
+}
+
+// LoadSignatures reads a signature set written by SaveSignatures,
+// discarding any provenance header; use LoadSignaturesMeta to validate it.
+func LoadSignatures(r io.Reader) ([]Unique, error) { return sig.ReadSet(r) }
+
+// LoadSignaturesMeta reads a signature set along with its provenance
+// header. Sets saved through a nil report (or by older versions) load with
+// a nil meta. Pass the meta to ValidateSignatureMeta before checking.
+func LoadSignaturesMeta(r io.Reader) ([]Unique, *SignatureMeta, error) {
+	return sig.ReadSetMeta(r)
+}
+
+// ValidateSignatureMeta checks a loaded signature set's provenance against
+// the campaign about to check it: the program fingerprint must match, and
+// seed and platform name must agree when the caller supplies them. A nil
+// meta (headerless set) validates trivially — there is nothing to check.
+func ValidateSignatureMeta(meta *SignatureMeta, p *Program, opts Options) error {
+	if meta == nil {
+		return nil
+	}
 	opts = withDefaults(opts)
-	inj, err := injector(opts)
-	if err != nil {
-		return nil, err
+	if h := progHash(p); meta.ProgHash != h {
+		return fmt.Errorf("mtracecheck: signature set was collected from a different test program (hash %#x, expected %#x)", meta.ProgHash, h)
 	}
-	meta, err := instrument.Analyze(p, opts.Platform.RegWidthBits, opts.Pruner)
-	if err != nil {
-		return nil, err
+	if meta.Seed != opts.Seed {
+		return fmt.Errorf("mtracecheck: signature set was collected with seed %d, not %d", meta.Seed, opts.Seed)
 	}
-	report := &Report{Program: p} // accounting sink; callers get signatures only
-	lists, _, runErr := campaign(ctx, p, meta, opts, inj, opts.workerCount(), report)
-	if runErr != nil {
-		return nil, runErr
+	if meta.Platform != "" && meta.Platform != opts.Platform.Name {
+		return fmt.Errorf("mtracecheck: signature set was collected on %q, not %q", meta.Platform, opts.Platform.Name)
 	}
-	uniques := sig.MergeUniques(lists...)
-	if inj != nil {
-		uniques, _ = inj.Corrupt(uniques)
-	}
-	return uniques, nil
+	return nil
 }
-
-// CheckSignatures is the "host side": it decodes previously collected
-// unique signatures (e.g. loaded via sig.ReadSet) and checks them
-// collectively under the platform's model using the static
-// write-serialization mode, which needs nothing beyond the signatures.
-// It is strict — a corrupted signature aborts with the decode error; use
-// RunProgram with Options.Strict unset for the quarantining pipeline.
-func CheckSignatures(p *Program, plat Platform, uniques []sig.Unique,
-	pruner instrument.Pruner) (*check.Result, error) {
-	meta, err := instrument.Analyze(p, plat.RegWidthBits, pruner)
-	if err != nil {
-		return nil, err
-	}
-	builder := graph.NewBuilder(p, plat.Model, graph.Options{
-		Forwarding: plat.Atomicity.AllowsForwarding(),
-		WS:         graph.WSStatic,
-	})
-	items, err := DecodeItems(context.Background(), meta, builder, uniques, nil)
-	if err != nil {
-		return nil, err
-	}
-	return check.Collective(builder, items)
-}
-
-// LoadSignatures reads a signature set written by SaveSignatures.
-func LoadSignatures(r io.Reader) ([]sig.Unique, error) { return sig.ReadSet(r) }
 
 // WriteViolationDOT renders the constraint graph of one reported violation
 // in Graphviz DOT format, with the offending cycle highlighted (a Fig. 2 /

@@ -167,14 +167,21 @@ func TestDeviceHostSplit(t *testing.T) {
 		t.Fatalf("only %d unique signatures", len(uniques))
 	}
 	var buf bytes.Buffer
-	if err := SaveSignatures(&buf, nil, uniques); err != nil {
+	device := &Report{Program: p, Seed: opts.Seed, Platform: opts.Platform.Name}
+	if err := SaveSignatures(&buf, device, uniques); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadSignatures(&buf)
+	loaded, meta, err := LoadSignaturesMeta(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CheckSignatures(p, PlatformX86(), loaded, nil)
+	if meta == nil {
+		t.Fatal("saved with a report but loaded without provenance")
+	}
+	if err := ValidateSignatureMeta(meta, p, opts); err != nil {
+		t.Fatalf("matching provenance rejected: %v", err)
+	}
+	res, err := CheckSignatures(p, loaded, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +209,12 @@ func TestCheckSignaturesFlagsBuggySet(t *testing.T) {
 	}
 	hammer := b.MustBuild()
 	plat := BuggyPlatform(BugLSQSkip)
-	uniques, err := CollectSignatures(hammer, Options{Platform: plat, Iterations: 200, Seed: 11})
+	opts := Options{Platform: plat, Iterations: 200, Seed: 11}
+	uniques, err := CollectSignatures(hammer, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CheckSignatures(hammer, plat, uniques, nil)
+	res, err := CheckSignatures(hammer, uniques, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

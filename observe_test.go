@@ -1,0 +1,227 @@
+package mtracecheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"mtracecheck/internal/obs"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/testgen"
+)
+
+// TestMetricsWorkerInvariant pins the observability layer's aggregation
+// contract: Metrics.Snapshot().Totals must be bit-identical for every
+// Workers value on the same campaign configuration, because totals only
+// aggregate quantities the pipeline's determinism contract fixes. Effort
+// (shard attempts, boundary re-sorts) is deliberately excluded.
+func TestMetricsWorkerInvariant(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5})
+	scenarios := []struct {
+		name string
+		opts Options
+	}{
+		{"clean", Options{Platform: PlatformX86(), Iterations: 150, Seed: 11}},
+		{"faulted", Options{Platform: PlatformX86(), Iterations: 150, Seed: 11,
+			ShardRetries: 3,
+			Fault: FaultConfig{Seed: 3, BitFlip: 0.2, Truncate: 0.1,
+				Duplicate: 0.1, OutOfRange: 0.05, ShardPanic: 0.5}}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			snaps := map[int]MetricsSnapshot{}
+			for _, workers := range []int{1, 3, 4} {
+				opts := sc.opts
+				opts.Workers = workers
+				m := NewMetrics()
+				opts.Observer = m
+				report, err := RunProgram(p, opts)
+				if err != nil {
+					t.Fatalf("workers %d: %v", workers, err)
+				}
+				if report.Partial() {
+					// A shard lost after retries would legitimately break
+					// invariance; this configuration must not produce one.
+					t.Fatalf("workers %d: partial report", workers)
+				}
+				snaps[workers] = m.Snapshot()
+			}
+			base := snaps[1]
+			for _, workers := range []int{3, 4} {
+				if got := snaps[workers]; !reflect.DeepEqual(got.Totals, base.Totals) {
+					t.Errorf("workers %d totals diverge from workers 1:\n got %+v\nwant %+v",
+						workers, got.Totals, base.Totals)
+				}
+			}
+			if base.Totals.Iterations != 150 {
+				t.Errorf("iterations total = %d, want 150", base.Totals.Iterations)
+			}
+			if base.Totals.Uniques == 0 {
+				t.Error("uniques gauge never set")
+			}
+		})
+	}
+}
+
+// TestNilObserverZeroAllocs pins the guaranteed-zero-cost no-op path: with
+// a nil observer every emitter method must be a single branch, adding no
+// allocations to the hot pipeline (the existing AllocsPerRun budgets cover
+// the loop itself; this covers the taps).
+func TestNilObserverZeroAllocs(t *testing.T) {
+	em := emitter{}
+	out := &shardOut{set: sig.NewSet()}
+	allocs := testing.AllocsPerRun(200, func() {
+		em.shardStart(obs.StageExecute, 0, 0, 0, 10, time.Time{})
+		em.execShardEnd(0, out, time.Time{}, false, 0)
+		em.mergeDone(10, 1, obs.FaultCounts{}, true)
+		em.checkShardEnd(0, 0, 1, nil, time.Time{}, 0)
+		em.checkpointOp(obs.CheckpointSaved, "x", 10, 1, 64)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-observer emitter: %.0f allocs/run, want 0", allocs)
+	}
+	if em.checkShardFunc() != nil {
+		t.Error("nil observer must yield a nil check.ShardFunc")
+	}
+}
+
+// TestObserversDoNotPerturbReport pins the non-perturbation contract: a
+// campaign observed by all three built-in observers must produce a report
+// and signature set bit-identical to an unobserved run — on both ISAs and
+// under fault injection.
+func TestObserversDoNotPerturbReport(t *testing.T) {
+	scenarios := []struct {
+		name string
+		opts Options
+	}{
+		{"x86", Options{Platform: PlatformX86(), Iterations: 120, Seed: 9, Workers: 3}},
+		{"arm", Options{Platform: PlatformARM(), Iterations: 120, Seed: 9, Workers: 3}},
+		{"faulted", Options{Platform: PlatformX86(), Iterations: 120, Seed: 9, Workers: 3,
+			ShardRetries: 3,
+			Fault:        FaultConfig{Seed: 3, BitFlip: 0.2, Truncate: 0.1, ShardPanic: 0.4}}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5})
+			bare, err := RunProgram(p, sc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bareUniques, err := CollectSignatures(p, sc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var traceBuf bytes.Buffer
+			trace := NewTraceJSON(&traceBuf)
+			opts := sc.opts
+			opts.Observer = MultiObserver(NewMetrics(), NewProgress(io.Discard, time.Nanosecond), trace)
+			observed, err := RunProgram(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obsUniques, err := CollectSignatures(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if bare.Iterations != observed.Iterations ||
+				bare.UniqueSignatures != observed.UniqueSignatures ||
+				bare.TotalCycles != observed.TotalCycles ||
+				bare.Squashes != observed.Squashes ||
+				len(bare.Violations) != len(observed.Violations) ||
+				len(bare.Quarantined) != len(observed.Quarantined) ||
+				len(bare.AssertionFailures) != len(observed.AssertionFailures) {
+				t.Errorf("observed report diverges: bare %+v observed %+v", bare, observed)
+			}
+			if len(bareUniques) != len(obsUniques) {
+				t.Fatalf("observed uniques %d, bare %d", len(obsUniques), len(bareUniques))
+			}
+			for i, u := range bareUniques {
+				if !obsUniques[i].Sig.Equal(u.Sig) || obsUniques[i].Count != u.Count {
+					t.Fatalf("unique %d diverges under observation", i)
+				}
+			}
+			// The trace must be valid, Perfetto-loadable JSON.
+			var events []map[string]any
+			if err := json.Unmarshal(traceBuf.Bytes(), &events); err != nil {
+				t.Fatalf("trace output is not valid JSON: %v", err)
+			}
+			if len(events) == 0 {
+				t.Error("trace captured no events")
+			}
+		})
+	}
+}
+
+// TestCheckSignaturesObserved: the offline checking path must honor the
+// campaign options — the observer sees decode and check events, and the
+// verdict matches the integrated pipeline regardless of checker.
+func TestCheckSignaturesObserved(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 16, Seed: 5})
+	opts := Options{Platform: PlatformX86(), Iterations: 120, Seed: 9}
+	uniques, err := CollectSignatures(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, checker := range []Checker{CheckerCollective, CheckerConventional, CheckerIncremental} {
+		m := NewMetrics()
+		o := opts
+		o.Checker = checker
+		o.Observer = m
+		report, err := CheckSignatures(p, uniques, o)
+		if err != nil {
+			t.Fatalf("checker %v: %v", checker, err)
+		}
+		if len(report.Violations) != 0 {
+			t.Errorf("checker %v: clean set flagged", checker)
+		}
+		snap := m.Snapshot()
+		if snap.Totals.Campaigns != 1 || snap.Totals.Decoded != int64(len(uniques)) ||
+			snap.Totals.Graphs != int64(len(uniques)) {
+			t.Errorf("checker %v: totals %+v do not cover the offline check", checker, snap.Totals)
+		}
+	}
+}
+
+// TestCheckpointEventsObserved: checkpoint saves and a resume must surface
+// through the observer with real payload sizes.
+func TestCheckpointEventsObserved(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 2, OpsPerThread: 20, Words: 4, Seed: 1})
+	path := t.TempDir() + "/run.ckpt"
+	m := NewMetrics()
+	opts := Options{Platform: PlatformX86(), Iterations: 100, Seed: 7,
+		CheckpointPath: path, CheckpointEvery: 25, Observer: m}
+	if _, err := RunProgram(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Totals.CheckpointSaves != 4 {
+		t.Errorf("checkpoint saves = %d, want 4", snap.Totals.CheckpointSaves)
+	}
+	if snap.Totals.CheckpointBytes == 0 {
+		t.Error("checkpoint bytes not recorded")
+	}
+	if len(snap.Totals.Curve) == 0 {
+		t.Error("growth curve not sampled at merge boundaries")
+	}
+
+	m2 := NewMetrics()
+	opts.Iterations = 150
+	opts.Resume = true
+	opts.Observer = m2
+	if _, err := RunProgram(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := m2.Snapshot()
+	if snap2.Totals.CheckpointResumes != 1 || snap2.Totals.ResumedIterations != 100 {
+		t.Errorf("resume events: resumes %d iterations %d, want 1 and 100",
+			snap2.Totals.CheckpointResumes, snap2.Totals.ResumedIterations)
+	}
+}

@@ -9,11 +9,17 @@
 // units (graphs/op, uniques/op, ...) are carried through under their unit
 // name with "/" replaced by "_". It backs `make bench`, which snapshots each
 // run as BENCH_<n>.json for allocation-regression comparisons.
+//
+// With -metrics <file>, a Prometheus text-format snapshot (as written by
+// `mtracecheck -metrics-out`) is embedded under the "_metrics" key, so each
+// BENCH_<n>.json carries the campaign counters — iterations, uniques,
+// sorted vertices, stage seconds — that contextualize its timings.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -22,7 +28,10 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	metricsFile := flag.String("metrics", "",
+		"embed this Prometheus text-format snapshot (see mtracecheck -metrics-out) under the \"_metrics\" key")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *metricsFile); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
@@ -30,7 +39,7 @@ func main() {
 
 type metrics map[string]float64
 
-func run(in io.Reader, out io.Writer) error {
+func run(in io.Reader, out io.Writer, metricsFile string) error {
 	results := map[string]metrics{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -48,9 +57,51 @@ func run(in io.Reader, out io.Writer) error {
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark result lines on stdin")
 	}
+	if metricsFile != "" {
+		m, err := readPrometheus(metricsFile)
+		if err != nil {
+			return fmt.Errorf("reading metrics snapshot: %w", err)
+		}
+		results["_metrics"] = m
+	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// readPrometheus parses a Prometheus text-exposition file into a flat
+// name→value map; labeled series keep their label set in the key (e.g.
+// `mtracecheck_quarantined_total{kind="decode"}`).
+func readPrometheus(path string) (metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m := metrics{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("malformed metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed metric value in %q: %w", line, err)
+		}
+		m[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no metric samples", path)
+	}
+	return m, nil
 }
 
 // parseLine parses one benchmark result line, e.g.:
