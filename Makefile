@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench bench-smoke fuzz-short obs-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke verify
 
 build:
 	$(GO) build ./...
@@ -48,8 +48,35 @@ obs-smoke:
 		|| { echo "obs-smoke: no progress lines on stderr"; exit 1; }; \
 	echo "obs-smoke: OK (bare and observed reports bit-identical)"
 
+# Streaming-scaling smoke: the work-stealing pipeline must produce
+# bit-identical artifacts at every worker count. The same campaign runs at
+# -workers 1 and -workers 4; the printed report (modulo the
+# partition-dependent collective-checking effort line), the signature file,
+# and the worker-invariant metrics Totals must compare byte-equal. Effort
+# series (shard attempts, sorted vertices, stage seconds, ...) are
+# partition- and timing-dependent by design and filtered out.
+scaling-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf $$dir' EXIT; \
+	for w in 1 4; do \
+		mkdir $$dir/$$w; \
+		$(GO) run ./cmd/mtracecheck -threads 4 -ops 40 -words 16 -iters 400 -seed 11 -workers $$w \
+			-sigs-out $$dir/$$w/sigs -metrics-out $$dir/$$w/metrics > $$dir/$$w/report \
+			|| { cat $$dir/$$w/report; exit 1; }; \
+		sed -e 's/^collective checking:.*/collective checking:  <effort line normalized>/' \
+			-e "s|$$dir/$$w|DIR|g" $$dir/$$w/report > $$dir/$$w/report.norm; \
+		grep -Ev 'mtracecheck_(shard_attempts|shard_retries|retried_iterations|sorted_vertices|backward_edges|graphs_by_kind|max_resort_window|stage_seconds)' \
+			$$dir/$$w/metrics > $$dir/$$w/totals; \
+	done; \
+	cmp $$dir/1/report.norm $$dir/4/report.norm \
+		|| { echo "scaling-smoke: report differs between -workers 1 and 4"; diff $$dir/1/report.norm $$dir/4/report.norm; exit 1; }; \
+	cmp $$dir/1/sigs $$dir/4/sigs \
+		|| { echo "scaling-smoke: signature file differs between -workers 1 and 4"; exit 1; }; \
+	cmp $$dir/1/totals $$dir/4/totals \
+		|| { echo "scaling-smoke: metrics Totals differ between -workers 1 and 4"; diff $$dir/1/totals $$dir/4/totals; exit 1; }; \
+	echo "scaling-smoke: OK (report, signatures, metrics Totals bit-identical at workers 1 and 4)"
+
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short bench-smoke obs-smoke
+verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke
 
 # Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
 # (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed
@@ -67,3 +94,13 @@ bench:
 # One-iteration benchmark compile-and-run check, cheap enough for verify.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkSimIterationX86$$' -benchtime 10x .
+
+# Compare the newest BENCH_<n>.json against a baseline (default the
+# committed BENCH_0.json; override with BENCH_BASE=BENCH_2.json).
+BENCH_BASE ?= BENCH_0.json
+bench-diff:
+	@n=0; latest=; while [ -e BENCH_$$n.json ]; do latest=BENCH_$$n.json; n=$$((n+1)); done; \
+	[ -n "$$latest" ] || { echo "bench-diff: no BENCH_<n>.json snapshots"; exit 1; }; \
+	[ "$$latest" != "$(BENCH_BASE)" ] || { echo "bench-diff: only $(BENCH_BASE) exists; run 'make bench' first"; exit 1; }; \
+	echo "comparing $(BENCH_BASE) -> $$latest"; \
+	$(GO) run ./tools/benchjson -diff $(BENCH_BASE) $$latest

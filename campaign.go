@@ -21,13 +21,13 @@ import (
 )
 
 // Campaign is the validation pipeline's spine: one analyzed (program,
-// options) pair whose stages — sharded execution, signature merge, decode,
-// collective checking, checkpointing — can be driven whole (Run) or split
-// across the paper's device/host boundary (Collect, Check). Every public
-// entry point (RunContext, RunProgramContext, CollectSignaturesContext,
-// CheckSignaturesContext, RunLitmusContext) is a thin wrapper over a
-// Campaign, so Options.Observer taps every stage regardless of which door
-// the caller came in through.
+// options) pair whose stages — streaming execution, incremental signature
+// merge, eager decode, collective checking, checkpointing — can be driven
+// whole (Run) or split across the paper's device/host boundary (Collect,
+// Check). Every public entry point (RunContext, RunProgramContext,
+// CollectSignaturesContext, CheckSignaturesContext, RunLitmusContext) is a
+// thin wrapper over a Campaign, so Options.Observer taps every stage
+// regardless of which door the caller came in through.
 //
 // A Campaign is immutable after construction and safe to Run repeatedly;
 // identical (program, Options) pairs produce identical results.
@@ -39,6 +39,17 @@ type Campaign struct {
 	em      emitter
 	workers int
 }
+
+// execChunkSize is the streaming scheduler's work granule: workers pull
+// chunks of this many iterations from a shared cursor. The chunk grid is
+// fixed — aligned to each checkpoint segment's start and independent of the
+// worker count — so chunk boundaries, and with them fault plans, retry
+// outcomes, and degradation bookkeeping, are worker-invariant by
+// construction. 64 iterations amortize scheduling and channel overhead
+// while keeping enough chunks in flight that a slow chunk (OS-mode
+// scheduling, an injected stall) no longer straggles the whole stage the
+// way a fixed contiguous block did.
+const execChunkSize = 64
 
 // NewCampaign analyzes the program and validates the options, surfacing
 // configuration errors before any execution work.
@@ -67,13 +78,29 @@ func (c *Campaign) newReport() *Report {
 	}
 }
 
-// Run drives the full pipeline: execute, merge, decode, check.
+// newBuilder constructs the constraint-graph builder for the campaign's
+// model and ws mode.
+func (c *Campaign) newBuilder() *graph.Builder {
+	wsMode := graph.WSStatic
+	if c.opts.ObservedWS {
+		wsMode = graph.WSObserved
+	}
+	return graph.NewBuilder(c.prog, c.opts.Platform.Model, graph.Options{
+		Forwarding: c.opts.Platform.Atomicity.AllowsForwarding(),
+		WS:         wsMode,
+	})
+}
+
+// Run drives the full pipeline. Execution, merge, and decode stream past
+// each other chunk by chunk; only the global signature sort and the
+// collective check wait for the execution barrier.
 func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 	began := time.Now()
 	c.em.campaignStart(c.prog, c.opts, c.opts.Iterations, c.workers, began)
 	report := c.newReport()
-	lists, wsBySig, runErr := c.execute(ctx, report)
-	uniques := sig.MergeUniques(lists...)
+	m := c.newMerger(report, true)
+	runErr := c.execute(ctx, report, m)
+	uniques := m.acc.Sorted()
 	if runErr != nil {
 		// A crash is a finding (paper bug 3); the report covers every
 		// iteration that executed, and the error names the earliest crash.
@@ -88,7 +115,7 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 	}
 	report.UniqueSignatures = len(uniques)
 	c.em.mergeDone(report.Iterations, len(uniques), injected, true)
-	err := c.decodeAndCheck(ctx, uniques, wsBySig, report)
+	err := c.decodeAndCheck(ctx, uniques, m, report)
 	c.em.campaignEnd(report, err, began)
 	return report, err
 }
@@ -102,12 +129,12 @@ func (c *Campaign) Collect(ctx context.Context) ([]Unique, error) {
 	began := time.Now()
 	c.em.campaignStart(c.prog, c.opts, c.opts.Iterations, c.workers, began)
 	report := c.newReport() // accounting sink; callers get signatures only
-	lists, _, runErr := c.execute(ctx, report)
-	if runErr != nil {
+	m := c.newMerger(report, false)
+	if runErr := c.execute(ctx, report, m); runErr != nil {
 		c.em.campaignEnd(report, runErr, began)
 		return nil, runErr
 	}
-	uniques := sig.MergeUniques(lists...)
+	uniques := m.acc.Sorted()
 	var injected obs.FaultCounts
 	if c.inj != nil {
 		var counts map[FaultKind]int
@@ -146,21 +173,32 @@ func (c *Campaign) SignatureMetadata() SignatureMeta {
 	}
 }
 
-// decodeAndCheck is the shared host side of Run and Check: signature
-// decode (with quarantine in graceful mode), the quarantine-threshold
-// gate, and the selected checker.
+// decodeAndCheck is the shared host side of Run and Check: signature decode
+// — assembled from the merger's streaming decode cache when chunks were
+// decoded eagerly, or a barrier decodeItems pass when streaming wasn't
+// possible (offline Check, corruption-injected sets) — then the
+// quarantine-threshold gate and the selected checker. Only the collective
+// check (and the global sort feeding it) needs the barrier: the windowed
+// re-sorts of Alg. 2 assume adjacent signatures are globally sorted, a
+// property no partial stream has.
 func (c *Campaign) decodeAndCheck(ctx context.Context, uniques []Unique,
-	wsBySig map[string]graph.WS, report *Report) error {
-	wsMode := graph.WSStatic
-	if c.opts.ObservedWS {
-		wsMode = graph.WSObserved
+	m *merger, report *Report) error {
+	var builder *graph.Builder
+	var items []check.Item
+	var quarantined []Quarantined
+	var err error
+	if m != nil && m.builder != nil {
+		builder = m.builder
+		items, quarantined, err = m.assemble(uniques)
+	} else {
+		builder = c.newBuilder()
+		var wsBySig map[string]graph.WS
+		if m != nil {
+			wsBySig = m.wsBySig
+		}
+		items, quarantined, err = decodeItems(ctx, c.meta, builder, uniques, wsBySig,
+			c.workers, c.opts.Strict, c.em)
 	}
-	builder := graph.NewBuilder(c.prog, c.opts.Platform.Model, graph.Options{
-		Forwarding: c.opts.Platform.Atomicity.AllowsForwarding(),
-		WS:         wsMode,
-	})
-	items, quarantined, err := decodeItems(ctx, c.meta, builder, uniques, wsBySig,
-		c.workers, c.opts.Strict, c.em)
 	if err != nil {
 		return err
 	}
@@ -194,51 +232,247 @@ func (c *Campaign) decodeAndCheck(ctx context.Context, uniques []Unique,
 	return nil
 }
 
-// execute runs the execution stage: optional checkpoint resume, the
-// iteration sequence in checkpoint-sized segments, per-shard retry and
-// degradation bookkeeping. It returns the sorted unique lists to merge
-// (checkpointed set first, then shard sets in global iteration order), the
-// observed-ws first-observation map (nil in static mode), and the first
-// fatal error. The report's execution accounting (Iterations, TotalCycles,
-// Squashes, Executions, AssertionFailures, ShardFailures,
-// ResumedIterations) is filled in as segments complete, so the report is
-// honest even when an error cuts the campaign short.
-func (c *Campaign) execute(ctx context.Context, report *Report) ([][]sig.Unique, map[string]graph.WS, error) {
-	opts := c.opts
-	var lists [][]sig.Unique
-	var wsBySig map[string]graph.WS
-	if opts.ObservedWS {
-		wsBySig = make(map[string]graph.WS)
+// merger is the streaming consumer of completed execution chunks. It runs
+// on the campaign goroutine while workers execute later chunks, folding
+// each chunk's signatures into the campaign-wide accumulator in chunk order
+// and — when the mode allows — eagerly decoding every newly observed
+// signature, so the merge and decode stages overlap execution instead of
+// waiting behind it. Eager decoding is sound because decode is a pure
+// function of (signature, metadata): the final sorted assembly only has to
+// look results up. It is skipped when signature corruption is enabled,
+// since corruption applies to the final merged set.
+type merger struct {
+	c       *Campaign
+	report  *Report
+	acc     *sig.Set            // campaign-wide dedup accumulator
+	wsBySig map[string]graph.WS // first-global-observation ws (ObservedWS)
+
+	// Eager-decode state; builder == nil means barrier decoding.
+	builder *graph.Builder
+	rf      []int32 // dense reads-from scratch, reused per signature
+	keyBuf  []byte  // binary-key scratch for map lookups
+	cache   map[string]decodeEntry
+}
+
+// decodeEntry is one signature's cached decode outcome. Counts are not
+// cached: the quarantine report takes them from the final merged set.
+type decodeEntry struct {
+	edges []graph.Edge
+	kind  QuarantineKind
+	err   error
+}
+
+func (c *Campaign) newMerger(report *Report, decode bool) *merger {
+	m := &merger{c: c, report: report, acc: sig.NewSet()}
+	if c.opts.ObservedWS {
+		m.wsBySig = make(map[string]graph.WS)
 	}
+	if decode && !c.opts.Fault.CorruptsSignatures() {
+		m.builder = c.newBuilder()
+		m.cache = make(map[string]decodeEntry)
+	}
+	return m
+}
+
+// absorb folds one completed chunk into the campaign state: report
+// accounting, incremental dedup, first-observation ws capture, and the
+// eager decode of signatures never seen before. Chunks are absorbed
+// strictly in chunk order, so every order-sensitive output here is
+// independent of worker count and completion schedule.
+func (m *merger) absorb(out *shardOut) {
+	r := m.report
+	r.Iterations += out.iterations
+	r.TotalCycles += out.cycles
+	r.Squashes += out.squashes
+	r.Executions = append(r.Executions, out.execs...)
+	r.AssertionFailures = append(r.AssertionFailures, out.asserts...)
+	var began time.Time
+	if m.builder != nil {
+		began = time.Now()
+	}
+	seen := len(m.cache)
+	fresh, decoded, qd, qe := 0, 0, 0, 0
+	for _, u := range out.set.Entries() {
+		if !m.acc.AddUnique(u) {
+			continue
+		}
+		if m.wsBySig == nil && m.builder == nil {
+			continue
+		}
+		m.keyBuf = u.Sig.AppendBinary(m.keyBuf[:0])
+		if m.wsBySig != nil {
+			// New to the campaign means first observed in this chunk, and
+			// chunks land in order: first-in-chunk is first-globally.
+			if ws, ok := out.ws[string(m.keyBuf)]; ok {
+				m.wsBySig[string(m.keyBuf)] = ws
+			}
+		}
+		if m.builder == nil {
+			continue
+		}
+		e := m.decodeOne(u.Sig)
+		m.cache[string(m.keyBuf)] = e
+		fresh++
+		switch {
+		case e.err == nil:
+			decoded++
+		case e.kind == QuarantineDecode:
+			qd++
+		default:
+			qe++
+		}
+	}
+	if m.builder != nil && fresh > 0 {
+		m.c.em.decodeBatchEnd(out.idx, seen, fresh, decoded, qd, qe, began)
+	}
+}
+
+// absorbResumed seeds the accumulator with a checkpoint's unique set,
+// eagerly decoding it like any other batch (resume requires static ws, so
+// no ws capture applies).
+func (m *merger) absorbResumed(uniques []sig.Unique) {
+	if len(uniques) == 0 {
+		return
+	}
+	var began time.Time
+	if m.builder != nil {
+		began = time.Now()
+	}
+	decoded, qd, qe := 0, 0, 0
+	for _, u := range uniques {
+		if !m.acc.AddUnique(u) || m.builder == nil {
+			continue
+		}
+		m.keyBuf = u.Sig.AppendBinary(m.keyBuf[:0])
+		e := m.decodeOne(u.Sig)
+		m.cache[string(m.keyBuf)] = e
+		switch {
+		case e.err == nil:
+			decoded++
+		case e.kind == QuarantineDecode:
+			qd++
+		default:
+			qe++
+		}
+	}
+	if m.builder != nil {
+		m.c.em.decodeBatchEnd(0, 0, len(m.cache), decoded, qd, qe, began)
+	}
+}
+
+// decodeOne decodes a single signature against the campaign metadata and
+// builds its dynamic edge set. Callers set m.keyBuf to the signature's
+// binary key first; the observed-ws lookup reads it.
+func (m *merger) decodeOne(s sig.Signature) decodeEntry {
+	if m.rf == nil {
+		m.rf = make([]int32, m.builder.NumOps())
+	}
+	if err := m.c.meta.DecodeInto(s, m.rf); err != nil {
+		return decodeEntry{kind: QuarantineDecode, err: err}
+	}
+	var ws graph.WS
+	if m.wsBySig != nil {
+		ws = m.wsBySig[string(m.keyBuf)]
+	}
+	edges, err := m.builder.AppendDynamicEdges(nil, m.rf, ws)
+	if err != nil {
+		return decodeEntry{kind: QuarantineEdges, err: err}
+	}
+	return decodeEntry{edges: edges}
+}
+
+// assemble is the eager-decode barrier: the merged, sorted uniques are
+// matched against the streaming decode cache, yielding the checker's items
+// and the quarantine list in ascending signature order — bit-identical to
+// a barrier decodeItems pass, because decode is a pure function of the
+// signature and the cache covers every unique the merger absorbed. In
+// strict mode the lowest-sorted failing signature's error is returned, as
+// the serial decode loop would have surfaced it.
+func (m *merger) assemble(uniques []sig.Unique) ([]check.Item, []Quarantined, error) {
+	items := make([]check.Item, 0, len(uniques))
+	var quarantined []Quarantined
+	for _, u := range uniques {
+		m.keyBuf = u.Sig.AppendBinary(m.keyBuf[:0])
+		e, ok := m.cache[string(m.keyBuf)]
+		if !ok {
+			// Every unique passed through absorb, so this is defensive; a
+			// fresh decode keeps the barrier correct regardless.
+			e = m.decodeOne(u.Sig)
+			m.cache[string(m.keyBuf)] = e
+		}
+		if e.err != nil {
+			if m.c.opts.Strict {
+				return nil, nil, e.err
+			}
+			quarantined = append(quarantined, Quarantined{Sig: u.Sig, Count: u.Count, Kind: e.kind, Err: e.err})
+			continue
+		}
+		items = append(items, check.Item{Sig: u.Sig, Edges: e.edges})
+	}
+	return items, quarantined, nil
+}
+
+// execute runs the execution stage: optional checkpoint resume, the
+// iteration sequence in checkpoint-sized segments, work-stealing chunk
+// scheduling with per-chunk retry and degradation bookkeeping, streaming
+// results into the merger as chunks complete. The report's execution
+// accounting (Iterations, TotalCycles, Squashes, Executions,
+// AssertionFailures, ShardFailures, ResumedIterations) is filled in as
+// chunks land, so the report is honest even when an error cuts the
+// campaign short.
+func (c *Campaign) execute(ctx context.Context, report *Report, m *merger) error {
+	opts := c.opts
 	completed := 0
 	if opts.Resume {
 		if opts.CheckpointPath == "" {
-			return nil, nil, errors.New("mtracecheck: Resume requires CheckpointPath")
+			return errors.New("mtracecheck: Resume requires CheckpointPath")
 		}
 		if opts.ObservedWS {
-			return nil, nil, errors.New("mtracecheck: resume requires the static ws mode (checkpointed signatures carry no recorded write serialization)")
+			return errors.New("mtracecheck: resume requires the static ws mode (checkpointed signatures carry no recorded write serialization)")
 		}
 		ck, err := readCheckpointFile(opts.CheckpointPath)
 		if err != nil {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: %w", err)
+			return fmt.Errorf("mtracecheck: resume: %w", err)
 		}
 		if ck.Seed != opts.Seed {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint seed %d does not match run seed %d", ck.Seed, opts.Seed)
+			return fmt.Errorf("mtracecheck: resume: checkpoint seed %d does not match run seed %d", ck.Seed, opts.Seed)
 		}
 		if h := progHash(c.prog); ck.ProgHash != h {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint was written for a different test program")
+			return fmt.Errorf("mtracecheck: resume: checkpoint was written for a different test program")
 		}
 		if ck.Completed > opts.Iterations {
-			return nil, nil, fmt.Errorf("mtracecheck: resume: checkpoint covers %d iterations, campaign requests only %d", ck.Completed, opts.Iterations)
+			return fmt.Errorf("mtracecheck: resume: checkpoint covers %d iterations, campaign requests only %d", ck.Completed, opts.Iterations)
 		}
 		completed = ck.Completed
 		report.ResumedIterations = completed
 		report.Iterations += completed
-		if len(ck.Uniques) > 0 {
-			lists = append(lists, ck.Uniques)
-		}
+		m.absorbResumed(ck.Uniques)
 		c.em.checkpointOp(obs.CheckpointResumed, opts.CheckpointPath, completed, len(ck.Uniques), 0)
 	}
+	// One Runner per worker for the whole campaign: platform/program
+	// validation surfaces before any work, and the static-analysis cost of
+	// NewRunner is paid workers times per campaign instead of workers times
+	// per checkpoint segment.
+	workers := c.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if n := (opts.Iterations - completed + execChunkSize - 1) / execChunkSize; workers > n && n > 0 {
+		workers = n
+	}
+	runners := make([]*sim.Runner, workers)
+	for i := range runners {
+		r, err := sim.NewRunner(opts.Platform, c.prog, opts.Seed)
+		if err != nil {
+			return err
+		}
+		runners[i] = r
+	}
+	// The campaign's per-iteration seed sequence, drawn once and sliced per
+	// chunk at dispatch: no worker pays the old O(start) skip-ahead, and
+	// any runner can execute any chunk because seeds travel with the work.
+	seeds := sim.NewSeedStream(opts.Seed)
+	seeds.Skip(completed)
 	checkpointing := opts.CheckpointPath != ""
 	segment := opts.Iterations - completed
 	if checkpointing {
@@ -252,74 +486,25 @@ func (c *Campaign) execute(ctx context.Context, report *Report) ([][]sig.Unique,
 	}
 	for completed < opts.Iterations {
 		if err := ctx.Err(); err != nil {
-			return lists, wsBySig, err
+			return err
 		}
 		n := opts.Iterations - completed
 		if checkpointing && segment < n {
 			n = segment
 		}
-		shards, err := c.runShards(ctx, completed, n)
+		segClean, err := c.runChunks(ctx, report, m, runners, seeds, completed, n)
 		if err != nil {
-			return lists, wsBySig, err
-		}
-		// Merge shard outputs in shard order; shards own contiguous
-		// ascending iteration blocks, so this order is global iteration
-		// order.
-		var firstErr error
-		segClean := true
-		for _, sh := range shards {
-			report.Iterations += sh.iterations
-			report.TotalCycles += sh.cycles
-			report.Squashes += sh.squashes
-			report.Executions = append(report.Executions, sh.execs...)
-			report.AssertionFailures = append(report.AssertionFailures, sh.asserts...)
-			if sh.set.Len() > 0 {
-				lists = append(lists, sh.set.Sorted())
-			}
-			if opts.ObservedWS {
-				// Keep the write-serialization order of the globally first
-				// observation of each interleaving: earlier shards hold
-				// earlier iterations, so first-in-shard-order is
-				// first-globally.
-				for k, ws := range sh.ws {
-					if _, ok := wsBySig[k]; !ok {
-						wsBySig[k] = ws
-					}
-				}
-			}
-			if sh.err == nil {
-				continue
-			}
-			segClean = false
-			if errors.Is(sh.err, ErrShardFailed) && !opts.Strict {
-				// Infra failure that survived its retries: degrade to
-				// partial results, recorded honestly.
-				report.ShardFailures = append(report.ShardFailures, ShardFailure{
-					Start: sh.start, Count: sh.count,
-					Executed: sh.iterations, Attempts: sh.attempts, Err: sh.err,
-				})
-				continue
-			}
-			if firstErr == nil {
-				firstErr = sh.err
-			}
-		}
-		if err := ctx.Err(); err != nil {
-			return lists, wsBySig, err
-		}
-		if firstErr != nil {
-			return lists, wsBySig, firstErr
+			return err
 		}
 		completed += n
 		if checkpointing {
 			if !segClean {
-				// A lost shard left a hole in the iteration sequence; a
+				// A lost chunk left a hole in the iteration sequence; a
 				// checkpoint would claim coverage the campaign never had.
 				checkpointing = false
 				continue
 			}
-			merged := sig.MergeUniques(lists...)
-			lists = [][]sig.Unique{merged}
+			merged := m.acc.Sorted()
 			c.em.mergeDone(completed, len(merged), obs.FaultCounts{}, false)
 			ck := sig.Checkpoint{
 				Seed: opts.Seed, ProgHash: progHash(c.prog),
@@ -327,105 +512,174 @@ func (c *Campaign) execute(ctx context.Context, report *Report) ([][]sig.Unique,
 			}
 			bytes, err := writeCheckpointFile(opts.CheckpointPath, ck)
 			if err != nil {
-				return lists, wsBySig, fmt.Errorf("mtracecheck: checkpoint: %w", err)
+				return fmt.Errorf("mtracecheck: checkpoint: %w", err)
 			}
 			c.em.checkpointOp(obs.CheckpointSaved, opts.CheckpointPath, completed, len(merged), bytes)
 		}
 	}
-	return lists, wsBySig, nil
+	return nil
 }
 
-// runShards executes count iterations starting at global iteration start,
-// split into contiguous blocks, each on its own Runner over the same seed
-// skipped ahead to the block's start — so every iteration draws the same
-// per-iteration seed as the serial pipeline, whatever the worker count.
-// Runners are constructed up front so platform/program validation errors
-// surface before any work; a shard that fails mid-run is retried per
-// Options.ShardRetries.
-func (c *Campaign) runShards(ctx context.Context, start, count int) ([]*shardOut, error) {
-	workers := c.workers
-	if workers > count {
-		workers = count
+// runChunks executes one segment [segStart, segStart+segCount) through the
+// work-stealing scheduler: workers pull fixed-size chunks from a shared
+// cursor, execute them on their private Runner with per-chunk retry, and
+// stream completed chunks to the merger. The merger runs here, on the
+// campaign goroutine, absorbing chunks strictly in chunk order through a
+// reorder buffer while workers execute later chunks — the stage overlap —
+// so every order-sensitive output (executions, assertion failures,
+// first-observation ws, streaming decode batches, failure bookkeeping) is
+// identical for every worker count and completion schedule. It reports
+// whether the segment completed without shard failures, plus the first
+// fatal error in chunk order.
+func (c *Campaign) runChunks(ctx context.Context, report *Report, m *merger,
+	runners []*sim.Runner, seeds *sim.SeedStream, segStart, segCount int) (bool, error) {
+	nChunks := (segCount + execChunkSize - 1) / execChunkSize
+	type chunk struct {
+		idx, start, count int
+		seeds             []int64
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	base, rem := count/workers, count%workers
-	starts := make([]int, workers+1)
-	runners := make([]*sim.Runner, workers)
-	for si := 0; si < workers; si++ {
-		size := base
-		if si < rem {
-			size++
+	var mu sync.Mutex
+	next, stop := 0, false
+	// dispatch pops the next chunk and draws its seed slice under the lock.
+	// The cursor is monotonic, so dispatched chunks always form the prefix
+	// [0, next) and the reorder buffer below can never stall waiting for an
+	// undispatched index.
+	dispatch := func() (chunk, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stop || next >= nChunks || ctx.Err() != nil {
+			return chunk{}, false
 		}
-		starts[si+1] = starts[si] + size
-		runner, err := sim.NewRunner(c.opts.Platform, c.prog, c.opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		runner.SkipIterations(start + starts[si])
-		runners[si] = runner
+		ck := chunk{idx: next, start: segStart + next*execChunkSize}
+		ck.count = min(execChunkSize, segStart+segCount-ck.start)
+		ck.seeds = make([]int64, ck.count)
+		seeds.Fill(ck.seeds)
+		next++
+		return ck, true
 	}
-	shards := make([]*shardOut, workers)
+	poison := func() { mu.Lock(); stop = true; mu.Unlock() }
+
+	workers := len(runners)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	results := make(chan *shardOut, workers)
 	var wg sync.WaitGroup
-	for si := 0; si < workers; si++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(si int) {
+		go func(w int) {
 			defer wg.Done()
-			shards[si] = c.runShardRetrying(ctx, si, runners[si],
-				start+starts[si], starts[si+1]-starts[si])
-		}(si)
+			for {
+				ck, ok := dispatch()
+				if !ok {
+					return
+				}
+				out := c.runChunkRetrying(ctx, w, &runners[w], ck.start, ck.count, ck.seeds)
+				out.idx = ck.idx
+				results <- out
+			}
+		}(w)
 	}
-	wg.Wait()
-	return shards, nil
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]*shardOut)
+	nextMerge := 0
+	segClean := true
+	var firstErr error
+	for out := range results {
+		pending[out.idx] = out
+		for {
+			o, ok := pending[nextMerge]
+			if !ok {
+				break
+			}
+			delete(pending, nextMerge)
+			nextMerge++
+			m.absorb(o)
+			if o.err == nil {
+				continue
+			}
+			segClean = false
+			if errors.Is(o.err, ErrShardFailed) && !c.opts.Strict {
+				// Infra failure that survived its retries: degrade to
+				// partial results, recorded honestly; scheduling continues.
+				report.ShardFailures = append(report.ShardFailures, ShardFailure{
+					Start: o.start, Count: o.count,
+					Executed: o.iterations, Attempts: o.attempts, Err: o.err,
+				})
+				continue
+			}
+			if firstErr == nil {
+				// Fatal: stop handing out new chunks, drain what's in
+				// flight. Merge order is ascending, so this is the
+				// earliest fatal error in iteration order.
+				firstErr = o.err
+				poison()
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return segClean, err
+	}
+	return segClean, firstErr
 }
 
-// runShardRetrying drives one shard block to completion, re-running it from
-// the block start — on a fresh Runner, since a panicking one may hold
-// corrupt state — after transient failures (recovered panics, expired shard
-// deadlines), with capped exponential backoff between attempts. Platform
-// crashes are findings and parent-context cancellation is final; neither is
-// retried. A shard still failing after every retry returns its final
-// partial attempt with the failure wrapped in ErrShardFailed.
-func (c *Campaign) runShardRetrying(ctx context.Context, shard int, first *sim.Runner,
-	start, count int) *shardOut {
+// runChunkRetrying drives one chunk to completion on the worker's Runner,
+// re-running it from the chunk start after transient failures (recovered
+// panics, expired shard deadlines) with capped exponential backoff. Each
+// attempt restarts the chunk's seed slice from the top, so a retried chunk
+// replays bit-identically. A panicking attempt may leave the Runner's
+// reusable platform state corrupt, so the runner is dropped and rebuilt
+// before any reuse — the next attempt, or the worker's next chunk when the
+// failure exhausted its retries. Platform crashes are findings and parent
+// cancellation is final; neither is retried. A chunk still failing after
+// every retry returns its final partial attempt with the failure wrapped
+// in ErrShardFailed.
+func (c *Campaign) runChunkRetrying(ctx context.Context, worker int, runner **sim.Runner,
+	chunkStart, count int, seeds []int64) *shardOut {
 	opts := c.opts
 	backoff := time.Millisecond
 	const maxBackoff = 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		runner := first
-		if attempt > 0 {
+		if *runner == nil {
 			r, err := sim.NewRunner(opts.Platform, c.prog, opts.Seed)
 			if err != nil {
-				return &shardOut{set: sig.NewSet(), start: start, count: count,
+				return &shardOut{set: sig.NewSet(), start: chunkStart, count: count,
 					attempts: attempt + 1, err: err}
 			}
-			r.SkipIterations(start)
-			runner = r
+			*runner = r
 		}
 		shardCtx, cancel := ctx, context.CancelFunc(func() {})
 		if opts.ShardTimeout > 0 {
 			shardCtx, cancel = context.WithTimeout(ctx, opts.ShardTimeout)
 		}
-		var src sim.Source = runner
+		var src sim.Source = &seededSource{r: *runner, seeds: seeds}
 		if c.inj != nil {
-			src = c.inj.WrapShard(shardCtx, runner, start, count, attempt)
+			src = c.inj.WrapShard(shardCtx, src, chunkStart, count, attempt)
 		}
 		began := time.Now()
-		c.em.shardStart(obs.StageExecute, shard, attempt, start, count, began)
-		out := runShardAttempt(shardCtx, src, c.meta, opts, start, count)
+		c.em.shardStart(obs.StageExecute, worker, attempt, chunkStart, count, began)
+		out := runShardAttempt(shardCtx, src, c.meta, opts, chunkStart, count)
 		cancel()
-		out.start, out.count, out.attempts = start, count, attempt+1
+		out.start, out.count, out.attempts = chunkStart, count, attempt+1
+		if errors.Is(out.err, errShardPanic) {
+			// The panic may have unwound mid-iteration; the runner's
+			// reusable state is suspect.
+			*runner = nil
+		}
 		willRetry := out.err != nil && retryable(out.err, ctx) && attempt < opts.ShardRetries
 		if out.err != nil && retryable(out.err, ctx) && !willRetry {
 			out.err = fmt.Errorf("%w: iterations [%d,%d) after %d attempts: %v",
-				ErrShardFailed, start, start+count, attempt+1, out.err)
+				ErrShardFailed, chunkStart, chunkStart+count, attempt+1, out.err)
 		}
 		retrySleep := time.Duration(0)
 		if willRetry {
 			retrySleep = backoff
 		}
-		c.em.execShardEnd(shard, out, began, willRetry, retrySleep)
+		c.em.execShardEnd(worker, out, began, willRetry, retrySleep)
 		if !willRetry {
 			return out
 		}
@@ -439,6 +693,23 @@ func (c *Campaign) runShardRetrying(ctx context.Context, shard int, first *sim.R
 			backoff = maxBackoff
 		}
 	}
+}
+
+// seededSource adapts a Runner to one chunk's slice of the campaign seed
+// stream: call i executes under seeds[i] via RunSeeded, so the runner's own
+// master stream is never consulted and any worker's runner can execute any
+// chunk. A fresh source per attempt restarts the slice from the top; the
+// fault injector's stall/panic shim wraps it transparently.
+type seededSource struct {
+	r     *sim.Runner
+	seeds []int64
+	i     int
+}
+
+func (s *seededSource) Run() (*sim.Execution, error) {
+	seed := s.seeds[s.i]
+	s.i++
+	return s.r.RunSeeded(seed)
 }
 
 // emitter is the pipeline's nil-safe observer tap. The zero value (nil
@@ -522,6 +793,23 @@ func (em emitter) decodeShardEnd(shard, start, count, decoded int, quar []*Quara
 		Stage: obs.StageDecode, Shard: shard, Start: start, Count: count,
 		Decoded: decoded, QuarantinedDecode: qd, QuarantinedEdges: qe,
 		Err: err, Time: now, Duration: now.Sub(began),
+	})
+}
+
+// decodeBatchEnd reports one streaming decode batch: the newly observed
+// unique signatures a completed chunk (or a resumed checkpoint) contributed,
+// decoded eagerly while later chunks still execute. Shard is the chunk
+// index; Start is the number of uniques previously seen by the decoder, so
+// batches tile the campaign's first-observation order.
+func (em emitter) decodeBatchEnd(shard, start, count, decoded, quarDecode, quarEdges int, began time.Time) {
+	if em.o == nil {
+		return
+	}
+	now := time.Now()
+	em.o.ShardEnd(obs.ShardEnd{
+		Stage: obs.StageDecode, Shard: shard, Start: start, Count: count,
+		Decoded: decoded, QuarantinedDecode: quarDecode, QuarantinedEdges: quarEdges,
+		Time: now, Duration: now.Sub(began),
 	})
 }
 
@@ -654,13 +942,14 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// shardOut is what one execution shard produces: private signature set and
-// stats, merged by the caller in shard order.
+// shardOut is what one execution chunk attempt produces: private signature
+// set and stats, streamed to the merger and absorbed in chunk order.
 type shardOut struct {
 	set        *sig.Set
 	ws         map[string]graph.WS // sig key -> first-observation ws
-	start      int                 // global iteration block start
-	count      int                 // block size
+	idx        int                 // chunk index within its segment
+	start      int                 // global iteration chunk start
+	count      int                 // chunk size
 	attempts   int
 	iterations int
 	cycles     int64
@@ -685,7 +974,7 @@ func retryable(err error, parent context.Context) bool {
 // global iteration index start, polling the context between iterations and
 // converting a panic anywhere below — simulator, encoder, or an injected
 // shard fault — into a shard error instead of crashing the process. It is
-// deliberately free of observer hooks: events fire at the shard boundary,
+// deliberately free of observer hooks: events fire at the chunk boundary,
 // never inside the per-iteration hot loop.
 func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
 	opts Options, start, count int) (out *shardOut) {
@@ -733,7 +1022,7 @@ func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
 			return out
 		}
 		if out.set.AddWords(sigBuf) && opts.ObservedWS {
-			// First observation of this interleaving in this shard: keep its
+			// First observation of this interleaving in this chunk: keep its
 			// write-serialization order for graph construction. (The
 			// static-ws default needs nothing beyond the signature.)
 			out.ws[sig.New(sigBuf).Key()] = ex.WSByWord()
@@ -742,14 +1031,15 @@ func runShardAttempt(ctx context.Context, src sim.Source, meta *instrument.Meta,
 	return out
 }
 
-// decodeItems is the decode stage over an explicit worker count. Workers
-// fill disjoint contiguous ranges of the result and poll the context as
-// they go. In strict mode the error for the lowest-indexed failing
-// signature is returned — the one the serial loop would have hit first.
-// In graceful mode failing signatures are quarantined (in sorted order,
-// deterministically: failure is a pure function of signature and metadata)
-// and the surviving items are compacted, preserving ascending order for
-// the collective checker.
+// decodeItems is the barrier decode stage over an explicit worker count,
+// used when signatures could not be decoded as they streamed in (offline
+// Check, corruption-injected sets). Workers fill disjoint contiguous
+// ranges of the result and poll the context as they go. In strict mode the
+// error for the lowest-indexed failing signature is returned — the one the
+// serial loop would have hit first. In graceful mode failing signatures
+// are quarantined (in sorted order, deterministically: failure is a pure
+// function of signature and metadata) and the surviving items are
+// compacted, preserving ascending order for the collective checker.
 func decodeItems(ctx context.Context, meta *instrument.Meta, b *graph.Builder,
 	uniques []sig.Unique, wsBySig map[string]graph.WS, workers int,
 	strict bool, em emitter) ([]check.Item, []Quarantined, error) {

@@ -62,7 +62,7 @@ func run() int {
 		fences  = flag.Float64("fences", 0, "fence insertion probability")
 		iters   = flag.Int("iters", 2048, "test iterations")
 		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "pipeline shards for execute/decode/check (0 = GOMAXPROCS; results are identical for any value)")
+		workers = flag.Int("workers", 0, "streaming pipeline workers: work-stealing execution chunks with overlapped merge/decode (0 = GOMAXPROCS; results are identical for any value)")
 		osMode  = flag.Bool("os", false, "run under simulated OS scheduling")
 		checker = flag.String("checker", "collective", "checker: collective, conventional, or incremental (Pearce–Kelly)")
 		bug     = flag.String("bug", "", "inject a bug: sm-inv, lsq-skip, or wb-race")

@@ -1,7 +1,7 @@
 // Package obs is the campaign observability layer: typed events emitted at
-// every pipeline stage boundary — execution shards, the unique-signature
-// merge, decode workers, checking shards, and checkpoints — consumed by an
-// Observer. A multi-hour validation campaign (the paper runs 65536
+// every pipeline stage boundary — execution chunks, the unique-signature
+// merge, streaming decode batches, checking shards, and checkpoints —
+// consumed by an Observer. A multi-hour validation campaign (the paper runs 65536
 // iterations per test across 21 configurations, §5) is otherwise a black
 // box between launch and report; the events make its throughput, fault
 // tolerance, and progress operationally visible without perturbing it.
@@ -39,7 +39,8 @@ const (
 	StageExecute Stage = iota
 	// StageMerge is the unique-signature k-way merge.
 	StageMerge
-	// StageDecode is the sharded signature-decode stage.
+	// StageDecode is the signature-decode stage: streaming batches as
+	// chunks merge, or a barrier pass when corruption faults force one.
 	StageDecode
 	// StageCheck is the sharded collective-checking stage.
 	StageCheck
@@ -90,16 +91,25 @@ type CampaignEnd struct {
 	Duration    time.Duration
 }
 
-// ShardStart fires when one shard of a parallel stage begins an attempt:
-// an execution-shard attempt, a decode worker's range, or a checking
-// shard's range.
+// ShardStart fires when one unit of a parallel stage begins an attempt:
+// an execution-chunk attempt, a streaming decode batch or barrier decode
+// range, or a checking shard's range.
 type ShardStart struct {
-	Stage   Stage
-	Shard   int // shard index within the stage
+	Stage Stage
+	// Shard is the lane the work runs in. For StageExecute it is the
+	// work-stealing worker index — consecutive chunks claimed by the same
+	// worker share a lane, so a trace shows each worker's chunk spans
+	// overlapping the merge/decode stream. For streaming decode batches it
+	// is the index of the chunk whose merge produced the batch; for barrier
+	// decode and check it is the shard index within the stage.
+	Shard   int
 	Attempt int // execution retries; always 0 for decode and check
-	// Start and Count describe the contiguous block the shard owns: global
-	// iteration indices for StageExecute, sorted unique-signature indices
-	// for StageDecode and StageCheck.
+	// Start and Count describe the contiguous block the attempt owns.
+	// StageExecute: global iteration indices of the chunk. StageCheck and
+	// barrier StageDecode: sorted unique-signature indices. Streaming
+	// StageDecode batches: Start is the number of uniques the decoder had
+	// already seen and Count the fresh ones in this batch, so batches tile
+	// the campaign's first-observation order (not the final sorted order).
 	Start, Count int
 	Time         time.Time
 }

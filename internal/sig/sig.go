@@ -195,6 +195,31 @@ func (set *Set) AddWords(words []uint64) bool {
 // Add inserts one observation of s, reporting whether s was new.
 func (set *Set) Add(s Signature) bool { return set.AddWords(s.words) }
 
+// AddUnique folds an already-counted unique into the set, weighting the
+// observation total and the per-signature count by u.Count, and reports
+// whether the signature was new to this set. It is the streaming pipeline's
+// incremental merge step: absorbing each completed chunk's uniques as the
+// chunk lands is equivalent to a final MergeUniques over all chunks, so the
+// global sort can wait for the barrier while dedup happens online.
+func (set *Set) AddUnique(u Unique) bool {
+	b := u.Sig.AppendBinary(set.scratch[:0])
+	set.scratch = b
+	set.total += u.Count
+	if i, ok := set.index[string(b)]; ok {
+		set.entries[i].Count += u.Count
+		return false
+	}
+	set.index[string(b)] = len(set.entries)
+	set.entries = append(set.entries, u)
+	return true
+}
+
+// Entries returns the unique signatures in first-observation order with
+// their current counts. The slice is borrowed from the set — it is valid
+// until the next Add*/merge call and must not be mutated. Use Sorted for an
+// owned, ascending copy.
+func (set *Set) Entries() []Unique { return set.entries }
+
 // Len returns the number of unique signatures.
 func (set *Set) Len() int { return len(set.entries) }
 

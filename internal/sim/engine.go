@@ -211,10 +211,11 @@ type Source interface {
 // a time (the paper applies a hard reset before each test run, §5).
 //
 // A Runner is owned by exactly one goroutine: Run mutates the master seed
-// stream, so concurrent calls would interleave draws nondeterministically.
-// Parallel pipelines must give each worker goroutine its own Runner over the
-// same seed and use SkipIterations to position it within the iteration
-// sequence; Run rejects concurrent use.
+// stream and the reusable iteration state, so concurrent calls would
+// interleave nondeterministically. Parallel pipelines give each worker
+// goroutine its own Runner and feed it per-iteration seeds drawn once from
+// the campaign's SeedStream via RunSeeded, so any runner can execute any
+// iteration; Run and RunSeeded reject concurrent use.
 //
 // All per-iteration state — the event queue, the memory system, thread and
 // op records, and the scratch Execution — is allocated once and reused, so a
@@ -247,12 +248,73 @@ type Runner struct {
 // SkipIterations advances the runner's master seed stream past n iterations
 // without executing them. Run draws exactly one master value per iteration,
 // so a runner skipped past n behaves, from iteration n on, identically to a
-// same-seeded runner that executed the first n iterations — the property the
-// sharded pipeline uses to make results independent of the shard count.
+// same-seeded runner that executed the first n iterations.
+//
+// Deprecated: position-dependent runners couple determinism to the partition
+// shape and pay O(n) seed draws to start at iteration n — the cost that made
+// multi-worker campaigns scale negatively. Draw the campaign's seed sequence
+// once with SeedStream (or SeedTable) and execute iteration i via
+// RunSeeded(seed i) instead; the results are bit-identical because both APIs
+// consume the same one-draw-per-iteration master stream. Kept as a thin
+// wrapper for existing callers such as examples/devicehost.
 func (r *Runner) SkipIterations(n int) {
 	for i := 0; i < n; i++ {
 		r.master.Int63()
 	}
+}
+
+// SeedStream produces the per-iteration seed sequence of a campaign seed:
+// value i is exactly what the i-th Run call on a Runner constructed over the
+// same seed would draw from its master stream. Drawing the stream once and
+// feeding slices of it to RunSeeded decouples results from how iterations
+// are partitioned across workers, and replaces every per-shard O(start)
+// skip-ahead with a single O(total) pass. The stream is drawn incrementally,
+// so multi-million-iteration campaigns never materialize a full table.
+//
+// A SeedStream is not safe for concurrent use; the campaign draws from it
+// under its scheduler lock.
+type SeedStream struct {
+	master *rand.Rand
+	pos    int
+}
+
+// NewSeedStream returns the seed stream of the given campaign seed,
+// positioned at iteration 0.
+func NewSeedStream(seed int64) *SeedStream {
+	return &SeedStream{master: rand.New(rand.NewSource(seed))}
+}
+
+// Pos returns the global iteration index of the next seed.
+func (s *SeedStream) Pos() int { return s.pos }
+
+// Skip advances past n iterations, e.g. to a checkpoint's resume point.
+func (s *SeedStream) Skip(n int) {
+	for i := 0; i < n; i++ {
+		s.master.Int63()
+	}
+	s.pos += n
+}
+
+// Next returns the next iteration's seed.
+func (s *SeedStream) Next() int64 {
+	s.pos++
+	return s.master.Int63()
+}
+
+// Fill fills dst with the next len(dst) iterations' seeds.
+func (s *SeedStream) Fill(dst []int64) {
+	for i := range dst {
+		dst[i] = s.master.Int63()
+	}
+	s.pos += len(dst)
+}
+
+// SeedTable materializes the first n per-iteration seeds of a campaign
+// seed. Convenience over SeedStream for bounded campaigns.
+func SeedTable(seed int64, n int) []int64 {
+	t := make([]int64, n)
+	NewSeedStream(seed).Fill(t)
+	return t
 }
 
 // NewRunner validates the platform/program pair and prepares static
@@ -384,8 +446,33 @@ func (r *Runner) Run() (*Execution, error) {
 		return nil, errors.New("sim: concurrent Runner.Run calls: each Runner must be driven by a single goroutine")
 	}
 	defer r.busy.Store(0)
-	// Exactly one master draw per iteration — SkipIterations relies on this.
-	seed := r.master.Int63()
+	// Exactly one master draw per iteration — the seed-table API (SeedStream,
+	// SeedTable) and the deprecated SkipIterations rely on this.
+	return r.run(r.master.Int63())
+}
+
+// RunSeeded executes one iteration under an explicit per-iteration seed,
+// leaving the Runner's own master stream untouched. It is the streaming
+// pipeline's entry point: the campaign draws the master stream once (see
+// SeedStream) and hands each work chunk its slice of seeds, so any worker's
+// Runner can execute any iteration and determinism no longer depends on how
+// the iteration sequence is partitioned. RunSeeded(s) where s is the i-th
+// value of the campaign's seed stream is bit-identical to Run() on a runner
+// positioned at iteration i.
+//
+// The returned Execution is the Runner's reusable scratch buffer, exactly as
+// for Run.
+func (r *Runner) RunSeeded(seed int64) (*Execution, error) {
+	if !r.busy.CompareAndSwap(0, 1) {
+		return nil, errors.New("sim: concurrent Runner.RunSeeded calls: each Runner must be driven by a single goroutine")
+	}
+	defer r.busy.Store(0)
+	return r.run(seed)
+}
+
+// run executes one iteration under the given per-iteration seed. Callers
+// hold the busy guard.
+func (r *Runner) run(seed int64) (*Execution, error) {
 	if err := r.prepare(); err != nil {
 		return nil, err
 	}

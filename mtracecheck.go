@@ -212,15 +212,19 @@ type Options struct {
 	// KeepExecutions retains each iteration's raw execution in the report
 	// (memory-heavy; for analysis tooling).
 	KeepExecutions bool
-	// Workers shards the three hot pipeline stages — execution, signature
-	// decoding, and collective checking — across this many goroutines.
-	// 0 selects GOMAXPROCS; 1 is the serial pipeline. Results are identical
-	// for every value: each execution shard owns its own sim.Runner on the
-	// same seed, skipped ahead to its contiguous block of the iteration
-	// sequence, so iteration i sees the same per-iteration seed regardless
-	// of how the blocks are divided. Only the checker's effort accounting
-	// (CheckStats.PerGraph / SortedVertices) carries a per-shard boundary
-	// overhead: each checking shard's first graph needs one full sort.
+	// Workers sizes the streaming pipeline: this many goroutines pull
+	// fixed-size execution chunks from a shared cursor (work stealing), and
+	// completed chunks stream through incremental merge and eager decode
+	// while later chunks still execute; collective checking shards across
+	// the same count. 0 selects GOMAXPROCS; 1 is the serial pipeline.
+	// Results are identical for every value: iteration i's seed is the i-th
+	// draw of the campaign's master seed stream — handed to whichever
+	// worker claims the chunk containing i — and a reorder buffer merges
+	// chunks in chunk order regardless of completion order, so the chunk
+	// grid (and therefore every artifact) never depends on Workers. Only
+	// the checker's effort accounting (CheckStats.PerGraph /
+	// SortedVertices) carries a per-shard boundary overhead: each checking
+	// shard's first graph needs one full sort.
 	Workers int
 	// Strict restores the abort-on-first-error behavior: a signature that
 	// fails to decode or build edges, or an execution shard that exhausts

@@ -1,0 +1,228 @@
+package mtracecheck
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/obs"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+// chaosObserver perturbs the streaming scheduler: every execution chunk
+// start sleeps a deterministic pseudo-random few milliseconds keyed by
+// (salt, chunk start, attempt), scrambling chunk completion order without
+// introducing shared mutable state (observers run on worker goroutines, so
+// this also exercises the pipeline under -race).
+type chaosObserver struct{ salt uint64 }
+
+func (o chaosObserver) delay(start, attempt int) time.Duration {
+	h := fnv.New64a()
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[0:], o.salt)
+	binary.LittleEndian.PutUint64(b[8:], uint64(start))
+	binary.LittleEndian.PutUint64(b[16:], uint64(attempt))
+	h.Write(b[:])
+	return time.Duration(h.Sum64()%4) * time.Millisecond
+}
+
+func (o chaosObserver) CampaignStart(obs.CampaignStart) {}
+func (o chaosObserver) ShardStart(e obs.ShardStart) {
+	if e.Stage == obs.StageExecute {
+		time.Sleep(o.delay(e.Start, e.Attempt))
+	}
+}
+func (o chaosObserver) ShardEnd(obs.ShardEnd)       {}
+func (o chaosObserver) MergeDone(obs.MergeDone)     {}
+func (o chaosObserver) Checkpoint(obs.Checkpoint)   {}
+func (o chaosObserver) CampaignEnd(obs.CampaignEnd) {}
+
+// TestSchedulerDeterminism stresses the work-stealing scheduler: per-chunk
+// delays randomize which worker finishes which chunk first, across worker
+// counts spanning one-chunk-at-a-time to more workers than chunks. Reports
+// and saved signature files must stay bit-identical, because the reorder
+// buffer absorbs chunks in chunk order no matter the completion schedule.
+func TestSchedulerDeterminism(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5})
+	scenarios := []struct {
+		name string
+		opts Options
+	}{
+		{"clean", Options{Platform: PlatformX86(), Iterations: 300, Seed: 11, KeepExecutions: true}},
+		{"faulted", Options{Platform: PlatformX86(), Iterations: 300, Seed: 11,
+			ShardRetries: 3,
+			Fault:        FaultConfig{Seed: 3, BitFlip: 0.2, Truncate: 0.1, ShardPanic: 0.5}}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			type result struct {
+				report *Report
+				sigs   []byte
+			}
+			results := map[int]result{}
+			for salt, workers := range map[int]int{0: 1, 1: 2, 2: 3, 3: 8} {
+				opts := sc.opts
+				opts.Workers = workers
+				opts.Observer = chaosObserver{salt: uint64(salt)}
+				report, err := RunProgram(p, opts)
+				if err != nil {
+					t.Fatalf("workers %d: %v", workers, err)
+				}
+				uniques, err := CollectSignatures(p, opts)
+				if err != nil {
+					t.Fatalf("workers %d: collect: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := SaveSignatures(&buf, report, uniques); err != nil {
+					t.Fatalf("workers %d: save: %v", workers, err)
+				}
+				results[workers] = result{report: report, sigs: buf.Bytes()}
+			}
+			base := results[1]
+			for _, workers := range []int{2, 3, 8} {
+				got := results[workers]
+				if got.report.Iterations != base.report.Iterations ||
+					got.report.TotalCycles != base.report.TotalCycles ||
+					got.report.Squashes != base.report.Squashes ||
+					got.report.UniqueSignatures != base.report.UniqueSignatures ||
+					len(got.report.Violations) != len(base.report.Violations) ||
+					len(got.report.Quarantined) != len(base.report.Quarantined) ||
+					len(got.report.AssertionFailures) != len(base.report.AssertionFailures) ||
+					len(got.report.ShardFailures) != len(base.report.ShardFailures) {
+					t.Errorf("workers %d: report diverges from workers 1", workers)
+				}
+				if len(got.report.Executions) != len(base.report.Executions) {
+					t.Fatalf("workers %d: %d executions, want %d", workers,
+						len(got.report.Executions), len(base.report.Executions))
+				}
+				for i, ex := range base.report.Executions {
+					if results[workers].report.Executions[i].Cycles != ex.Cycles {
+						t.Fatalf("workers %d: execution %d cycles diverge", workers, i)
+					}
+				}
+				if !bytes.Equal(got.sigs, base.sigs) {
+					t.Errorf("workers %d: signature file is not bit-identical to workers 1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyCheckpointResume: checkpoints written by the pre-streaming
+// pipeline — serial and skip-ahead sharded collection over the same master
+// seed stream — must resume bit-identically under the chunked scheduler,
+// because both sides derive iteration i's seed from the i-th master draw
+// (the MTCCKPT1 identity is unchanged: seed, program hash, completed
+// count, merged uniques).
+func TestLegacyCheckpointResume(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 2, OpsPerThread: 20, Words: 4, Seed: 1})
+	plat := PlatformX86()
+	const resumeAt, total = 60, 120
+
+	// Legacy device side: two contiguous shard blocks, the second positioned
+	// with the deprecated SkipIterations — exactly the old pipeline's scheme.
+	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sig.NewSet()
+	collect := func(skip, count int) {
+		r, err := sim.NewRunner(plat, p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SkipIterations(skip)
+		var sigBuf []uint64
+		for i := 0; i < count; i++ {
+			ex, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigBuf, err = meta.EncodeExecutionInto(sigBuf[:0], ex.LoadValues)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set.AddWords(sigBuf)
+		}
+	}
+	collect(0, resumeAt/2)
+	collect(resumeAt/2, resumeAt/2)
+	path := t.TempDir() + "/legacy.ckpt"
+	ck := sig.Checkpoint{Seed: 7, ProgHash: progHash(p), Completed: resumeAt, Uniques: set.Sorted()}
+	if _, err := writeCheckpointFile(path, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{Platform: plat, Iterations: total, Seed: 7, Workers: 3,
+		CheckpointPath: path, CheckpointEvery: 30, Resume: true}
+	resumed, err := RunProgram(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ResumedIterations != resumeAt {
+		t.Fatalf("resumed %d iterations, want %d", resumed.ResumedIterations, resumeAt)
+	}
+
+	full, err := RunProgram(p, Options{Platform: plat, Iterations: total, Seed: 7, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iterations != full.Iterations ||
+		resumed.UniqueSignatures != full.UniqueSignatures ||
+		len(resumed.Violations) != len(full.Violations) {
+		t.Errorf("resumed report diverges from uninterrupted run:\nresumed %+v\nfull    %+v",
+			resumed, full)
+	}
+	ru, err := CollectSignatures(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fu, err := CollectSignatures(p, Options{Platform: plat, Iterations: total, Seed: 7, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ru) != len(fu) {
+		t.Fatalf("resumed uniques %d, full %d", len(ru), len(fu))
+	}
+	for i := range fu {
+		if !ru[i].Sig.Equal(fu[i].Sig) || ru[i].Count != fu[i].Count {
+			t.Fatalf("unique %d diverges after legacy resume", i)
+		}
+	}
+}
+
+// TestSeedStreamMatchesRunnerDraws pins the seed-table contract at the API
+// level: executing iteration i via RunSeeded(stream value i) must be
+// bit-identical to the i-th Run() on a same-seeded runner.
+func TestSeedStreamMatchesRunnerDraws(t *testing.T) {
+	p := testgen.MustGenerate(TestConfig{Threads: 2, OpsPerThread: 15, Words: 4, Seed: 3})
+	plat := PlatformX86()
+	serial, err := sim.NewRunner(plat, p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := sim.SeedTable(42, 10)
+	seeded, err := sim.NewRunner(plat, p, 99) // different master seed: must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		a, err := serial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := a.Cycles
+		b, err := seeded.RunSeeded(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Cycles != cycles {
+			t.Fatalf("iteration %d: RunSeeded cycles %d, Run cycles %d", i, b.Cycles, cycles)
+		}
+	}
+}

@@ -14,6 +14,10 @@
 // `mtracecheck -metrics-out`) is embedded under the "_metrics" key, so each
 // BENCH_<n>.json carries the campaign counters — iterations, uniques,
 // sorted vertices, stage seconds — that contextualize its timings.
+//
+// With -diff OLD.json NEW.json, it instead compares two snapshots, printing
+// a per-benchmark table of ns/op, B/op, and allocs/op deltas with percent
+// change (negative = NEW is better). It backs `make bench-diff`.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -30,11 +35,95 @@ import (
 func main() {
 	metricsFile := flag.String("metrics", "",
 		"embed this Prometheus text-format snapshot (see mtracecheck -metrics-out) under the \"_metrics\" key")
+	diffMode := flag.Bool("diff", false,
+		"compare two BENCH_<n>.json snapshots given as arguments: benchjson -diff OLD.json NEW.json")
 	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := diff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout, *metricsFile); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// diff prints a per-benchmark comparison of two snapshot files. Benchmarks
+// present in only one file are listed so renames don't vanish silently; the
+// "_metrics" pseudo-entry is skipped (campaign counters are not timings).
+func diff(out io.Writer, oldPath, newPath string) error {
+	oldRes, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		if name != "_metrics" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-34s %-8s %14s %14s %9s\n", "benchmark", "metric", oldPath, newPath, "delta")
+	for _, name := range names {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			fmt.Fprintf(out, "%-34s only in %s\n", name, oldPath)
+			continue
+		}
+		for _, unit := range []string{"ns_op", "B_op", "allocs_op"} {
+			ov, oOK := o[unit]
+			nv, nOK := n[unit]
+			if !oOK || !nOK {
+				continue
+			}
+			delta := "n/a"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+			}
+			fmt.Fprintf(out, "%-34s %-8s %14.0f %14.0f %9s\n", name, unit, ov, nv, delta)
+		}
+	}
+	extra := make([]string, 0)
+	for name := range newRes {
+		if name == "_metrics" {
+			continue
+		}
+		if _, ok := oldRes[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(out, "%-34s only in %s\n", name, newPath)
+	}
+	return nil
+}
+
+func readSnapshot(path string) (map[string]metrics, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res map[string]metrics
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return res, nil
 }
 
 type metrics map[string]float64
