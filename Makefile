@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke verify
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,14 @@ race:
 	$(GO) test -race -short ./...
 
 # Short native-fuzzing pass over the decoder and the binary readers — the
-# attack surface the fault injector corrupts. Go runs one fuzz target per
-# invocation, hence the separate lines.
+# attack surface the fault injector corrupts — plus the checker-backend
+# differential (all backends must agree on fuzz-chosen execution sets).
+# Go runs one fuzz target per invocation, hence the separate lines.
 fuzz-short:
 	$(GO) test ./internal/instrument -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/instrument -run '^$$' -fuzz '^FuzzEncodeValues$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sig -run '^$$' -fuzz '^FuzzReadSet$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
 
 # Observability smoke: the same campaign run bare and with all three
 # observers attached must print a bit-identical report (the observers'
@@ -64,7 +66,7 @@ scaling-smoke:
 			|| { cat $$dir/$$w/report; exit 1; }; \
 		sed -e 's/^collective checking:.*/collective checking:  <effort line normalized>/' \
 			-e "s|$$dir/$$w|DIR|g" $$dir/$$w/report > $$dir/$$w/report.norm; \
-		grep -Ev 'mtracecheck_(shard_attempts|shard_retries|retried_iterations|sorted_vertices|backward_edges|graphs_by_kind|max_resort_window|stage_seconds)' \
+		grep -Ev 'mtracecheck_(shard_attempts|shard_retries|retried_iterations|sorted_vertices|backward_edges|graphs_by_kind|max_resort_window|stage_seconds|clock_updates|check_shards)' \
 			$$dir/$$w/metrics > $$dir/$$w/totals; \
 	done; \
 	cmp $$dir/1/report.norm $$dir/4/report.norm \
@@ -75,8 +77,31 @@ scaling-smoke:
 		|| { echo "scaling-smoke: metrics Totals differ between -workers 1 and 4"; diff $$dir/1/totals $$dir/4/totals; exit 1; }; \
 	echo "scaling-smoke: OK (report, signatures, metrics Totals bit-identical at workers 1 and 4)"
 
+# Differential checking smoke: collect one signature set, then check it with
+# every registered backend (-list-checkers is the source of truth, so a new
+# backend joins this gate automatically). All verdicts must be identical;
+# only the per-backend effort line ("... checking: ...") may differ and is
+# normalized away.
+diff-check-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf $$dir' EXIT; \
+	$(GO) run ./cmd/mtracecheck -threads 4 -ops 40 -words 16 -iters 400 -seed 11 \
+		-dump-prog $$dir/prog -sigs-out $$dir/sigs > /dev/null \
+		|| { echo "diff-check-smoke: collection failed"; exit 1; }; \
+	for c in $$($(GO) run ./cmd/mtracecheck -list-checkers); do \
+		$(GO) run ./cmd/mtracecheck -prog $$dir/prog -iters 400 -seed 11 \
+			-sigs-in $$dir/sigs -checker $$c > $$dir/report.$$c \
+			|| { cat $$dir/report.$$c; exit 1; }; \
+		grep -Ev 'checking:' $$dir/report.$$c > $$dir/verdict.$$c; \
+	done; \
+	for c in $$($(GO) run ./cmd/mtracecheck -list-checkers); do \
+		cmp $$dir/verdict.collective $$dir/verdict.$$c \
+			|| { echo "diff-check-smoke: $$c verdict differs from collective"; \
+			     diff $$dir/verdict.collective $$dir/verdict.$$c; exit 1; }; \
+	done; \
+	echo "diff-check-smoke: OK (all backends agree: $$($(GO) run ./cmd/mtracecheck -list-checkers | tr '\n' ' '))"
+
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke
+verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke
 
 # Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
 # (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed

@@ -561,3 +561,32 @@ func BenchmarkPKIncrementalCheckSimData(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(f.items)), "graphs/op")
 }
+
+// BenchmarkVectorClockCheck: the TSOtool-style vector-clock closure on the
+// adversarial high-diversity fixture — same graphs as the Fig. 9 sorting
+// benchmarks, so the race against collective/conventional falls out of one
+// bench run.
+func BenchmarkVectorClockCheck(b *testing.B) {
+	f := buildFixture(b, benchCfg, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := check.VectorClock(f.builder, f.items)
+		if err != nil || len(res.Violations) != 0 {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}
+
+// BenchmarkVectorClockCheckSimData: the same on realistic platform data.
+func BenchmarkVectorClockCheckSimData(b *testing.B) {
+	f := simFixture(b, TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1},
+		sim.PlatformX86(), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.VectorClock(f.builder, f.items); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(f.items)), "graphs/op")
+}

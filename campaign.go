@@ -36,6 +36,7 @@ type Campaign struct {
 	opts    Options
 	meta    *instrument.Meta
 	inj     *fault.Injector
+	backend check.Backend
 	em      emitter
 	workers int
 }
@@ -63,8 +64,12 @@ func NewCampaign(p *Program, opts Options) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	backend, err := check.ForName(opts.Checker.String())
+	if err != nil {
+		return nil, fmt.Errorf("mtracecheck: %w", err)
+	}
 	return &Campaign{
-		prog: p, opts: opts, meta: meta, inj: inj,
+		prog: p, opts: opts, meta: meta, inj: inj, backend: backend,
 		em: emitter{o: opts.Observer}, workers: opts.workerCount(),
 	}, nil
 }
@@ -210,23 +215,15 @@ func (c *Campaign) decodeAndCheck(ctx context.Context, uniques []Unique,
 				100*frac, 100*c.opts.QuarantineThreshold)
 		}
 	}
-	switch c.opts.Checker {
-	case CheckerConventional:
-		began := time.Now()
-		report.CheckStats = check.Conventional(builder, items)
-		c.em.checkShardEnd(0, 0, len(items), report.CheckStats, began, time.Since(began))
-	case CheckerIncremental:
-		began := time.Now()
-		report.CheckStats, err = check.Incremental(builder, items)
-		if err != nil {
-			return err
-		}
-		c.em.checkShardEnd(0, 0, len(items), report.CheckStats, began, time.Since(began))
-	default:
-		report.CheckStats, err = check.ShardedObserved(ctx, builder, items, c.workers, c.em.checkShardFunc())
-		if err != nil {
-			return err
-		}
+	// Every backend goes through the same sharded dispatch: parallelizable
+	// backends fan out across Workers (a serial backend runs as the single
+	// shard ShardedBackend reports honestly), and the context reaches every
+	// per-range check, so cancellation and Workers apply uniformly instead
+	// of only on the default path.
+	report.CheckStats, err = check.ShardedBackend(ctx, c.backend, builder, items,
+		c.workers, c.em.checkShardFunc(c.backend.Name()))
+	if err != nil {
+		return err
 	}
 	report.Violations = report.CheckStats.Violations
 	return nil
@@ -813,12 +810,13 @@ func (em emitter) decodeBatchEnd(shard, start, count, decoded, quarDecode, quarE
 	})
 }
 
-func (em emitter) checkShardEnd(shard, start, count int, part *check.Result, began time.Time, took time.Duration) {
+func (em emitter) checkShardEnd(backend string, shard, shards, start, count int, part *check.Result, began time.Time, took time.Duration) {
 	if em.o == nil {
 		return
 	}
 	e := obs.ShardEnd{
 		Stage: obs.StageCheck, Shard: shard, Start: start, Count: count,
+		Backend: backend, Shards: shards,
 		Time: began.Add(took), Duration: took,
 	}
 	if part != nil {
@@ -828,19 +826,20 @@ func (em emitter) checkShardEnd(shard, start, count int, part *check.Result, beg
 		e.SortedVertices = part.SortedVertices
 		e.BackwardEdges = part.BackwardEdges
 		e.MaxWindow = part.MaxWindow
+		e.ClockUpdates = part.ClockUpdates
 		e.Violations = len(part.Violations)
 	}
 	em.o.ShardEnd(e)
 }
 
-// checkShardFunc adapts the emitter to check.ShardedObserved's callback;
+// checkShardFunc adapts the emitter to check.ShardedBackend's callback;
 // nil when unobserved so the checker skips callback work entirely.
-func (em emitter) checkShardFunc() check.ShardFunc {
+func (em emitter) checkShardFunc(backend string) check.ShardFunc {
 	if em.o == nil {
 		return nil
 	}
-	return func(shard, start, count int, part *check.Result, began time.Time, took time.Duration) {
-		em.checkShardEnd(shard, start, count, part, began, took)
+	return func(shard, shards, start, count int, part *check.Result, began time.Time, took time.Duration) {
+		em.checkShardEnd(backend, shard, shards, start, count, part, began, took)
 	}
 }
 

@@ -32,6 +32,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "master seed")
 		quick    = flag.Bool("quick", false, "smoke-test scale")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
+		checker  = flag.String("checker", "", "checking backend for single-backend experiments (default collective): "+
+			strings.Join(mtracecheck.CheckerNames(), ", "))
 
 		metricsOut = flag.String("metrics-out", "", "write collection metrics (Prometheus text format) to this file at exit")
 		progress   = flag.Bool("progress", false, "log rate-limited per-collection progress to stderr")
@@ -50,6 +52,13 @@ func main() {
 		cfg.Tests = *tests
 	}
 	cfg.Seed = *seed
+	if *checker != "" {
+		// Fail fast on typos instead of erroring mid-experiment.
+		if _, err := mtracecheck.ParseChecker(*checker); err != nil {
+			fatal(err)
+		}
+		cfg.Checker = *checker
+	}
 	fin, err := attachObservers(&cfg, *metricsOut, *progress, *traceOut)
 	if err != nil {
 		fatal(err)

@@ -64,7 +64,9 @@ func run() int {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "streaming pipeline workers: work-stealing execution chunks with overlapped merge/decode (0 = GOMAXPROCS; results are identical for any value)")
 		osMode  = flag.Bool("os", false, "run under simulated OS scheduling")
-		checker = flag.String("checker", "collective", "checker: collective, conventional, or incremental (Pearce–Kelly)")
+		checker = flag.String("checker", "collective",
+			"checker backend: "+strings.Join(mtracecheck.CheckerNames(), ", "))
+		listCheckers = flag.Bool("list-checkers", false, "print the registered checker backends, one per line, and exit")
 		bug     = flag.String("bug", "", "inject a bug: sm-inv, lsq-skip, or wb-race")
 		verbose = flag.Bool("v", false, "print violation details")
 		sigsOut = flag.String("sigs-out", "", "write the collected unique signatures to this file")
@@ -100,6 +102,13 @@ func run() int {
 	)
 	flag.Usage = usage
 	flag.Parse()
+
+	if *listCheckers {
+		for _, name := range mtracecheck.CheckerNames() {
+			fmt.Println(name)
+		}
+		return exitPass
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -222,11 +231,7 @@ func run() int {
 		100*float64(report.UniqueSignatures)/float64(report.Iterations))
 	fmt.Printf("execution signature:  %d bytes\n", report.SignatureBytes)
 	fmt.Printf("simulated cycles:     %d total\n", report.TotalCycles)
-	c, nr, inc := report.CheckStats.Counts()
-	if c+nr+inc > 0 {
-		fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
-			c, nr, inc, report.CheckStats.SortedVertices)
-	}
+	printCheckStats(report, opts.Checker)
 	printDegradation(report)
 	if *traceTo != "" {
 		if err := dumpTrace(*traceTo, report.Program, opts); err != nil {
@@ -279,6 +284,33 @@ Profiling:
   go tool pprof cpu.out). The heap profile is taken after the run, so
   it shows what the pipeline retains, not its transient churn.
 `)
+}
+
+// printCheckStats prints the selected backend's effort line — each backend
+// populates different Result counters, so the line names the backend and
+// shows the counters it actually filled.
+func printCheckStats(report *mtracecheck.Report, checker mtracecheck.Checker) {
+	cs := report.CheckStats
+	if cs == nil {
+		return
+	}
+	switch checker {
+	case mtracecheck.CheckerVectorClock:
+		fmt.Printf("vector-clock checking: %d graphs (%d clock updates)\n",
+			cs.Total, cs.ClockUpdates)
+	case mtracecheck.CheckerConventional:
+		fmt.Printf("conventional checking: %d graphs (%d vertices sorted)\n",
+			cs.Total, cs.SortedVertices)
+	default:
+		// Collective and incremental both maintain an order and record
+		// per-graph validation kinds.
+		c, nr, inc := cs.Counts()
+		if c+nr+inc == 0 {
+			return
+		}
+		fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
+			c, nr, inc, cs.SortedVertices)
+	}
 }
 
 // printDegradation summarizes fault tolerance outcomes: resumed progress,
@@ -375,9 +407,7 @@ func runCheckOnly(path string, p *mtracecheck.Program, opts mtracecheck.Options,
 	if err != nil {
 		return reportRunError(report, err)
 	}
-	c, nr, inc := report.CheckStats.Counts()
-	fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
-		c, nr, inc, report.CheckStats.SortedVertices)
+	printCheckStats(report, opts.Checker)
 	printDegradation(report)
 	if len(report.Violations) > 0 {
 		fmt.Printf("RESULT: FAIL — %d graph violations\n", len(report.Violations))
@@ -446,18 +476,11 @@ func attachObservers(opts *mtracecheck.Options, metricsOut string, progress bool
 }
 
 // parseChecker maps the -checker flag to a checker selection; unknown
-// values are rejected with the valid list rather than silently defaulting
-// to the collective checker.
+// values are rejected rather than silently defaulting to the collective
+// checker, and the valid list in the error comes from the backend registry,
+// so it can never drift as backends are added.
 func parseChecker(name string) (mtracecheck.Checker, error) {
-	switch name {
-	case "collective":
-		return mtracecheck.CheckerCollective, nil
-	case "conventional":
-		return mtracecheck.CheckerConventional, nil
-	case "incremental":
-		return mtracecheck.CheckerIncremental, nil
-	}
-	return 0, fmt.Errorf("unknown checker %q (valid: collective, conventional, incremental)", name)
+	return mtracecheck.ParseChecker(name)
 }
 
 func platform(isa, bug string) (mtracecheck.Platform, error) {

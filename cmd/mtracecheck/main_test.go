@@ -82,10 +82,20 @@ func TestParseCheckerListsValidValues(t *testing.T) {
 		"collective":   mtracecheck.CheckerCollective,
 		"conventional": mtracecheck.CheckerConventional,
 		"incremental":  mtracecheck.CheckerIncremental,
+		"vectorclock":  mtracecheck.CheckerVectorClock,
 	} {
 		got, err := parseChecker(name)
 		if err != nil || got != want {
 			t.Errorf("parseChecker(%q) = %v, %v", name, got, err)
+		}
+	}
+	// Every registered backend must parse — the flag's valid set is the
+	// registry, not a hand-maintained list.
+	for _, name := range mtracecheck.CheckerNames() {
+		if c, err := parseChecker(name); err != nil {
+			t.Errorf("registered backend %q does not parse: %v", name, err)
+		} else if c.String() != name {
+			t.Errorf("parseChecker(%q).String() = %q", name, c)
 		}
 	}
 	for _, bad := range []string{"", "colective", "pk"} {
@@ -94,7 +104,8 @@ func TestParseCheckerListsValidValues(t *testing.T) {
 			t.Errorf("parseChecker(%q): no error", bad)
 			continue
 		}
-		for _, valid := range []string{"collective", "conventional", "incremental"} {
+		// The error's valid-value list is derived from the backend registry.
+		for _, valid := range mtracecheck.CheckerNames() {
 			if !strings.Contains(err.Error(), valid) {
 				t.Errorf("parseChecker(%q) error %q does not list %q", bad, err, valid)
 			}

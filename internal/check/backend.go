@@ -1,0 +1,152 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/sig"
+)
+
+// Backend is one violation-checking algorithm behind a common dispatch
+// surface. All backends agree on verdicts — the violation set over the same
+// items is identical — and differ only in effort accounting (which Result
+// counters they populate) and in whether sharding applies.
+type Backend interface {
+	// Name is the backend's stable registry key — the value users pass to
+	// the CLIs' -checker flag.
+	Name() string
+	// Parallelizable reports whether checking a contiguous subrange of a
+	// sorted item sequence in isolation reaches the same verdicts as the
+	// serial pass, so ShardedBackend may fan the items out across workers.
+	// Serial backends (those maintaining state across the entire sequence
+	// that sharding would invalidate) run as a single shard regardless of
+	// the requested worker count.
+	Parallelizable() bool
+	// Check validates the items against b's constraint graphs. Items must be
+	// in ascending signature order for the order-maintaining backends
+	// (collective, incremental); per-graph backends accept any order.
+	// Implementations poll ctx between graphs and return ctx.Err() promptly
+	// on cancellation instead of a partial verdict.
+	Check(ctx context.Context, b *graph.Builder, items []Item) (*Result, error)
+}
+
+// backendFunc adapts a checking function to the Backend interface.
+type backendFunc struct {
+	name     string
+	parallel bool
+	check    func(ctx context.Context, b *graph.Builder, items []Item) (*Result, error)
+}
+
+func (f *backendFunc) Name() string         { return f.name }
+func (f *backendFunc) Parallelizable() bool { return f.parallel }
+func (f *backendFunc) Check(ctx context.Context, b *graph.Builder, items []Item) (*Result, error) {
+	return f.check(ctx, b, items)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Backend)
+)
+
+// Register adds a backend under its Name; it panics on a duplicate name,
+// since backend names are CLI-visible identifiers that must stay unique.
+func Register(be Backend) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[be.Name()]; dup {
+		panic(fmt.Sprintf("check: duplicate backend %q", be.Name()))
+	}
+	registry[be.Name()] = be
+}
+
+// ForName returns the registered backend for name. The error lists every
+// valid name, so CLI flag errors derived from it can never drift from the
+// implemented set.
+func ForName(name string) (Backend, error) {
+	registryMu.RLock()
+	be, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("check: unknown backend %q (valid: %s)", name, strings.Join(Backends(), ", "))
+	}
+	return be, nil
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(&backendFunc{name: "collective", parallel: true, check: CollectiveContext})
+	Register(&backendFunc{name: "conventional", parallel: true, check: ConventionalContext})
+	// Pearce–Kelly is the one inherently serial backend: its whole point is
+	// a single topological order repaired edge by edge across the entire
+	// sorted sequence, and splitting the sequence forfeits exactly the
+	// cross-graph state the algorithm amortizes.
+	Register(&backendFunc{name: "incremental", parallel: false, check: IncrementalContext})
+	Register(&backendFunc{name: "vectorclock", parallel: true, check: VectorClockContext})
+}
+
+// Disagreement reports the first item on which two backends reached
+// different verdicts — by construction a bug in at least one of them.
+type Disagreement struct {
+	A, B                 string // backend names
+	Index                int    // position of the disputed item
+	Sig                  sig.Signature
+	AViolates, BViolates bool
+}
+
+func (d *Disagreement) String() string {
+	return fmt.Sprintf("item %d (%s): %s violation=%t, %s violation=%t",
+		d.Index, d.Sig, d.A, d.AViolates, d.B, d.BViolates)
+}
+
+// Differential races two backends over the same items concurrently and
+// compares their verdicts: a nil Disagreement means the violation index sets
+// matched exactly. Any disagreement is a checker bug finder for free — the
+// backends implement independent algorithms, so they can only diverge when
+// one of them is wrong. An error from either backend (including ctx
+// cancellation) aborts the comparison.
+func Differential(ctx context.Context, a, b Backend, builder *graph.Builder, items []Item) (*Disagreement, error) {
+	var ra, rb *Result
+	var ea, eb error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ra, ea = a.Check(ctx, builder, items) }()
+	go func() { defer wg.Done(); rb, eb = b.Check(ctx, builder, items) }()
+	wg.Wait()
+	if ea != nil {
+		return nil, fmt.Errorf("check: differential: %s: %w", a.Name(), ea)
+	}
+	if eb != nil {
+		return nil, fmt.Errorf("check: differential: %s: %w", b.Name(), eb)
+	}
+	// Violations are appended in ascending item order by every backend, so
+	// the first membership difference falls out of one sorted-merge walk.
+	va, vb := ra.Violations, rb.Violations
+	for len(va) > 0 || len(vb) > 0 {
+		switch {
+		case len(vb) == 0 || (len(va) > 0 && va[0].Index < vb[0].Index):
+			return &Disagreement{A: a.Name(), B: b.Name(), Index: va[0].Index,
+				Sig: va[0].Sig, AViolates: true}, nil
+		case len(va) == 0 || vb[0].Index < va[0].Index:
+			return &Disagreement{A: a.Name(), B: b.Name(), Index: vb[0].Index,
+				Sig: vb[0].Sig, BViolates: true}, nil
+		default:
+			va, vb = va[1:], vb[1:]
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,420 @@
+package check
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mtracecheck/internal/graph"
+	"mtracecheck/internal/instrument"
+	"mtracecheck/internal/mcm"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/testgen"
+)
+
+func TestBackendRegistry(t *testing.T) {
+	want := []string{"collective", "conventional", "incremental", "vectorclock"}
+	if got := Backends(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Backends() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		be, err := ForName(name)
+		if err != nil {
+			t.Fatalf("ForName(%q): %v", name, err)
+		}
+		if be.Name() != name {
+			t.Errorf("ForName(%q).Name() = %q", name, be.Name())
+		}
+		// Pearce–Kelly maintains one order across the whole sequence; every
+		// other backend shards.
+		if wantPar := name != "incremental"; be.Parallelizable() != wantPar {
+			t.Errorf("%s: Parallelizable() = %t, want %t", name, be.Parallelizable(), wantPar)
+		}
+	}
+	_, err := ForName("bogus")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, name := range want {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ForName error %q does not list %q", err, name)
+		}
+	}
+}
+
+// TestVectorClockEquivalence: the vector-clock closure must deliver exactly
+// the conventional checker's verdicts across models, programs, and fabricated
+// execution sets — the property that makes it a trustworthy differential
+// partner for the sorting backends.
+func TestVectorClockEquivalence(t *testing.T) {
+	for _, model := range mcm.Models {
+		for seed := int64(1); seed <= 4; seed++ {
+			p := testgen.MustGenerate(testgen.Config{
+				Threads: 3, OpsPerThread: 20, Words: 4, Seed: seed,
+			})
+			meta, err := instrument.Analyze(p, 64, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := graph.NewBuilder(p, model, graph.Options{Forwarding: true})
+			rng := rand.New(rand.NewSource(seed * 307))
+			items := fabricate(t, p, b, meta, 120, rng)
+			conv := Conventional(b, items)
+			vc, err := VectorClock(b, items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci, vi := violIndices(vc), violIndices(conv)
+			if !reflect.DeepEqual(ci, vi) {
+				t.Fatalf("%v seed %d: vector-clock verdicts %v, conventional %v",
+					model, seed, ci, vi)
+			}
+			if vc.Total != len(items) {
+				t.Fatalf("%v seed %d: total %d, want %d", model, seed, vc.Total, len(items))
+			}
+			if len(vi) < len(items) && vc.ClockUpdates == 0 {
+				t.Errorf("%v seed %d: no clock updates recorded", model, seed)
+			}
+		}
+	}
+}
+
+// fig7Items rebuilds the paper's Fig. 7 four-run sequence (TestFig7Scenario),
+// whose last run closes a load-buffering cycle under TSO.
+func fig7Items(t *testing.T) (*graph.Builder, []Item) {
+	t.Helper()
+	p := prog.NewBuilder("fig7", 2, prog.DefaultLayout()).
+		Thread().Store(0).Load(1).Store(0).
+		Thread().Store(1).Load(0).Store(1).
+		MustBuild()
+	b := graph.NewBuilder(p, mcm.TSO, graph.Options{Forwarding: true})
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(vals map[int]uint32, rf graph.RF) Item {
+		s, err := meta.EncodeExecution(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges, err := b.DynamicEdges(rf, graph.WS{0: {0, 2}, 1: {3, 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Item{Sig: s, Edges: edges}
+	}
+	items := []Item{
+		mk(map[int]uint32{1: 0, 4: 0}, graph.RF{1: -1, 4: -1}),
+		mk(map[int]uint32{1: 4, 4: 0}, graph.RF{1: 3, 4: -1}),
+		mk(map[int]uint32{1: 4, 4: 1}, graph.RF{1: 3, 4: 0}),
+		mk(map[int]uint32{1: 6, 4: 3}, graph.RF{1: 5, 4: 2}), // the buggy run
+	}
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if items[j].Sig.Compare(items[i].Sig) < 0 {
+				items[i], items[j] = items[j], items[i]
+			}
+		}
+	}
+	return b, items
+}
+
+// TestVectorClockCycleWitness: a flagged graph must carry a real cycle — every
+// consecutive pair of witness operations (wrapping around) is an edge of that
+// item's constraint graph.
+func TestVectorClockCycleWitness(t *testing.T) {
+	b, items := fig7Items(t)
+	vc, err := VectorClock(b, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vc.Violations) != 1 {
+		t.Fatalf("violations = %+v, want exactly one", vc.Violations)
+	}
+	v := vc.Violations[0]
+	if len(v.Cycle) < 2 {
+		t.Fatalf("cycle witness %v too short", v.Cycle)
+	}
+	g := b.FromDynamic(items[v.Index].Edges)
+	for i, u := range v.Cycle {
+		next := v.Cycle[(i+1)%len(v.Cycle)]
+		found := false
+		g.Out(u, func(w int32) {
+			if w == next {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("witness %v: no edge %d->%d in the flagged graph", v.Cycle, u, next)
+		}
+	}
+	conv := Conventional(b, items)
+	if !reflect.DeepEqual(violIndices(vc), violIndices(conv)) {
+		t.Fatalf("vector-clock %v, conventional %v", violIndices(vc), violIndices(conv))
+	}
+}
+
+// TestBackendsCancelled: every registered backend must return ctx.Err()
+// promptly — and no partial result — when its context is already cancelled.
+func TestBackendsCancelled(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 3, OpsPerThread: 20, Words: 4, Seed: 1})
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(p, mcm.TSO, graph.Options{Forwarding: true})
+	items := fabricate(t, p, b, meta, 50, rand.New(rand.NewSource(3)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Backends() {
+		be, err := ForName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := be.Check(ctx, b, items)
+		if err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: partial result returned alongside cancellation", name)
+		}
+	}
+}
+
+// TestDifferentialAgreesOnRealBackends: every backend pair must agree on
+// fabricated items containing both verdicts — any Disagreement here is a
+// checker bug.
+func TestDifferentialAgreesOnRealBackends(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 3, OpsPerThread: 20, Words: 4, Seed: 2})
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(p, mcm.RMO, graph.Options{Forwarding: true})
+	items := fabricate(t, p, b, meta, 120, rand.New(rand.NewSource(17)))
+	names := Backends()
+	for i, an := range names {
+		for _, bn := range names[i+1:] {
+			ba, _ := ForName(an)
+			bb, _ := ForName(bn)
+			d, err := Differential(context.Background(), ba, bb, b, items)
+			if err != nil {
+				t.Fatalf("%s vs %s: %v", an, bn, err)
+			}
+			if d != nil {
+				t.Errorf("%s vs %s disagree: %s", an, bn, d)
+			}
+		}
+	}
+}
+
+// TestDifferentialFindsInjectedDisagreement: a deliberately blind backend
+// racing a real one must surface the first disputed item with the right
+// attribution.
+func TestDifferentialFindsInjectedDisagreement(t *testing.T) {
+	b, items := fig7Items(t)
+	conv, _ := ForName("conventional")
+	blind := &backendFunc{name: "blind", parallel: true,
+		check: func(ctx context.Context, b *graph.Builder, items []Item) (*Result, error) {
+			return &Result{Total: len(items)}, nil
+		}}
+	ref := Conventional(b, items)
+	if len(ref.Violations) != 1 {
+		t.Fatalf("fixture: %d violations, want 1", len(ref.Violations))
+	}
+	d, err := Differential(context.Background(), conv, blind, b, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("blind backend escaped differential checking")
+	}
+	if d.A != "conventional" || d.B != "blind" || !d.AViolates || d.BViolates {
+		t.Errorf("disagreement misattributed: %+v", d)
+	}
+	if d.Index != ref.Violations[0].Index || !d.Sig.Equal(ref.Violations[0].Sig) {
+		t.Errorf("disagreement at item %d (%s), want %d", d.Index, d.Sig, ref.Violations[0].Index)
+	}
+	// Swapped operands must flip the attribution, not the detection.
+	d, err = Differential(context.Background(), blind, conv, b, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.AViolates || !d.BViolates {
+		t.Errorf("swapped operands: %+v", d)
+	}
+	// A cancelled context aborts the comparison with an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Differential(ctx, conv, blind, b, items); err == nil {
+		t.Error("cancelled differential returned no error")
+	}
+}
+
+// TestShardedBackendSerialSingleShard: a non-parallelizable backend must run
+// as one honest shard no matter the requested count — one onShard call
+// reporting shards=1 over the full range, with the serial pass's exact result.
+func TestShardedBackendSerialSingleShard(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 3, OpsPerThread: 20, Words: 4, Seed: 1})
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(p, mcm.TSO, graph.Options{Forwarding: true})
+	items := fabricate(t, p, b, meta, 100, rand.New(rand.NewSource(9)))
+	serial, err := Incremental(b, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, _ := ForName("incremental")
+	type call struct{ shard, shards, start, count int }
+	var calls []call
+	res, err := ShardedBackend(context.Background(), be, b, items, 8,
+		func(shard, shards, start, count int, part *Result, _ time.Time, _ time.Duration) {
+			calls = append(calls, call{shard, shards, start, count})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != (call{0, 1, 0, len(items)}) {
+		t.Fatalf("shard callbacks = %+v, want one full-range call with shards=1", calls)
+	}
+	if !reflect.DeepEqual(violIndices(res), violIndices(serial)) ||
+		res.SortedVertices != serial.SortedVertices {
+		t.Fatalf("sharded serial backend diverges from direct call")
+	}
+}
+
+// TestShardedBackendShardInvariance: for every parallelizable backend the
+// verdicts — and for the per-graph vector-clock backend even the effort —
+// must not depend on the shard count.
+func TestShardedBackendShardInvariance(t *testing.T) {
+	p := testgen.MustGenerate(testgen.Config{Threads: 3, OpsPerThread: 20, Words: 4, Seed: 4})
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(p, mcm.RMO, graph.Options{Forwarding: true})
+	items := fabricate(t, p, b, meta, 150, rand.New(rand.NewSource(41)))
+	for _, name := range Backends() {
+		be, _ := ForName(name)
+		base, err := ShardedBackend(context.Background(), be, b, items, 1, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, shards := range []int{2, 5, len(items) + 3} {
+			res, err := ShardedBackend(context.Background(), be, b, items, shards, nil)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if !reflect.DeepEqual(violIndices(res), violIndices(base)) {
+				t.Errorf("%s shards=%d: verdicts %v, serial %v",
+					name, shards, violIndices(res), violIndices(base))
+			}
+			if name == "vectorclock" && res.ClockUpdates != base.ClockUpdates {
+				t.Errorf("vectorclock shards=%d: %d clock updates, serial %d",
+					shards, res.ClockUpdates, base.ClockUpdates)
+			}
+		}
+	}
+}
+
+// TestShardedBackendRejectsUnsortedItems: the order contract is enforced
+// uniformly, so a backend's verdict can never depend on the shard count or
+// on which backend happened to be configured.
+func TestShardedBackendRejectsUnsortedItems(t *testing.T) {
+	p := prog.NewBuilder("t", 1, prog.DefaultLayout()).
+		Thread().Store(0).Load(0).
+		MustBuild()
+	b := graph.NewBuilder(p, mcm.TSO, graph.Options{})
+	items := []Item{
+		{Sig: sig.New([]uint64{2})},
+		{Sig: sig.New([]uint64{1})},
+	}
+	for _, name := range Backends() {
+		be, _ := ForName(name)
+		if _, err := ShardedBackend(context.Background(), be, b, items, 1, nil); err == nil {
+			t.Errorf("%s: unsorted items accepted", name)
+		}
+	}
+}
+
+// FuzzDifferential cross-checks all backends against the conventional
+// reference on fuzz-chosen execution sets over the Fig. 7 program: each input
+// byte pair picks one rf assignment for the two loads, so the corpus spans
+// every combination including the known-cyclic load-buffering run.
+func FuzzDifferential(f *testing.F) {
+	p := prog.NewBuilder("fig7", 2, prog.DefaultLayout()).
+		Thread().Store(0).Load(1).Store(0).
+		Thread().Store(1).Load(0).Store(1).
+		MustBuild()
+	b := graph.NewBuilder(p, mcm.TSO, graph.Options{Forwarding: true})
+	meta, err := instrument.Analyze(p, 64, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var loads []instrument.LoadInfo
+	for _, tm := range meta.Threads {
+		loads = append(loads, tm.Loads...)
+	}
+	// Seed every single-item candidate combination — one of them is the
+	// cyclic Fig. 7 run 4 — plus a multi-item sequence.
+	for i := byte(0); i < 4; i++ {
+		for j := byte(0); j < 4; j++ {
+			f.Add([]byte{i, j})
+		}
+	}
+	f.Add([]byte{0, 0, 1, 0, 1, 1, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type raw struct {
+			s     sig.Signature
+			edges []graph.Edge
+		}
+		byKey := map[string]raw{}
+		for k := 0; k+len(loads) <= len(data) && len(byKey) < 16; k += len(loads) {
+			rf := graph.RF{}
+			vals := map[int]uint32{}
+			for li, info := range loads {
+				c := info.Candidates[int(data[k+li])%len(info.Candidates)]
+				rf[info.Op.ID] = c.Store
+				vals[info.Op.ID] = c.Value
+			}
+			s, err := meta.EncodeExecution(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edges, err := b.DynamicEdges(rf, graph.WS{0: {0, 2}, 1: {3, 5}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			byKey[s.Key()] = raw{s: s, edges: edges}
+		}
+		sigs := make([]sig.Signature, 0, len(byKey))
+		for _, r := range byKey {
+			sigs = append(sigs, r.s)
+		}
+		sig.Sort(sigs)
+		items := make([]Item, len(sigs))
+		for i, s := range sigs {
+			items[i] = Item{Sig: s, Edges: byKey[s.Key()].edges}
+		}
+		ref, _ := ForName("conventional")
+		for _, name := range Backends() {
+			if name == "conventional" {
+				continue
+			}
+			be, _ := ForName(name)
+			d, err := Differential(context.Background(), ref, be, b, items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != nil {
+				t.Fatalf("conventional vs %s disagree: %s", name, d)
+			}
+		}
+	})
+}

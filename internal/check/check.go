@@ -59,11 +59,13 @@ type GraphStat struct {
 	Affected int // vertices re-sorted (window size; N for complete)
 }
 
-// Result aggregates a checking run.
+// Result aggregates a checking run. Total and Violations are the verdict,
+// identical across backends; the remaining fields are effort accounting and
+// each backend populates only the counters its algorithm has a notion of.
 type Result struct {
 	Total      int
 	Violations []Violation
-	PerGraph   []GraphStat // collective checker only
+	PerGraph   []GraphStat // order-maintaining checkers (collective, incremental) only
 	// SortedVertices counts every vertex visited by a topological (re)sort —
 	// the computation metric behind Fig. 9's speedup.
 	SortedVertices int64
@@ -73,9 +75,16 @@ type Result struct {
 	// MaxWindow is the largest window re-sorted incrementally (0 when every
 	// graph was validated by a complete sort or for free).
 	MaxWindow int
+	// ClockUpdates counts clock joins that changed a clock — the vector-clock
+	// backend's effort metric (zero for the sorting backends).
+	ClockUpdates int64
 }
 
 // Complete, NoResort, and Incremental count graphs per validation kind.
+// The counts are meaningful only for the collective backend (and the
+// incremental backend, which records the analogous per-graph repair kinds);
+// the conventional and vector-clock backends keep no PerGraph stats, so all
+// three counts are zero there.
 func (r *Result) Counts() (complete, noResort, incremental int) {
 	for _, s := range r.PerGraph {
 		switch s.Kind {
@@ -99,10 +108,22 @@ var debugValidate func(g *graph.Graph, order []int32)
 // — the baseline MTraceCheck compares against (tsort in the paper). Vertex
 // data structures are recycled across graphs, edges rebuilt per graph.
 func Conventional(b *graph.Builder, items []Item) *Result {
+	res, _ := ConventionalContext(context.Background(), b, items)
+	return res
+}
+
+// ConventionalContext is Conventional with cooperative cancellation: the
+// context is polled between graphs, so a cancelled campaign stops checking
+// promptly and returns ctx.Err() instead of a partial verdict. Items need
+// not be sorted — each graph is checked independently.
+func ConventionalContext(ctx context.Context, b *graph.Builder, items []Item) (*Result, error) {
 	res := &Result{Total: len(items)}
 	w := getWorkspace(b)
 	defer putWorkspace(w)
 	for i, it := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w.setDyn(it.Edges)
 		res.SortedVertices += int64(w.n)
 		if _, ok := w.fullSort(false); !ok {
@@ -111,7 +132,7 @@ func Conventional(b *graph.Builder, items []Item) *Result {
 			})
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Collective checks items in ascending-signature order using topological

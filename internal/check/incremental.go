@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 
 	"mtracecheck/internal/graph"
@@ -22,6 +23,13 @@ import (
 // are then inserted one by one with PK repairs against the *current* edge
 // set only.
 func Incremental(b *graph.Builder, items []Item) (*Result, error) {
+	return IncrementalContext(context.Background(), b, items)
+}
+
+// IncrementalContext is Incremental with cooperative cancellation: the
+// context is polled between graphs, so a cancelled campaign stops checking
+// promptly and returns ctx.Err() instead of a partial verdict.
+func IncrementalContext(ctx context.Context, b *graph.Builder, items []Item) (*Result, error) {
 	res := &Result{Total: len(items)}
 	if len(items) == 0 {
 		return res, nil
@@ -49,6 +57,9 @@ func Incremental(b *graph.Builder, items []Item) (*Result, error) {
 	defer func() { w.diffBuf = diffBuf }()
 
 	for i, it := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w.setDyn(it.Edges)
 		if !havePos {
 			res.SortedVertices += int64(n)

@@ -10,30 +10,18 @@ import (
 )
 
 // ShardFunc is notified as each checking shard completes, with the shard's
-// item range, its (shard-local) result, and its wall-clock span. Shards
-// complete concurrently, so implementations must be safe for concurrent
-// use. A nil ShardFunc is never called. part is nil when the shard failed
-// (cancellation or an ordering error).
-type ShardFunc func(shard, start, count int, part *Result, began time.Time, took time.Duration)
+// index and the total shard count actually run, its item range, its
+// (shard-local) result, and its wall-clock span. Shards complete
+// concurrently, so implementations must be safe for concurrent use. A nil
+// ShardFunc is never called. part is nil when the shard failed
+// (cancellation or an internal error).
+type ShardFunc func(shard, shards, start, count int, part *Result, began time.Time, took time.Duration)
 
 // Sharded partitions the sorted items into shards contiguous ranges and
 // runs Collective on each range concurrently, then merges the per-range
-// results with violation indices rebased to global positions. The context
-// is plumbed into every per-range checker, so a cancelled campaign stops
-// all checking shards promptly (the call still joins its goroutines before
-// returning ctx.Err()).
-//
-// Disjoint signature ranges yield independent collective-check chains: the
-// §4.2 windowing argument only ever relates a graph to its immediate
-// predecessor in sorted order, so checking a contiguous subrange in
-// isolation reaches the same verdicts. The cost is that each shard's first
-// graph has no predecessor and pays a full KindComplete sort (recorded
-// honestly in PerGraph), where the serial checker could have reused the
-// boundary predecessor's order.
-//
-// Sharded with shards <= 1 is exactly Collective. Verdicts (the violation
-// set) are identical for every shard count; only the effort accounting
-// (PerGraph, SortedVertices) carries the per-shard boundary overhead.
+// results with violation indices rebased to global positions. It is
+// ShardedBackend over the collective backend; see there for the sharding
+// contract.
 func Sharded(ctx context.Context, b *graph.Builder, items []Item, shards int) (*Result, error) {
 	return ShardedObserved(ctx, b, items, shards, nil)
 }
@@ -41,26 +29,60 @@ func Sharded(ctx context.Context, b *graph.Builder, items []Item, shards int) (*
 // ShardedObserved is Sharded with a per-shard completion callback for
 // observability; onShard receives each shard's range and result as it
 // finishes (including the degenerate single-shard case, reported as shard
-// 0 over the whole range). Verdicts are unaffected by the callback.
+// 0 of 1 over the whole range). Verdicts are unaffected by the callback.
 func ShardedObserved(ctx context.Context, b *graph.Builder, items []Item, shards int, onShard ShardFunc) (*Result, error) {
+	be, err := ForName("collective")
+	if err != nil {
+		return nil, err
+	}
+	return ShardedBackend(ctx, be, b, items, shards, onShard)
+}
+
+// ShardedBackend runs a checking backend across shards contiguous ranges of
+// the sorted items concurrently, then merges the per-range results with
+// violation indices rebased to global positions. The context is plumbed
+// into every per-range check, so a cancelled campaign stops all checking
+// shards promptly (the call still joins its goroutines before returning
+// ctx.Err()).
+//
+// Disjoint signature ranges yield independent checking runs for every
+// parallelizable backend: the per-graph backends (conventional,
+// vectorclock) share no state between items at all, and the collective
+// checker's §4.2 windowing argument only ever relates a graph to its
+// immediate predecessor in sorted order, so checking a contiguous subrange
+// in isolation reaches the same verdicts. The cost for the collective
+// checker is that each shard's first graph has no predecessor and pays a
+// full KindComplete sort (recorded honestly in PerGraph), where the serial
+// checker could have reused the boundary predecessor's order.
+//
+// A backend reporting Parallelizable()==false runs as one shard regardless
+// of the requested count, and onShard sees the honest shard count (one
+// event, shard 0 of 1) rather than the count the caller asked for.
+// ShardedBackend with shards <= 1 is exactly the backend's Check. Verdicts
+// (the violation set) are identical for every shard count; only the effort
+// accounting (PerGraph, SortedVertices) carries per-shard boundary
+// overhead. Items must be in ascending signature order for every backend —
+// uniform validation keeps the outcome independent of the shard count even
+// for the per-graph backends, whose direct entry points accept any order.
+func ShardedBackend(ctx context.Context, be Backend, b *graph.Builder, items []Item, shards int, onShard ShardFunc) (*Result, error) {
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Sig.Compare(items[i].Sig) > 0 {
+			return nil, fmt.Errorf("check: items not in ascending signature order at %d", i)
+		}
+	}
+	if !be.Parallelizable() {
+		shards = 1
+	}
 	if shards > len(items) {
 		shards = len(items)
 	}
 	if shards <= 1 {
 		began := time.Now()
-		res, err := CollectiveContext(ctx, b, items)
+		res, err := be.Check(ctx, b, items)
 		if onShard != nil {
-			onShard(0, 0, len(items), res, began, time.Since(began))
+			onShard(0, 1, 0, len(items), res, began, time.Since(began))
 		}
 		return res, err
-	}
-	// Validate global sorted order up front: per-shard Collective calls can
-	// only see their own range, and their error would carry a shard-local
-	// index.
-	for i := 1; i < len(items); i++ {
-		if items[i-1].Sig.Compare(items[i].Sig) > 0 {
-			return nil, fmt.Errorf("check: items not in ascending signature order at %d", i)
-		}
 	}
 	offsets := shardOffsets(len(items), shards)
 	parts := make([]*Result, shards)
@@ -72,9 +94,9 @@ func ShardedObserved(ctx context.Context, b *graph.Builder, items []Item, shards
 		go func(s, lo, hi int) {
 			defer wg.Done()
 			began := time.Now()
-			parts[s], errs[s] = CollectiveContext(ctx, b, items[lo:hi])
+			parts[s], errs[s] = be.Check(ctx, b, items[lo:hi])
 			if onShard != nil {
-				onShard(s, lo, hi-lo, parts[s], began, time.Since(began))
+				onShard(s, shards, lo, hi-lo, parts[s], began, time.Since(began))
 			}
 		}(s, lo, hi)
 	}
@@ -117,6 +139,7 @@ func MergeResults(offsets []int, parts []*Result) *Result {
 		out.Total += part.Total
 		out.SortedVertices += part.SortedVertices
 		out.BackwardEdges += part.BackwardEdges
+		out.ClockUpdates += part.ClockUpdates
 		if part.MaxWindow > out.MaxWindow {
 			out.MaxWindow = part.MaxWindow
 		}

@@ -135,7 +135,7 @@ func WSAblation(cfg Config) (*report.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			res, err := check.Collective(col.builder, col.items)
+			res, err := checkItems(cfg, col.builder, col.items)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -174,7 +174,7 @@ func WSAblation(cfg Config) (*report.Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := check.Collective(col.builder, col.items)
+		res, err := checkItems(cfg, col.builder, col.items)
 		if err != nil {
 			return nil, err
 		}

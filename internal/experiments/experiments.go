@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -46,6 +47,31 @@ type Config struct {
 	// collection the experiments perform (one campaign per collected test).
 	// Results are bit-identical with and without it.
 	Observer obs.Observer
+
+	// Checker names the backend used wherever an experiment checks graphs
+	// without comparing backends (the bug campaigns, the ws ablation).
+	// Empty means collective. Experiments that explicitly race backends
+	// (Fig9And14) always run their fixed roster regardless.
+	Checker string
+}
+
+// backend resolves cfg.Checker against the checker registry, defaulting to
+// the paper's collective checker.
+func (cfg Config) backend() (check.Backend, error) {
+	name := cfg.Checker
+	if name == "" {
+		name = "collective"
+	}
+	return check.ForName(name)
+}
+
+// checkItems runs one checkable-item batch through the configured backend.
+func checkItems(cfg Config, b *graph.Builder, items []check.Item) (*check.Result, error) {
+	be, err := cfg.backend()
+	if err != nil {
+		return nil, err
+	}
+	return be.Check(context.Background(), b, items)
 }
 
 // Default returns a laptop-scale configuration preserving every trend.
@@ -228,13 +254,16 @@ func Fig8(cfg Config) (*report.Table, error) {
 
 // Fig9And14 measures the collective checker against the conventional one:
 // wall-clock topological-sorting time (Fig. 9) and the validation-kind
-// breakdown with affected-vertex percentages (Fig. 14).
+// breakdown with affected-vertex percentages (Fig. 14). The VC columns race
+// the polynomial-time vector-clock backend (TSOtool-style closure) on the
+// same items; every backend's verdict must agree or the row errors out.
 func Fig9And14(cfg Config) (fig9, fig14 *report.Table, err error) {
 	fig9 = &report.Table{
 		Title:   "Fig. 9: MCM violation checking — topological sorting speedup",
-		Caption: "Collective (MTraceCheck) vs conventional per-graph sorting; the PK column is this repo's Pearce–Kelly extension.",
+		Caption: "Collective (MTraceCheck) vs conventional per-graph sorting; PK is this repo's Pearce–Kelly extension, VC the vector-clock closure backend.",
 		Header: []string{"config", "unique graphs", "conventional (ms)", "collective (ms)",
-			"normalized", "vertices conv", "vertices coll", "PK (ms)", "vertices PK"},
+			"normalized", "vertices conv", "vertices coll", "PK (ms)", "vertices PK",
+			"VC (ms)", "clock updates"},
 	}
 	fig14 = &report.Table{
 		Title:  "Fig. 14: breakdown of collective graph checking",
@@ -262,8 +291,16 @@ func Fig9And14(cfg Config) (fig9, fig14 *report.Table, err error) {
 		if cerr != nil {
 			return nil, nil, cerr
 		}
-		if len(inc.Violations) != len(conv.Violations) {
-			return nil, nil, fmt.Errorf("%s: checker verdicts disagree", pc.Label)
+		start = time.Now()
+		vc, cerr := check.VectorClock(col.builder, col.items)
+		vcT := time.Since(start)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		if len(inc.Violations) != len(conv.Violations) ||
+			len(vc.Violations) != len(conv.Violations) {
+			return nil, nil, fmt.Errorf("%s: checker verdicts disagree (conv %d, inc %d, vc %d)",
+				pc.Label, len(conv.Violations), len(inc.Violations), len(vc.Violations))
 		}
 		norm := "n/a"
 		if convT > 0 {
@@ -273,7 +310,8 @@ func Fig9And14(cfg Config) (fig9, fig14 *report.Table, err error) {
 			fmt.Sprintf("%.3f", float64(convT.Microseconds())/1000),
 			fmt.Sprintf("%.3f", float64(collT.Microseconds())/1000),
 			norm, conv.SortedVertices, coll.SortedVertices,
-			fmt.Sprintf("%.3f", float64(incT.Microseconds())/1000), inc.SortedVertices)
+			fmt.Sprintf("%.3f", float64(incT.Microseconds())/1000), inc.SortedVertices,
+			fmt.Sprintf("%.3f", float64(vcT.Microseconds())/1000), vc.ClockUpdates)
 
 		complete, noResort, incremental := coll.Counts()
 		var affected, affCount int64
@@ -504,7 +542,7 @@ func Table3(cfg Config) (*report.Table, error) {
 				testsDetecting++
 				continue
 			}
-			coll, err := check.Collective(col.builder, col.items)
+			coll, err := checkItems(cfg, col.builder, col.items)
 			if err != nil {
 				return nil, err
 			}

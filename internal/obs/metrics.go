@@ -53,6 +53,8 @@ type Metrics struct {
 	retriedIters   atomic.Int64 // iterations executed by attempts that were discarded
 	sortedVertices atomic.Int64
 	backwardEdges  atomic.Int64
+	clockUpdates   atomic.Int64
+	checkShards    atomic.Int64
 	complete       atomic.Int64
 	noResort       atomic.Int64
 	incremental    atomic.Int64
@@ -104,13 +106,20 @@ type Effort struct {
 	RetriedIterations int64
 	SortedVertices    int64
 	BackwardEdges     int64
-	Complete          int64
-	NoResort          int64
-	Incremental       int64
-	MaxWindow         int64
-	ExecuteNanos      int64
-	DecodeNanos       int64
-	CheckNanos        int64
+	// ClockUpdates counts clock joins that changed a clock — the
+	// vector-clock backend's effort metric; zero for the sorting backends.
+	ClockUpdates int64
+	// CheckShards counts checking shard completions. A serial backend
+	// contributes one per campaign regardless of Workers, so the counter
+	// reflects the parallelism that actually happened.
+	CheckShards  int64
+	Complete     int64
+	NoResort     int64
+	Incremental  int64
+	MaxWindow    int64
+	ExecuteNanos int64
+	DecodeNanos  int64
+	CheckNanos   int64
 }
 
 // Snapshot is a consistent copy of the aggregated metrics.
@@ -158,6 +167,8 @@ func (m *Metrics) Snapshot() Snapshot {
 			RetriedIterations: m.retriedIters.Load(),
 			SortedVertices:    m.sortedVertices.Load(),
 			BackwardEdges:     m.backwardEdges.Load(),
+			ClockUpdates:      m.clockUpdates.Load(),
+			CheckShards:       m.checkShards.Load(),
 			Complete:          m.complete.Load(),
 			NoResort:          m.noResort.Load(),
 			Incremental:       m.incremental.Load(),
@@ -204,6 +215,8 @@ func (m *Metrics) ShardEnd(e ShardEnd) {
 		m.violations.Add(int64(e.Violations))
 		m.sortedVertices.Add(e.SortedVertices)
 		m.backwardEdges.Add(e.BackwardEdges)
+		m.clockUpdates.Add(e.ClockUpdates)
+		m.checkShards.Add(1)
 		m.complete.Add(int64(e.Complete))
 		m.noResort.Add(int64(e.NoResort))
 		m.incremental.Add(int64(e.Incremental))
@@ -300,6 +313,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("mtracecheck_retried_iterations_total", "Iterations executed by attempts later discarded by a retry.", s.Effort.RetriedIterations)
 	counter("mtracecheck_sorted_vertices_total", "Vertices visited by topological (re)sorts (Fig. 9 effort).", s.Effort.SortedVertices)
 	counter("mtracecheck_backward_edges_total", "Backward edges found against the maintained orders.", s.Effort.BackwardEdges)
+	counter("mtracecheck_clock_updates_total", "Vector-clock joins that changed a clock (vectorclock backend effort).", s.Effort.ClockUpdates)
+	counter("mtracecheck_check_shards_total", "Checking shard completions (1 per campaign for serial backends).", s.Effort.CheckShards)
 	fmt.Fprintf(bw, "# HELP mtracecheck_graphs_by_kind_total Graphs validated per collective-checking kind (Fig. 14).\n")
 	fmt.Fprintf(bw, "# TYPE mtracecheck_graphs_by_kind_total counter\n")
 	fmt.Fprintf(bw, "mtracecheck_graphs_by_kind_total{kind=\"complete\"} %d\n", s.Effort.Complete)

@@ -137,7 +137,16 @@ type ShardEnd struct {
 	QuarantinedDecode int
 	QuarantinedEdges  int
 
-	// Check-stage counters.
+	// Check-stage counters. Backend names the checking backend that produced
+	// the event, and Shards is the total number of checking shards the stage
+	// actually ran — 1 for a serial backend regardless of the worker count,
+	// so Effort aggregates never imply parallelism that didn't happen. Each
+	// backend populates only the effort counters its algorithm has a notion
+	// of: the sorting backends fill SortedVertices (and the collective and
+	// incremental ones the per-kind graph counts and window fields), the
+	// vector-clock backend fills ClockUpdates.
+	Backend        string
+	Shards         int
 	Graphs         int
 	Complete       int
 	NoResort       int
@@ -145,6 +154,7 @@ type ShardEnd struct {
 	SortedVertices int64
 	BackwardEdges  int64
 	MaxWindow      int // largest re-sorted window
+	ClockUpdates   int64
 	Violations     int
 
 	Err       error

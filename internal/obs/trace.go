@@ -151,6 +151,12 @@ func (t *Trace) ShardEnd(e ShardEnd) {
 		args["sorted_vertices"] = e.SortedVertices
 		args["backward_edges"] = e.BackwardEdges
 		args["violations"] = e.Violations
+		if e.Backend != "" {
+			args["backend"] = e.Backend
+		}
+		if e.ClockUpdates > 0 {
+			args["clock_updates"] = e.ClockUpdates
+		}
 	}
 	if e.Err != nil {
 		args["error"] = e.Err.Error()

@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"mtracecheck/internal/check"
@@ -175,7 +176,9 @@ func LitmusTests() []Litmus { return testgen.LitmusTests() }
 // PaperConfigs returns the paper's 21 test configurations (§5).
 func PaperConfigs() []testgen.PaperConfig { return testgen.PaperConfigs() }
 
-// Checker selects the violation-checking algorithm.
+// Checker selects the violation-checking algorithm. Every checker is a
+// registered check.Backend; all agree on verdicts and differ only in effort
+// and parallelizability (see DESIGN.md §13).
 type Checker uint8
 
 const (
@@ -185,8 +188,50 @@ const (
 	CheckerConventional
 	// CheckerIncremental repairs the maintained order per backward edge
 	// (Pearce–Kelly), an extension beyond the paper's single-window scheme.
+	// It is the one inherently serial checker: a single order maintained
+	// across the whole sorted sequence is the algorithm, so Workers does
+	// not shard it.
 	CheckerIncremental
+	// CheckerVectorClock checks each graph independently in polynomial time
+	// by iterative vector-clock closure (Roy et al.'s TSOtool algorithm,
+	// adapted to predecessor-bitset clocks), an extension beyond the paper.
+	CheckerVectorClock
 )
+
+// checkers maps every Checker constant to its backend name; ParseChecker
+// and String both walk it, so the two can never disagree.
+var checkers = map[Checker]string{
+	CheckerCollective:   "collective",
+	CheckerConventional: "conventional",
+	CheckerIncremental:  "incremental",
+	CheckerVectorClock:  "vectorclock",
+}
+
+// String returns the checker's backend registry name — the value the CLIs
+// accept for their -checker flag.
+func (c Checker) String() string {
+	if name, ok := checkers[c]; ok {
+		return name
+	}
+	return fmt.Sprintf("checker(%d)", uint8(c))
+}
+
+// CheckerNames lists the registered checking backends — the valid -checker
+// values — sorted. The list comes from the backend registry, so it can
+// never drift from the implemented set.
+func CheckerNames() []string { return check.Backends() }
+
+// ParseChecker maps a backend name to its Checker selection; the error for
+// an unknown name lists every registered backend.
+func ParseChecker(name string) (Checker, error) {
+	for c, n := range checkers {
+		if n == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("mtracecheck: unknown checker %q (valid: %s)",
+		name, strings.Join(CheckerNames(), ", "))
+}
 
 // Options configures a validation run.
 type Options struct {

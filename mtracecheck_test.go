@@ -2,6 +2,7 @@ package mtracecheck
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -425,6 +426,100 @@ func TestShardedPipelineMatchesSerial(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCheckerBackendsAgree: every registered checker backend must deliver
+// the collective checker's exact violation set — on clean and buggy
+// platforms, under fault injection, and at every worker count. This is the
+// acceptance gate for adding a backend to the registry.
+func TestCheckerBackendsAgree(t *testing.T) {
+	hammer := func() *Program {
+		b := prog.NewBuilder("hammer", 1, prog.DefaultLayout())
+		b.Thread()
+		for i := 0; i < 20; i++ {
+			b.Store(0)
+		}
+		b.Thread()
+		for i := 0; i < 20; i++ {
+			b.Load(0)
+		}
+		return b.MustBuild()
+	}
+	scenarios := []struct {
+		name string
+		prog *Program
+		opts Options
+	}{
+		{"clean", testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5}),
+			Options{Platform: PlatformX86(), Iterations: 150, Seed: 11}},
+		{"bug-lsq-skip", hammer(),
+			Options{Platform: BuggyPlatform(BugLSQSkip), Iterations: 200, Seed: 11}},
+		{"faulted", testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5}),
+			Options{Platform: PlatformX86(), Iterations: 150, Seed: 11, ShardRetries: 3,
+				Fault: FaultConfig{Seed: 3, BitFlip: 0.2, Truncate: 0.1, ShardPanic: 0.4}}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			base := sc.opts
+			base.Workers = 1
+			ref, err := RunProgram(sc.prog, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.name == "bug-lsq-skip" && len(ref.Violations) == 0 {
+				t.Fatal("buggy case produced no violations to compare")
+			}
+			for _, name := range CheckerNames() {
+				checker, err := ParseChecker(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 3} {
+					opts := sc.opts
+					opts.Checker = checker
+					opts.Workers = workers
+					got, err := RunProgram(sc.prog, opts)
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", name, workers, err)
+					}
+					if len(got.Violations) != len(ref.Violations) {
+						t.Fatalf("%s workers=%d: %d violations, collective %d",
+							name, workers, len(got.Violations), len(ref.Violations))
+					}
+					for i, v := range ref.Violations {
+						gv := got.Violations[i]
+						if gv.Index != v.Index || !gv.Sig.Equal(v.Sig) {
+							t.Fatalf("%s workers=%d: violation %d = (%d, %v), collective (%d, %v)",
+								name, workers, i, gv.Index, gv.Sig, v.Index, v.Sig)
+						}
+						if len(gv.Cycle) == 0 {
+							t.Fatalf("%s workers=%d: violation %d has no cycle witness",
+								name, workers, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunContextCancelledPerChecker: a cancelled campaign must surface
+// context.Canceled for every checker backend instead of a report.
+func TestRunContextCancelledPerChecker(t *testing.T) {
+	cfg := TestConfig{Threads: 2, OpsPerThread: 30, Words: 8, Seed: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range CheckerNames() {
+		checker, err := ParseChecker(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A partial report may accompany the error (the CLI renders it);
+		// the error itself must be the cancellation.
+		if _, err := RunContext(ctx, cfg, Options{Iterations: 100, Seed: 3, Checker: checker}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
 	}
 }
 
