@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke dist-smoke verify
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ fuzz-short:
 	$(GO) test ./internal/instrument -run '^$$' -fuzz '^FuzzEncodeValues$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sig -run '^$$' -fuzz '^FuzzReadSet$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzChunkUpload$$' -fuzztime $(FUZZTIME)
 
 # Observability smoke: the same campaign run bare and with all three
 # observers attached must print a bit-identical report (the observers'
@@ -100,8 +101,37 @@ diff-check-smoke:
 	done; \
 	echo "diff-check-smoke: OK (all backends agree: $$($(GO) run ./cmd/mtracecheck -list-checkers | tr '\n' ' '))"
 
+# Distributed-campaign smoke: the same campaign runs in-process and through
+# the dist server with three workers — one honest, one killed mid-campaign,
+# one corrupting every upload (quarantined server-side). The server must
+# exit 0 and its signature file must compare byte-equal to the in-process
+# run: worker failures may cost wall-clock, never results.
+dist-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf $$dir' EXIT; \
+	$(GO) build -o $$dir/mtracecheck ./cmd/mtracecheck; \
+	$(GO) build -o $$dir/server ./cmd/mtracecheck-server; \
+	$(GO) build -o $$dir/worker ./cmd/mtracecheck-worker; \
+	$$dir/mtracecheck -threads 4 -ops 40 -words 16 -iters 1280 -seed 11 -sigs-out $$dir/ref.sigs > /dev/null \
+		|| { echo "dist-smoke: reference run failed"; exit 1; }; \
+	$$dir/server -oneshot -listen 127.0.0.1:0 -addr-file $$dir/addr -lease-ttl 1s \
+		-threads 4 -ops 40 -words 16 -iters 1280 -seed 11 -sigs-out $$dir/dist.sigs \
+		> $$dir/report 2> $$dir/server.log & srv=$$!; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "dist-smoke: server never bound"; kill $$srv 2>/dev/null; exit 1; }; \
+	addr=$$(cat $$dir/addr); \
+	$$dir/worker -server http://$$addr -id honest -exit-when-idle & w1=$$!; \
+	$$dir/worker -server http://$$addr -id victim & w2=$$!; \
+	$$dir/worker -server http://$$addr -id liar -fault-wire-corrupt 1 2> /dev/null & w3=$$!; \
+	sleep 0.3; kill -9 $$w2 2>/dev/null; \
+	wait $$srv; status=$$?; \
+	kill $$w1 $$w3 2>/dev/null; \
+	[ $$status -eq 0 ] || { echo "dist-smoke: server exited $$status"; cat $$dir/report $$dir/server.log; exit 1; }; \
+	cmp $$dir/ref.sigs $$dir/dist.sigs \
+		|| { echo "dist-smoke: distributed signatures differ from the in-process run"; cat $$dir/report; exit 1; }; \
+	echo "dist-smoke: OK (signatures bit-identical to in-process despite a killed worker and a corrupting worker)"
+
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke
+verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke dist-smoke
 
 # Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
 # (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed

@@ -431,6 +431,11 @@ func (c *Campaign) execute(ctx context.Context, report *Report, m *merger) error
 		if err != nil {
 			return fmt.Errorf("mtracecheck: resume: %w", err)
 		}
+		if ck.Dist != nil {
+			// A distributed checkpoint's coverage is a per-chunk bitmap, not
+			// the contiguous prefix this resume path replays from.
+			return errors.New("mtracecheck: resume: checkpoint belongs to a distributed campaign; resume it through the dist server")
+		}
 		if ck.Seed != opts.Seed {
 			return fmt.Errorf("mtracecheck: resume: checkpoint seed %d does not match run seed %d", ck.Seed, opts.Seed)
 		}

@@ -1,0 +1,318 @@
+package mtracecheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mtracecheck/internal/obs"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+)
+
+// The chunk API exports the campaign's worker-invariant execution grid for
+// out-of-process use: the distributed service leases chunks to remote
+// workers and merges their results here. Three properties make remote
+// execution safe and its failures recoverable:
+//
+//   - Any runner can execute any chunk: each chunk carries its slice of the
+//     campaign's per-iteration seed stream, so a chunk's signatures and
+//     counters are a pure function of (program, options, chunk index).
+//   - Because of that purity, a chunk re-executed by a different worker —
+//     after a crash, hang, or partition — produces bit-identical results,
+//     so redispatch and duplicate completions are harmless.
+//   - ChunkMerger.Absorb deduplicates by chunk index and Report assembles
+//     counters in ascending chunk order, so the merged report is identical
+//     to a single-process run regardless of which workers computed which
+//     chunks, in what order, or how many times.
+
+// ChunkSize is the campaign execution grid's granule: chunk i covers
+// iterations [i*ChunkSize, min((i+1)*ChunkSize, Iterations)). It equals the
+// in-process scheduler's granule, so fault plans and retry outcomes keyed by
+// chunk bounds agree between local and distributed execution.
+const ChunkSize = execChunkSize
+
+// NumChunks returns the number of chunks in the campaign's execution grid.
+func (c *Campaign) NumChunks() int {
+	return (c.opts.Iterations + ChunkSize - 1) / ChunkSize
+}
+
+// ChunkBounds returns the global iteration range [start, start+count) of
+// one grid chunk.
+func (c *Campaign) ChunkBounds(idx int) (start, count int) {
+	start = idx * ChunkSize
+	count = min(ChunkSize, c.opts.Iterations-start)
+	return start, count
+}
+
+// SignatureWords returns the per-signature word count every chunk result
+// must carry — the upload-validation width for remote results.
+func (c *Campaign) SignatureWords() int { return c.meta.TotalWords() }
+
+// chunkable rejects option combinations the chunk grid cannot honor: chunk
+// results must be self-contained and worker-invariant, which rules out
+// recorded write serializations, retained executions, and prefix-resume.
+func (c *Campaign) chunkable() error {
+	switch {
+	case c.opts.ObservedWS:
+		return errors.New("mtracecheck: chunked execution requires the static ws mode")
+	case c.opts.KeepExecutions:
+		return errors.New("mtracecheck: chunked execution cannot retain executions")
+	case c.opts.Resume:
+		return errors.New("mtracecheck: chunked execution resumes through ChunkMerger.Restore, not Options.Resume")
+	case c.opts.Iterations <= 0:
+		return errors.New("mtracecheck: chunked execution requires Iterations > 0")
+	}
+	return nil
+}
+
+// ChunkStats is one executed chunk's accounting, serializable for the wire.
+// Asserts carries assertion-failure messages (paper bug class 2) rather
+// than structured errors so results survive transport.
+type ChunkStats struct {
+	Iterations int
+	Cycles     int64
+	Squashes   int
+	Asserts    []string
+}
+
+// ChunkResult is one executed chunk: its grid coordinates, accounting, and
+// the sorted unique signatures it observed. Results are bit-identical
+// regardless of which ChunkRunner computed them.
+type ChunkResult struct {
+	Chunk   int
+	Start   int
+	Count   int
+	Stats   ChunkStats
+	Uniques []Unique
+}
+
+// ChunkRunner executes grid chunks on a private simulator runner, reusing
+// it across chunks the way an in-process worker does (and rebuilding it
+// after a panicking attempt). It is owned by a single goroutine.
+type ChunkRunner struct {
+	c      *Campaign
+	runner *sim.Runner
+}
+
+// NewChunkRunner validates that the campaign's options permit chunked
+// execution and returns a runner for its grid.
+func (c *Campaign) NewChunkRunner() (*ChunkRunner, error) {
+	if err := c.chunkable(); err != nil {
+		return nil, err
+	}
+	r, err := sim.NewRunner(c.opts.Platform, c.prog, c.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkRunner{c: c, runner: r}, nil
+}
+
+// Run executes one grid chunk with the campaign's full retry/backoff and
+// fault-injection semantics and returns its result. On failure the result
+// still carries the final attempt's partial accounting; the error is
+// ErrCrash for platform findings, ErrShardFailed for infra failures that
+// survived every retry, or the context's error.
+func (cr *ChunkRunner) Run(ctx context.Context, idx int) (*ChunkResult, error) {
+	c := cr.c
+	if idx < 0 || idx >= c.NumChunks() {
+		return nil, fmt.Errorf("mtracecheck: chunk %d outside grid of %d", idx, c.NumChunks())
+	}
+	start, count := c.ChunkBounds(idx)
+	seeds := make([]int64, count)
+	stream := sim.NewSeedStream(c.opts.Seed)
+	stream.Skip(start)
+	stream.Fill(seeds)
+	out := c.runChunkRetrying(ctx, 0, &cr.runner, start, count, seeds)
+	out.idx = idx
+	res := &ChunkResult{
+		Chunk: idx, Start: start, Count: count,
+		Stats: ChunkStats{
+			Iterations: out.iterations, Cycles: out.cycles, Squashes: out.squashes,
+		},
+		Uniques: out.set.Sorted(),
+	}
+	for _, a := range out.asserts {
+		res.Stats.Asserts = append(res.Stats.Asserts, a.Error())
+	}
+	return res, out.err
+}
+
+// assertFailure carries a transported assertion-failure message in the
+// report's AssertionFailures list.
+type assertFailure string
+
+func (a assertFailure) Error() string { return string(a) }
+
+// ChunkMerger accumulates chunk results into a campaign report. Absorb is
+// idempotent per chunk index — duplicate completions (stragglers, retried
+// uploads, redispatch races) merge to the same state — and Report assembles
+// counters in ascending chunk order, so the outcome is independent of
+// completion order. Not safe for concurrent use; callers serialize.
+type ChunkMerger struct {
+	c     *Campaign
+	began time.Time
+	acc   *sig.Set
+	stats []ChunkStats // per chunk; valid where done[i]
+	done  []bool
+	nDone int
+	final []Unique // post-injection set, recorded by Report
+}
+
+// NewChunkMerger returns an empty merger over the campaign's grid and
+// emits the campaign-start event (the merger is the distributed campaign's
+// host side, so its lifetime brackets the observable campaign).
+func (c *Campaign) NewChunkMerger() (*ChunkMerger, error) {
+	if err := c.chunkable(); err != nil {
+		return nil, err
+	}
+	n := c.NumChunks()
+	m := &ChunkMerger{
+		c: c, began: time.Now(), acc: sig.NewSet(),
+		stats: make([]ChunkStats, n), done: make([]bool, n),
+	}
+	c.em.campaignStart(c.prog, c.opts, c.opts.Iterations, c.workers, m.began)
+	return m, nil
+}
+
+// Done returns how many grid chunks have been absorbed.
+func (m *ChunkMerger) Done() int { return m.nDone }
+
+// IsDone reports whether one chunk has been absorbed.
+func (m *ChunkMerger) IsDone(idx int) bool {
+	return idx >= 0 && idx < len(m.done) && m.done[idx]
+}
+
+// Complete reports whether every grid chunk has been absorbed.
+func (m *ChunkMerger) Complete() bool { return m.nDone == len(m.done) }
+
+// Merged returns the sorted unique signatures absorbed so far — the
+// checkpoint payload.
+func (m *ChunkMerger) Merged() []Unique { return m.acc.Sorted() }
+
+// Final returns the post-injection unique set the report was checked
+// against — what SaveSignatures persists. Nil until Report has run.
+func (m *ChunkMerger) Final() []Unique { return m.final }
+
+// Stats returns one absorbed chunk's accounting (the zero value when the
+// chunk is not done).
+func (m *ChunkMerger) Stats(idx int) ChunkStats {
+	if !m.IsDone(idx) {
+		return ChunkStats{}
+	}
+	return m.stats[idx]
+}
+
+// Absorb folds one chunk result into the merger. It returns false with no
+// state change when the chunk was already absorbed (a deduplicated
+// duplicate completion), and an error when the result does not fit the
+// campaign's grid — wrong bounds, wrong signature width, impossible
+// counters — which the distributed server treats as a validation strike
+// against the uploading worker.
+func (m *ChunkMerger) Absorb(r *ChunkResult) (fresh bool, err error) {
+	if r == nil {
+		return false, errors.New("mtracecheck: nil chunk result")
+	}
+	if r.Chunk < 0 || r.Chunk >= len(m.done) {
+		return false, fmt.Errorf("mtracecheck: chunk %d outside grid of %d", r.Chunk, len(m.done))
+	}
+	start, count := m.c.ChunkBounds(r.Chunk)
+	if r.Start != start || r.Count != count {
+		return false, fmt.Errorf("mtracecheck: chunk %d claims iterations [%d,%d), grid says [%d,%d)",
+			r.Chunk, r.Start, r.Start+r.Count, start, start+count)
+	}
+	if r.Stats.Iterations != count {
+		return false, fmt.Errorf("mtracecheck: chunk %d completed %d of %d iterations",
+			r.Chunk, r.Stats.Iterations, count)
+	}
+	words := m.c.SignatureWords()
+	for i := range r.Uniques {
+		if r.Uniques[i].Sig.Len() != words {
+			return false, fmt.Errorf("mtracecheck: chunk %d signature %d has %d words, campaign signatures have %d",
+				r.Chunk, i, r.Uniques[i].Sig.Len(), words)
+		}
+		if r.Uniques[i].Count <= 0 {
+			return false, fmt.Errorf("mtracecheck: chunk %d signature %d claims %d observations",
+				r.Chunk, i, r.Uniques[i].Count)
+		}
+	}
+	if m.done[r.Chunk] {
+		return false, nil
+	}
+	for _, u := range r.Uniques {
+		m.acc.AddUnique(u)
+	}
+	m.stats[r.Chunk] = r.Stats
+	m.done[r.Chunk] = true
+	m.nDone++
+	return true, nil
+}
+
+// Restore seeds the merger from a checkpoint: the merged unique set
+// collected before the restart plus the per-chunk stats of the chunks it
+// covered. The restored merger continues exactly where the checkpointed one
+// stopped — completed chunks are never re-executed.
+func (m *ChunkMerger) Restore(uniques []Unique, done map[int]ChunkStats) error {
+	if m.nDone > 0 {
+		return errors.New("mtracecheck: Restore requires an empty merger")
+	}
+	start, count := 0, 0
+	for idx, st := range done {
+		if idx < 0 || idx >= len(m.done) {
+			return fmt.Errorf("mtracecheck: restored chunk %d outside grid of %d", idx, len(m.done))
+		}
+		if start, count = m.c.ChunkBounds(idx); st.Iterations != count {
+			return fmt.Errorf("mtracecheck: restored chunk %d covers %d of %d iterations (grid start %d)",
+				idx, st.Iterations, count, start)
+		}
+	}
+	words := m.c.SignatureWords()
+	for i := range uniques {
+		if uniques[i].Sig.Len() != words {
+			return fmt.Errorf("mtracecheck: restored signature %d has %d words, campaign signatures have %d",
+				i, uniques[i].Sig.Len(), words)
+		}
+		m.acc.AddUnique(uniques[i])
+	}
+	for idx, st := range done {
+		m.stats[idx] = st
+		m.done[idx] = true
+		m.nDone++
+	}
+	return nil
+}
+
+// Report runs the host side over the merged results — corruption injection,
+// decode, quarantine gate, collective check — and returns the campaign
+// report, bit-identical to an uninterrupted in-process run of the same
+// (program, options). It requires every grid chunk to have been absorbed.
+func (m *ChunkMerger) Report(ctx context.Context) (*Report, error) {
+	c := m.c
+	if !m.Complete() {
+		err := fmt.Errorf("mtracecheck: report requires all %d chunks, have %d", len(m.done), m.nDone)
+		return nil, err
+	}
+	report := c.newReport()
+	for idx := range m.stats {
+		st := &m.stats[idx]
+		report.Iterations += st.Iterations
+		report.TotalCycles += st.Cycles
+		report.Squashes += st.Squashes
+		for _, a := range st.Asserts {
+			report.AssertionFailures = append(report.AssertionFailures, assertFailure(a))
+		}
+	}
+	uniques := m.acc.Sorted()
+	var injected obs.FaultCounts
+	if c.inj != nil {
+		uniques, report.InjectedFaults = c.inj.Corrupt(uniques)
+		injected = faultCounts(report.InjectedFaults)
+	}
+	report.UniqueSignatures = len(uniques)
+	m.final = uniques
+	c.em.mergeDone(report.Iterations, len(uniques), injected, true)
+	err := c.decodeAndCheck(ctx, uniques, nil, report)
+	c.em.campaignEnd(report, err, m.began)
+	return report, err
+}

@@ -1,0 +1,94 @@
+// Command mtracecheck-worker is the distributed campaign execution client:
+// it polls an mtracecheck-server for chunk leases, executes them on a
+// locally rebuilt campaign, heartbeats while executing, and uploads the
+// results.
+//
+// Usage:
+//
+//	mtracecheck-worker -server http://127.0.0.1:7077
+//	mtracecheck-worker -server http://host:7077 -exit-when-idle
+//
+// Because chunk results are a pure function of (program, options, chunk
+// index), any number of workers — started and killed at any time — produce
+// the same campaign report. The -fault-wire-* flags deliberately corrupt,
+// drop, or delay this worker's uploads to exercise the server's
+// validation, lease-expiry, and quarantine machinery.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mtracecheck/internal/dist"
+	"mtracecheck/internal/fault"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		server  = flag.String("server", "http://127.0.0.1:7077", "server base URL")
+		id      = flag.String("id", "", "worker ID (default hostname-pid)")
+		poll    = flag.Duration("poll", 100*time.Millisecond, "idle wait between lease attempts")
+		idle    = flag.Bool("exit-when-idle", false, "exit 0 when the server has no undone work instead of polling forever")
+		verbose = flag.Bool("v", false, "log worker operations to stderr")
+
+		fwCorrupt  = flag.Float64("fault-wire-corrupt", 0, "injected fault rate: flip one bit in an upload payload")
+		fwDrop     = flag.Float64("fault-wire-drop", 0, "injected fault rate: silently drop an upload (lease expires)")
+		fwDelay    = flag.Float64("fault-wire-delay", 0, "injected fault rate: delay an upload")
+		fwDelayFor = flag.Duration("fault-wire-delay-for", 0, "injected upload delay duration (0 = 250ms)")
+		fwSeed     = flag.Int64("wire-seed", 1, "seed for deterministic wire-fault injection")
+	)
+	flag.Parse()
+
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &dist.Worker{
+		Server:       *server,
+		ID:           *id,
+		Poll:         *poll,
+		ExitWhenIdle: *idle,
+	}
+	if *verbose {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	wc := fault.WireConfig{
+		Seed: *fwSeed, Corrupt: *fwCorrupt, Drop: *fwDrop,
+		Delay: *fwDelay, DelayFor: *fwDelayFor,
+	}
+	if wc.Enabled() {
+		inj, err := fault.NewWireInjector(wc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtracecheck-worker:", err)
+			return 2
+		}
+		w.Wire = inj
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := w.Run(ctx)
+	switch {
+	case err == nil, errors.Is(err, context.Canceled):
+		return 0
+	case errors.Is(err, dist.ErrWorkerQuarantined):
+		fmt.Fprintf(os.Stderr, "mtracecheck-worker: %s: %v\n", *id, err)
+		return 3
+	default:
+		fmt.Fprintf(os.Stderr, "mtracecheck-worker: %s: %v\n", *id, err)
+		return 2
+	}
+}

@@ -28,7 +28,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"slices"
 	"strings"
 
 	"mtracecheck"
@@ -67,14 +66,14 @@ func run() int {
 		checker = flag.String("checker", "collective",
 			"checker backend: "+strings.Join(mtracecheck.CheckerNames(), ", "))
 		listCheckers = flag.Bool("list-checkers", false, "print the registered checker backends, one per line, and exit")
-		bug     = flag.String("bug", "", "inject a bug: sm-inv, lsq-skip, or wb-race")
-		verbose = flag.Bool("v", false, "print violation details")
-		sigsOut = flag.String("sigs-out", "", "write the collected unique signatures to this file")
-		sigsIn  = flag.String("sigs-in", "", "check-only mode: skip execution and check the signatures in this file (pair with -prog or the same generation flags/seed)")
-		dotOut  = flag.String("dot", "", "write the first violation's constraint graph (DOT) to this file")
-		traceTo = flag.String("trace", "", "write one traced iteration's op timeline (TSV) to this file")
-		progIn  = flag.String("prog", "", "run this saved test program instead of generating one")
-		progOut = flag.String("dump-prog", "", "write the generated test program (text format) to this file")
+		bug          = flag.String("bug", "", "inject a bug: sm-inv, lsq-skip, or wb-race")
+		verbose      = flag.Bool("v", false, "print violation details")
+		sigsOut      = flag.String("sigs-out", "", "write the collected unique signatures to this file")
+		sigsIn       = flag.String("sigs-in", "", "check-only mode: skip execution and check the signatures in this file (pair with -prog or the same generation flags/seed)")
+		dotOut       = flag.String("dot", "", "write the first violation's constraint graph (DOT) to this file")
+		traceTo      = flag.String("trace", "", "write one traced iteration's op timeline (TSV) to this file")
+		progIn       = flag.String("prog", "", "run this saved test program instead of generating one")
+		progOut      = flag.String("dump-prog", "", "write the generated test program (text format) to this file")
 
 		strict    = flag.Bool("strict", false, "abort on the first corrupted signature or lost shard instead of degrading")
 		maxQuar   = flag.Float64("max-quarantine", 0, "fail (exit 3) when more than this fraction of unique signatures is quarantined (0 = no limit)")
@@ -286,74 +285,14 @@ Profiling:
 `)
 }
 
-// printCheckStats prints the selected backend's effort line — each backend
-// populates different Result counters, so the line names the backend and
-// shows the counters it actually filled.
+// printCheckStats and printDegradation delegate to the shared summary
+// writers, so the distributed server's output matches this CLI's exactly.
 func printCheckStats(report *mtracecheck.Report, checker mtracecheck.Checker) {
-	cs := report.CheckStats
-	if cs == nil {
-		return
-	}
-	switch checker {
-	case mtracecheck.CheckerVectorClock:
-		fmt.Printf("vector-clock checking: %d graphs (%d clock updates)\n",
-			cs.Total, cs.ClockUpdates)
-	case mtracecheck.CheckerConventional:
-		fmt.Printf("conventional checking: %d graphs (%d vertices sorted)\n",
-			cs.Total, cs.SortedVertices)
-	default:
-		// Collective and incremental both maintain an order and record
-		// per-graph validation kinds.
-		c, nr, inc := cs.Counts()
-		if c+nr+inc == 0 {
-			return
-		}
-		fmt.Printf("collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
-			c, nr, inc, cs.SortedVertices)
-	}
+	mtracecheck.WriteCheckSummary(os.Stdout, report, checker)
 }
 
-// printDegradation summarizes fault tolerance outcomes: resumed progress,
-// injected faults, quarantined signatures, and lost shards.
 func printDegradation(report *mtracecheck.Report) {
-	if report.ResumedIterations > 0 {
-		fmt.Printf("resumed:              %d iterations from checkpoint\n", report.ResumedIterations)
-	}
-	if n := len(report.InjectedFaults); n > 0 {
-		fmt.Printf("injected faults:     ")
-		// Sorted so the line is stable across runs (map order is not).
-		for _, kind := range sortedKeys(report.InjectedFaults) {
-			fmt.Printf(" %v=%d", kind, report.InjectedFaults[kind])
-		}
-		fmt.Println()
-	}
-	if counts := report.QuarantineCounts(); counts != nil {
-		fmt.Printf("quarantined:          %d signatures (", len(report.Quarantined))
-		for i, kind := range sortedKeys(counts) {
-			if i > 0 {
-				fmt.Print(", ")
-			}
-			fmt.Printf("%d %v", counts[kind], kind)
-		}
-		fmt.Println(")")
-	}
-	if report.Partial() {
-		fmt.Printf("PARTIAL: %d execution shards lost after retries:\n", len(report.ShardFailures))
-		for _, sf := range report.ShardFailures {
-			fmt.Printf("  iterations [%d,%d): %d executed over %d attempts: %v\n",
-				sf.Start, sf.Start+sf.Count, sf.Executed, sf.Attempts, sf.Err)
-		}
-	}
-}
-
-// sortedKeys returns m's keys sorted by their rendered names.
-func sortedKeys[K comparable](m map[K]int) []K {
-	keys := make([]K, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	slices.SortFunc(keys, func(a, b K) int { return strings.Compare(fmt.Sprint(a), fmt.Sprint(b)) })
-	return keys
+	mtracecheck.WriteDegradation(os.Stdout, report)
 }
 
 func printViolations(report *mtracecheck.Report) {

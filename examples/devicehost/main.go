@@ -4,28 +4,60 @@
 // them offline — including long after the silicon session ended. With the
 // default static write-serialization mode the signatures alone are
 // sufficient: no other runtime data crosses the link.
+//
+// With -dist the same campaign instead runs through the distributed
+// service: a loopback mtracecheck-server leases the chunk grid to two
+// in-process workers and merges their uploads — the multi-device version
+// of the same split, with the HTTP wire standing in for the JTAG cable.
 package main
 
 import (
 	"bytes"
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"sync"
 
 	"mtracecheck"
+	"mtracecheck/internal/dist"
+	"mtracecheck/internal/testgen"
 )
 
+const iterations = 1024
+
+var cfg = mtracecheck.TestConfig{Threads: 4, OpsPerThread: 50, Words: 32, Seed: 5}
+
 func main() {
-	cfg := mtracecheck.TestConfig{Threads: 4, OpsPerThread: 50, Words: 32, Seed: 5}
+	distMode := flag.Bool("dist", false, "run the campaign through a loopback dist server and two workers")
+	flag.Parse()
+	if *distMode {
+		runDist()
+		return
+	}
+	runSplit()
+}
+
+// runSplit is the single-device flow, on the context-first Campaign API:
+// one campaign value owns both halves, so the host's validation and
+// checking reuse the exact (program, options) identity the device ran.
+func runSplit() {
+	ctx := context.Background()
 	p, err := mtracecheck.NewProgramBuilderFromConfig(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	plat := mtracecheck.PlatformX86()
-	const iterations = 1024
 	opts := mtracecheck.Options{Platform: plat, Iterations: iterations, Seed: 11}
+	campaign, err := mtracecheck.NewCampaign(p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// --- Device side: run the instrumented test, collect signatures. ---
-	uniques, err := mtracecheck.CollectSignatures(p, opts)
+	uniques, err := campaign.Collect(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +84,7 @@ func main() {
 	}
 	fmt.Printf("host:   provenance ok (program %#x, seed %d, %s)\n",
 		meta.ProgHash, meta.Seed, meta.Platform)
-	report, err := mtracecheck.CheckSignatures(p, loaded, opts)
+	report, err := campaign.Check(ctx, loaded)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,4 +96,65 @@ func main() {
 		return
 	}
 	fmt.Printf("host:   RESULT: FAIL — %d violations\n", len(report.Violations))
+}
+
+// runDist is the multi-device flow: the server plays host, the workers
+// play devices, and the merged report is bit-identical to runSplit's
+// because chunk results are a pure function of (program, options, chunk).
+func runDist() {
+	srv := dist.NewServer(dist.ServerOptions{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("server: listening on %s\n", base)
+
+	id, err := srv.Submit(dist.JobSpec{
+		Test: &testgen.Config{
+			Threads: cfg.Threads, OpsPerThread: cfg.OpsPerThread,
+			Words: cfg.Words, Seed: cfg.Seed,
+		},
+		Iterations: iterations,
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		w := &dist.Worker{
+			Server:       base,
+			ID:           fmt.Sprintf("device-%d", i),
+			ExitWhenIdle: true,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				log.Printf("worker %s: %v", w.ID, err)
+			}
+		}()
+	}
+
+	report, err := srv.Wait(ctx, id)
+	wg.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, _ := srv.Stats(id)
+	fmt.Printf("server: job %s merged %d iterations from 2 devices (%d redispatched, %d duplicates)\n",
+		id, report.Iterations, stats.Redispatched, stats.Duplicates)
+	fmt.Printf("server: %d unique signatures\n", report.UniqueSignatures)
+	if report.Failed() {
+		fmt.Printf("server: RESULT: FAIL — %d violations\n", len(report.Violations))
+		return
+	}
+	fmt.Println("server: RESULT: PASS")
 }

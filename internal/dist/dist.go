@@ -1,0 +1,344 @@
+// Package dist is the distributed campaign service: a long-running server
+// fans a campaign's worker-invariant chunk grid out to remote worker
+// processes over HTTP and merges their uploads into a report bit-identical
+// to a single-process run. The robustness semantics are the point, not the
+// transport — the paper's deployment model has unreliable devices feeding a
+// trusted host, so the server assumes workers crash, hang, partition, and
+// lie:
+//
+//   - Chunks are handed out under leases with deadlines. A missed lease
+//     (crash, hang, partition) returns the chunk to the queue with capped
+//     exponential backoff and it is re-dispatched to another worker.
+//   - Chunk results are a pure function of (program, options, chunk index),
+//     so duplicate completions — stragglers, redispatch races, retried
+//     sends — are deduplicated by chunk ID with no effect on the report.
+//   - Every upload is validated (checksum, grid bounds, signature width,
+//     iteration accounting) before it is trusted; a worker whose uploads
+//     repeatedly fail validation is quarantined: its leases are revoked and
+//     it is refused new ones.
+//   - The job checkpoint (MTCCKPT1 + the MTCDIST1 lease section) is written
+//     atomically, so a restarted server resumes mid-campaign without
+//     re-running completed chunks.
+//
+// All of it is observable through internal/obs (worker/lease events,
+// Prometheus series) rather than silently absorbed.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+	"time"
+
+	"mtracecheck"
+	"mtracecheck/internal/fault"
+	"mtracecheck/internal/mem"
+	"mtracecheck/internal/prog"
+	"mtracecheck/internal/sig"
+	"mtracecheck/internal/sim"
+	"mtracecheck/internal/testgen"
+)
+
+// JobSpec describes one campaign job, JSON-serializable so the same spec
+// drives the submitting client, the server, and every worker: all three
+// call Build and get the identical (program, options) pair, which is what
+// makes any worker's chunk results interchangeable.
+type JobSpec struct {
+	// Name labels the job in logs and events; optional.
+	Name string `json:"name,omitempty"`
+	// Program is the test program in the text format; empty generates one
+	// from Test.
+	Program string `json:"program,omitempty"`
+	// Test parameterizes generation when Program is empty.
+	Test *testgen.Config `json:"test,omitempty"`
+	// ISA selects the platform flavor ("x86" or "ARM"); ignored when Bug is
+	// set (bug injection uses the gem5-like preset). Empty means x86.
+	ISA string `json:"isa,omitempty"`
+	// OS enables simulated OS scheduling.
+	OS bool `json:"os,omitempty"`
+	// Bug injects one of the paper's §7 defects: sm-inv, lsq-skip, wb-race.
+	Bug string `json:"bug,omitempty"`
+
+	Iterations int    `json:"iterations"`
+	Seed       int64  `json:"seed"`
+	Checker    string `json:"checker,omitempty"`
+	// Workers sizes the server-side decode/check stage, not the worker
+	// fleet (workers size themselves by joining).
+	Workers             int           `json:"workers,omitempty"`
+	Strict              bool          `json:"strict,omitempty"`
+	QuarantineThreshold float64       `json:"quarantine_threshold,omitempty"`
+	ShardTimeout        time.Duration `json:"shard_timeout,omitempty"`
+	ShardRetries        int           `json:"shard_retries,omitempty"`
+	// Fault configures the device-side injector; execution faults apply on
+	// the workers (keyed by chunk bounds, so they are worker-invariant) and
+	// signature corruption applies once, server-side, to the merged set.
+	Fault fault.Config `json:"fault,omitempty"`
+
+	// CheckpointPath, when set, has the server persist job progress there
+	// atomically; with Resume, the server restores from it instead of
+	// starting over (completed chunks are never re-executed).
+	CheckpointPath string `json:"checkpoint_path,omitempty"`
+	// CheckpointEveryChunks sets the save cadence in completed chunks
+	// (0 = every tenth of the grid, at least 1).
+	CheckpointEveryChunks int  `json:"checkpoint_every_chunks,omitempty"`
+	Resume                bool `json:"resume,omitempty"`
+}
+
+// Build resolves a spec into the (program, options) pair every party —
+// submitter, server, worker — derives identically.
+func Build(spec JobSpec) (*mtracecheck.Program, mtracecheck.Options, error) {
+	plat, err := platformFor(spec)
+	if err != nil {
+		return nil, mtracecheck.Options{}, err
+	}
+	opts := mtracecheck.Options{
+		Platform:            plat,
+		Iterations:          spec.Iterations,
+		Seed:                spec.Seed,
+		Workers:             spec.Workers,
+		Strict:              spec.Strict,
+		QuarantineThreshold: spec.QuarantineThreshold,
+		ShardTimeout:        spec.ShardTimeout,
+		ShardRetries:        spec.ShardRetries,
+		Fault:               spec.Fault,
+	}
+	if spec.Checker != "" {
+		if opts.Checker, err = mtracecheck.ParseChecker(spec.Checker); err != nil {
+			return nil, mtracecheck.Options{}, err
+		}
+	}
+	var p *mtracecheck.Program
+	if spec.Program != "" {
+		if p, err = prog.Parse(strings.NewReader(spec.Program)); err != nil {
+			return nil, mtracecheck.Options{}, fmt.Errorf("dist: job program: %w", err)
+		}
+	} else {
+		if spec.Test == nil {
+			return nil, mtracecheck.Options{}, errors.New("dist: job needs a program or a test config")
+		}
+		if p, err = testgen.Generate(*spec.Test); err != nil {
+			return nil, mtracecheck.Options{}, err
+		}
+	}
+	return p, opts, nil
+}
+
+// platformFor mirrors the mtracecheck CLI's platform resolution so a spec's
+// isa/os/bug fields select exactly the platform the CLI flags would.
+func platformFor(spec JobSpec) (mtracecheck.Platform, error) {
+	var memBugs mem.Bugs
+	var simBugs sim.Bugs
+	switch spec.Bug {
+	case "":
+	case "sm-inv":
+		memBugs.StaleSMInv = true
+	case "lsq-skip":
+		simBugs.LQSquashSkip = true
+	case "wb-race":
+		memBugs.WBRaceDeadlock = true
+	default:
+		return mtracecheck.Platform{}, fmt.Errorf("dist: unknown bug %q (valid: sm-inv, lsq-skip, wb-race)", spec.Bug)
+	}
+	var plat mtracecheck.Platform
+	if spec.Bug != "" {
+		plat = mtracecheck.PlatformGem5(memBugs, simBugs)
+	} else {
+		isa := spec.ISA
+		if isa == "" {
+			isa = "x86"
+		}
+		var err error
+		if plat, err = sim.ForISA(isa); err != nil {
+			return mtracecheck.Platform{}, err
+		}
+	}
+	if spec.OS {
+		plat.OS = sim.OSConfig{Enabled: true, Quantum: 400, QuantumJitter: 120, Migrate: true}
+	}
+	return plat, nil
+}
+
+// Upload error kinds: a worker reports how its chunk execution ended so the
+// server can classify without parsing error strings.
+const (
+	// UploadOK marks a fully executed chunk.
+	UploadOK uint8 = iota
+	// UploadCrash marks a platform crash — a finding (paper bug class 3)
+	// that fails the whole job, not the worker.
+	UploadCrash
+	// UploadShardFailed marks an infra failure that survived the worker's
+	// retries; the server re-dispatches the chunk.
+	UploadShardFailed
+	// UploadOther marks any other execution error.
+	UploadOther
+)
+
+// ChunkUpload is one worker's completed (or failed) chunk crossing the
+// wire. The binary encoding ends in a whole-payload checksum so any bit
+// flip in transit is detected server-side and strikes the sender instead of
+// corrupting the campaign.
+type ChunkUpload struct {
+	Job     string
+	Worker  string
+	Chunk   int
+	Start   int
+	Count   int
+	Stats   mtracecheck.ChunkStats
+	ErrKind uint8
+	Err     string
+	Uniques []mtracecheck.Unique
+}
+
+// chunkMagic heads the binary chunk-upload envelope.
+var chunkMagic = [8]byte{'M', 'T', 'C', 'C', 'H', 'N', 'K', '1'}
+
+// EncodeChunkUpload serializes an upload:
+//
+//	magic    [8]byte "MTCCHNK1"
+//	job      uint16 length + bytes
+//	worker   uint16 length + bytes
+//	chunk, start, count, iterations  uint32
+//	cycles   uint64
+//	squashes uint32
+//	errKind  uint8
+//	err      uint16 length + bytes
+//	asserts  uint32 count, each uint16 length + bytes
+//	sigs     WriteSet encoding of the unique set
+//	checksum uint64 FNV-64a of all preceding bytes
+func EncodeChunkUpload(u *ChunkUpload) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(chunkMagic[:])
+	writeString := func(s string) error {
+		if len(s) > 0xffff {
+			return fmt.Errorf("dist: upload string too long (%d bytes)", len(s))
+		}
+		binary.Write(&buf, binary.LittleEndian, uint16(len(s)))
+		buf.WriteString(s)
+		return nil
+	}
+	if err := writeString(u.Job); err != nil {
+		return nil, err
+	}
+	if err := writeString(u.Worker); err != nil {
+		return nil, err
+	}
+	for _, v := range []int{u.Chunk, u.Start, u.Count, u.Stats.Iterations} {
+		if v < 0 {
+			return nil, fmt.Errorf("dist: negative upload field %d", v)
+		}
+		binary.Write(&buf, binary.LittleEndian, uint32(v))
+	}
+	binary.Write(&buf, binary.LittleEndian, uint64(u.Stats.Cycles))
+	if u.Stats.Squashes < 0 {
+		return nil, fmt.Errorf("dist: negative squash count %d", u.Stats.Squashes)
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(u.Stats.Squashes))
+	buf.WriteByte(u.ErrKind)
+	if err := writeString(u.Err); err != nil {
+		return nil, err
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(len(u.Stats.Asserts)))
+	for _, a := range u.Stats.Asserts {
+		if err := writeString(a); err != nil {
+			return nil, err
+		}
+	}
+	if err := sig.WriteSet(&buf, u.Uniques); err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	binary.Write(&buf, binary.LittleEndian, h.Sum64())
+	return buf.Bytes(), nil
+}
+
+// DecodeChunkUpload parses and verifies an upload envelope. Any truncation,
+// trailing garbage, or checksum mismatch is an error — the transport is
+// untrusted by design.
+func DecodeChunkUpload(data []byte) (*ChunkUpload, error) {
+	if len(data) < len(chunkMagic)+8 {
+		return nil, errors.New("dist: upload too short")
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, errors.New("dist: upload checksum mismatch")
+	}
+	if [8]byte(body[:8]) != chunkMagic {
+		return nil, fmt.Errorf("dist: bad upload magic %q", body[:8])
+	}
+	r := bytes.NewReader(body[8:])
+	readString := func() (string, error) {
+		var n uint16
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	u := &ChunkUpload{}
+	var err error
+	if u.Job, err = readString(); err != nil {
+		return nil, fmt.Errorf("dist: upload job: %w", err)
+	}
+	if u.Worker, err = readString(); err != nil {
+		return nil, fmt.Errorf("dist: upload worker: %w", err)
+	}
+	var chunk, start, count, iters, squashes, nAsserts uint32
+	var cycles uint64
+	for _, dst := range []*uint32{&chunk, &start, &count, &iters} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("dist: upload header: %w", err)
+		}
+	}
+	if err := binary.Read(r, binary.LittleEndian, &cycles); err != nil {
+		return nil, fmt.Errorf("dist: upload header: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &squashes); err != nil {
+		return nil, fmt.Errorf("dist: upload header: %w", err)
+	}
+	if chunk > 1<<24 || start > 1<<30 || count > 1<<20 || iters > 1<<20 || squashes > 1<<30 {
+		return nil, errors.New("dist: implausible upload header")
+	}
+	u.Chunk, u.Start, u.Count = int(chunk), int(start), int(count)
+	u.Stats.Iterations, u.Stats.Cycles, u.Stats.Squashes = int(iters), int64(cycles), int(squashes)
+	kind, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dist: upload header: %w", err)
+	}
+	if kind > UploadOther {
+		return nil, fmt.Errorf("dist: invalid upload error kind %d", kind)
+	}
+	u.ErrKind = kind
+	if u.Err, err = readString(); err != nil {
+		return nil, fmt.Errorf("dist: upload error: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nAsserts); err != nil {
+		return nil, fmt.Errorf("dist: upload asserts: %w", err)
+	}
+	if nAsserts > 1<<20 {
+		return nil, errors.New("dist: implausible upload assert count")
+	}
+	for i := 0; i < int(nAsserts); i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("dist: upload assert %d: %w", i, err)
+		}
+		u.Stats.Asserts = append(u.Stats.Asserts, s)
+	}
+	if u.Uniques, err = sig.ReadSet(r); err != nil {
+		return nil, fmt.Errorf("dist: upload signatures: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("dist: %d trailing bytes after upload", r.Len())
+	}
+	return u, nil
+}

@@ -1,0 +1,45 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"mtracecheck/internal/fault"
+)
+
+// TestMetricsSurfaceQuarantine asserts the acceptance-criteria visibility:
+// a corrupting worker shows up in the /metrics exposition as per-worker
+// strikes and a quarantine count, and lease grants are counted.
+func TestMetricsSurfaceQuarantine(t *testing.T) {
+	spec := testSpec()
+	srv, url := startServer(t, ServerOptions{QuarantineAfter: 2})
+	if _, err := srv.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewWireInjector(fault.WireConfig{Seed: 9, Corrupt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liar := &Worker{Server: url, ID: "liar", Poll: 5 * time.Millisecond, Wire: inj}
+	liar.Run(context.Background())
+	runWorkers(t, url, 1, nil)
+	var buf bytes.Buffer
+	if err := srv.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`mtracecheck_dist_worker_strikes{worker="liar"} 2`,
+		`mtracecheck_dist_worker_quarantined{worker="liar"} 1`,
+		"mtracecheck_dist_workers_quarantined_total 1",
+		"mtracecheck_dist_leases_granted_total",
+		"mtracecheck_dist_upload_rejects_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -54,6 +54,12 @@ const (
 	KindStall
 	// KindPanic panics a shard mid-run.
 	KindPanic
+	// KindWireCorrupt flips one bit of a chunk upload in flight.
+	KindWireCorrupt
+	// KindWireDrop loses a chunk upload in flight (the lease expires).
+	KindWireDrop
+	// KindWireDelay holds a chunk upload past its send time.
+	KindWireDelay
 )
 
 func (k Kind) String() string {
@@ -72,6 +78,12 @@ func (k Kind) String() string {
 		return "stall"
 	case KindPanic:
 		return "panic"
+	case KindWireCorrupt:
+		return "wire-corrupt"
+	case KindWireDrop:
+		return "wire-drop"
+	case KindWireDelay:
+		return "wire-delay"
 	}
 	return fmt.Sprintf("fault.Kind(%d)", uint8(k))
 }

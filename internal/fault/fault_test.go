@@ -317,7 +317,8 @@ func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindNone: "none", KindBitFlip: "bit-flip", KindTruncate: "truncate",
 		KindDuplicate: "duplicate", KindOutOfRange: "out-of-range",
-		KindStall: "stall", KindPanic: "panic",
+		KindStall: "stall", KindPanic: "panic", KindWireCorrupt: "wire-corrupt",
+		KindWireDrop: "wire-drop", KindWireDelay: "wire-delay",
 	} {
 		if k.String() != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)

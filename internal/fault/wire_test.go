@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestWireConfigValidate(t *testing.T) {
+	if err := (WireConfig{Corrupt: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := (WireConfig{Drop: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (WireConfig{DelayFor: -time.Second}).Validate(); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := NewWireInjector(WireConfig{Corrupt: 0.5, Drop: 0.1}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if (WireConfig{}).Enabled() {
+		t.Error("zero config claims enabled")
+	}
+}
+
+func TestWirePlanDeterministic(t *testing.T) {
+	in, err := NewWireInjector(WireConfig{Seed: 7, Corrupt: 0.5, Drop: 0.2, Delay: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chunk := 0; chunk < 50; chunk++ {
+		a := in.PlanUpload("job-1", chunk, 0)
+		b := in.PlanUpload("job-1", chunk, 0)
+		if a != b {
+			t.Fatalf("chunk %d: plan not deterministic: %+v vs %+v", chunk, a, b)
+		}
+	}
+	// Attempts draw independent decisions.
+	diff := false
+	for chunk := 0; chunk < 50 && !diff; chunk++ {
+		diff = in.PlanUpload("job-1", chunk, 0) != in.PlanUpload("job-1", chunk, 1)
+	}
+	if !diff {
+		t.Error("attempt number never changed the plan across 50 chunks")
+	}
+}
+
+func TestWireMangleUpload(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+
+	corrupt, _ := NewWireInjector(WireConfig{Seed: 1, Corrupt: 1})
+	out, f := corrupt.MangleUpload(payload, "j", 0, 0)
+	if f.Kind != KindWireCorrupt {
+		t.Fatalf("fault %v, want wire-corrupt", f.Kind)
+	}
+	if bytes.Equal(out, payload) {
+		t.Error("corrupt left the payload unchanged")
+	}
+	nFlipped := 0
+	for i := range out {
+		if out[i] != payload[i] {
+			nFlipped++
+		}
+	}
+	if nFlipped != 1 {
+		t.Errorf("%d bytes changed, want exactly 1", nFlipped)
+	}
+	if payload[0] != 0xAA {
+		t.Error("corrupt mutated the caller's payload")
+	}
+
+	drop, _ := NewWireInjector(WireConfig{Seed: 1, Drop: 1})
+	if out, f := drop.MangleUpload(payload, "j", 0, 0); out != nil || f.Kind != KindWireDrop {
+		t.Errorf("drop: payload %v fault %v", out != nil, f.Kind)
+	}
+
+	delay, _ := NewWireInjector(WireConfig{Seed: 1, Delay: 1, DelayFor: time.Millisecond})
+	if out, f := delay.MangleUpload(payload, "j", 0, 0); !bytes.Equal(out, payload) ||
+		f.Kind != KindWireDelay || f.Hold != time.Millisecond {
+		t.Errorf("delay: fault %+v", f)
+	}
+
+	clean, _ := NewWireInjector(WireConfig{})
+	if out, f := clean.MangleUpload(payload, "j", 0, 0); !bytes.Equal(out, payload) || f.Kind != KindNone {
+		t.Errorf("clean: fault %v", f.Kind)
+	}
+}

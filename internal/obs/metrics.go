@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -61,8 +62,29 @@ type Metrics struct {
 	maxWindow      atomic.Int64
 	stageNanos     [numStages]atomic.Int64
 
+	// Distributed-campaign counters (DistObserver events from the dist
+	// server); zero for in-process campaigns.
+	distJoins       atomic.Int64
+	distLost        atomic.Int64
+	distQuarantined atomic.Int64
+	distLeases      atomic.Int64
+	distExpired     atomic.Int64
+	distRedispatch  atomic.Int64
+	distDuplicates  atomic.Int64
+	distRejects     atomic.Int64
+
 	mu    sync.Mutex
 	curve []CurvePoint
+	// Per-worker dist accounting, keyed by worker ID (map writes are rare —
+	// once per worker event, never per iteration).
+	workers map[string]*WorkerCounts
+}
+
+// WorkerCounts is one worker's per-ID dist accounting.
+type WorkerCounts struct {
+	Strikes     int64 // upload-validation failures
+	Quarantined bool
+	Lost        int64 // lease deadlines missed
 }
 
 // NewMetrics returns an empty aggregator.
@@ -122,10 +144,27 @@ type Effort struct {
 	CheckNanos   int64
 }
 
+// Dist aggregates the distributed-campaign robustness events: how the lease
+// protocol, quarantine, and redispatch machinery actually behaved. All zero
+// for in-process campaigns.
+type Dist struct {
+	WorkerJoins        int64
+	WorkersLost        int64
+	WorkersQuarantined int64
+	LeasesGranted      int64
+	LeasesExpired      int64
+	Redispatched       int64
+	Duplicates         int64
+	UploadRejects      int64
+	// Workers holds the per-worker breakdown, keyed by worker ID.
+	Workers map[string]WorkerCounts
+}
+
 // Snapshot is a consistent copy of the aggregated metrics.
 type Snapshot struct {
 	Totals Totals
 	Effort Effort
+	Dist   Dist
 }
 
 // Snapshot returns a copy of the current aggregates. It is safe to call
@@ -135,6 +174,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	curve := make([]CurvePoint, len(m.curve))
 	copy(curve, m.curve)
+	var workers map[string]WorkerCounts
+	if len(m.workers) > 0 {
+		workers = make(map[string]WorkerCounts, len(m.workers))
+		for id, wc := range m.workers {
+			workers[id] = *wc
+		}
+	}
 	m.mu.Unlock()
 	return Snapshot{
 		Totals: Totals{
@@ -177,6 +223,72 @@ func (m *Metrics) Snapshot() Snapshot {
 			DecodeNanos:       m.stageNanos[StageDecode].Load(),
 			CheckNanos:        m.stageNanos[StageCheck].Load(),
 		},
+		Dist: Dist{
+			WorkerJoins:        m.distJoins.Load(),
+			WorkersLost:        m.distLost.Load(),
+			WorkersQuarantined: m.distQuarantined.Load(),
+			LeasesGranted:      m.distLeases.Load(),
+			LeasesExpired:      m.distExpired.Load(),
+			Redispatched:       m.distRedispatch.Load(),
+			Duplicates:         m.distDuplicates.Load(),
+			UploadRejects:      m.distRejects.Load(),
+			Workers:            workers,
+		},
+	}
+}
+
+// workerCounts returns the per-worker record, creating it if needed.
+// Callers hold m.mu.
+func (m *Metrics) workerCounts(id string) *WorkerCounts {
+	if m.workers == nil {
+		m.workers = make(map[string]*WorkerCounts)
+	}
+	wc, ok := m.workers[id]
+	if !ok {
+		wc = &WorkerCounts{}
+		m.workers[id] = wc
+	}
+	return wc
+}
+
+// WorkerEvent implements DistObserver.
+func (m *Metrics) WorkerEvent(e WorkerEvent) {
+	m.mu.Lock()
+	wc := m.workerCounts(e.Worker)
+	switch e.Op {
+	case WorkerLost:
+		wc.Lost++
+	case WorkerQuarantined:
+		wc.Quarantined = true
+	}
+	wc.Strikes = int64(e.Strikes)
+	m.mu.Unlock()
+	switch e.Op {
+	case WorkerJoin:
+		m.distJoins.Add(1)
+	case WorkerLost:
+		m.distLost.Add(1)
+	case WorkerQuarantined:
+		m.distQuarantined.Add(1)
+	}
+}
+
+// LeaseEvent implements DistObserver.
+func (m *Metrics) LeaseEvent(e LeaseEvent) {
+	switch e.Op {
+	case LeaseGranted:
+		m.distLeases.Add(1)
+	case LeaseExpired:
+		m.distExpired.Add(1)
+	case ChunkRedispatched:
+		m.distRedispatch.Add(1)
+	case ChunkDuplicate:
+		m.distDuplicates.Add(1)
+	case UploadRejected:
+		m.distRejects.Add(1)
+		m.mu.Lock()
+		m.workerCounts(e.Worker).Strikes++
+		m.mu.Unlock()
 	}
 }
 
@@ -332,6 +444,36 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"check", s.Effort.CheckNanos},
 	} {
 		fmt.Fprintf(bw, "mtracecheck_stage_seconds_total{stage=%q} %.6f\n", kv.stage, float64(kv.ns)/1e9)
+	}
+
+	counter("mtracecheck_dist_worker_joins_total", "Workers that joined the dist server.", s.Dist.WorkerJoins)
+	counter("mtracecheck_dist_workers_lost_total", "Worker lease deadlines missed (crash, hang, or partition).", s.Dist.WorkersLost)
+	counter("mtracecheck_dist_workers_quarantined_total", "Workers quarantined for repeated upload-validation failures.", s.Dist.WorkersQuarantined)
+	counter("mtracecheck_dist_leases_granted_total", "Chunk leases granted to workers.", s.Dist.LeasesGranted)
+	counter("mtracecheck_dist_leases_expired_total", "Chunk leases that expired without a completed upload.", s.Dist.LeasesExpired)
+	counter("mtracecheck_dist_chunks_redispatched_total", "Chunks granted again after a lost lease or quarantined worker.", s.Dist.Redispatched)
+	counter("mtracecheck_dist_duplicate_completions_total", "Uploads for already-completed chunks, deduplicated by chunk ID.", s.Dist.Duplicates)
+	counter("mtracecheck_dist_upload_rejects_total", "Chunk uploads that failed server-side validation.", s.Dist.UploadRejects)
+	if len(s.Dist.Workers) > 0 {
+		ids := make([]string, 0, len(s.Dist.Workers))
+		for id := range s.Dist.Workers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(bw, "# HELP mtracecheck_dist_worker_strikes Upload-validation failures per worker.\n")
+		fmt.Fprintf(bw, "# TYPE mtracecheck_dist_worker_strikes gauge\n")
+		for _, id := range ids {
+			fmt.Fprintf(bw, "mtracecheck_dist_worker_strikes{worker=%q} %d\n", id, s.Dist.Workers[id].Strikes)
+		}
+		fmt.Fprintf(bw, "# HELP mtracecheck_dist_worker_quarantined Whether the worker is quarantined (1) or trusted (0).\n")
+		fmt.Fprintf(bw, "# TYPE mtracecheck_dist_worker_quarantined gauge\n")
+		for _, id := range ids {
+			q := 0
+			if s.Dist.Workers[id].Quarantined {
+				q = 1
+			}
+			fmt.Fprintf(bw, "mtracecheck_dist_worker_quarantined{worker=%q} %d\n", id, q)
+		}
 	}
 	return bw.Flush()
 }

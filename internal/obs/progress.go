@@ -129,6 +129,41 @@ func (p *Progress) Checkpoint(e Checkpoint) {
 		e.Completed, e.Uniques, e.Bytes, e.Path)
 }
 
+// WorkerEvent implements DistObserver: worker-lifecycle transitions are
+// operational signals and never rate-limited.
+func (p *Progress) WorkerEvent(e WorkerEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Op {
+	case WorkerJoin:
+		p.logf("dist: worker %s joined", e.Worker)
+	case WorkerLost:
+		p.logf("dist: worker %s lost (%d leases returned to the queue)", e.Worker, e.Leases)
+	case WorkerQuarantined:
+		p.logf("dist: worker %s QUARANTINED after %d rejected uploads (%d leases revoked)",
+			e.Worker, e.Strikes, e.Leases)
+	}
+}
+
+// LeaseEvent implements DistObserver: grants are rate-limited chatter,
+// failures (expiry, redispatch, rejects) always print.
+func (p *Progress) LeaseEvent(e LeaseEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Op {
+	case LeaseGranted:
+		p.tickf("dist: chunk %d of %s leased to %s (attempt %d)", e.Chunk, e.Job, e.Worker, e.Attempt)
+	case LeaseExpired:
+		p.logf("dist: chunk %d of %s lease expired on %s", e.Chunk, e.Job, e.Worker)
+	case ChunkRedispatched:
+		p.logf("dist: chunk %d of %s redispatched to %s (attempt %d)", e.Chunk, e.Job, e.Worker, e.Attempt)
+	case ChunkDuplicate:
+		p.logf("dist: chunk %d of %s duplicate completion from %s discarded", e.Chunk, e.Job, e.Worker)
+	case UploadRejected:
+		p.logf("dist: chunk %d of %s upload from %s REJECTED", e.Chunk, e.Job, e.Worker)
+	}
+}
+
 // CampaignEnd implements Observer.
 func (p *Progress) CampaignEnd(e CampaignEnd) {
 	p.mu.Lock()

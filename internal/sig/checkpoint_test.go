@@ -81,6 +81,115 @@ func TestCheckpointRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestCheckpointDistRoundTrip(t *testing.T) {
+	ck := Checkpoint{
+		Seed:      99,
+		ProgHash:  0xabcd,
+		Completed: 128,
+		Uniques:   ckUniques(4, 8),
+		Dist: &DistState{
+			ChunkSize: 64,
+			Chunks: []CkptChunk{
+				{Status: ChunkDone, Attempt: 1, Iterations: 64, Cycles: 9999, Squashes: 2,
+					Asserts: []string{"t1 assert failed", "t2 assert failed"}},
+				{Status: ChunkLeased, Attempt: 3, Worker: "worker-b"},
+				{Status: ChunkPending, Attempt: 2},
+				{Status: ChunkDone, Iterations: 40, Cycles: 5},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist == nil {
+		t.Fatal("dist section lost")
+	}
+	if got.Dist.ChunkSize != 64 {
+		t.Errorf("chunk size %d", got.Dist.ChunkSize)
+	}
+	if got.Dist.DoneChunks() != 2 {
+		t.Errorf("%d done chunks, want 2", got.Dist.DoneChunks())
+	}
+	if len(got.Dist.Chunks) != len(ck.Dist.Chunks) {
+		t.Fatalf("%d chunks, want %d", len(got.Dist.Chunks), len(ck.Dist.Chunks))
+	}
+	for i, want := range ck.Dist.Chunks {
+		g := got.Dist.Chunks[i]
+		if g.Status != want.Status || g.Attempt != want.Attempt || g.Worker != want.Worker {
+			t.Errorf("chunk %d lease state %+v, want %+v", i, g, want)
+		}
+		if want.Status != ChunkDone {
+			continue
+		}
+		if g.Iterations != want.Iterations || g.Cycles != want.Cycles || g.Squashes != want.Squashes {
+			t.Errorf("chunk %d counters %+v, want %+v", i, g, want)
+		}
+		if len(g.Asserts) != len(want.Asserts) {
+			t.Fatalf("chunk %d: %d asserts, want %d", i, len(g.Asserts), len(want.Asserts))
+		}
+		for a := range g.Asserts {
+			if g.Asserts[a] != want.Asserts[a] {
+				t.Errorf("chunk %d assert %d: %q", i, a, g.Asserts[a])
+			}
+		}
+	}
+}
+
+func TestCheckpointLegacyHasNilDist(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, Checkpoint{Seed: 5, Uniques: ckUniques(1)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist != nil {
+		t.Error("plain checkpoint grew a dist section")
+	}
+}
+
+func TestCheckpointDistRejectsBadInput(t *testing.T) {
+	base := Checkpoint{Seed: 1, Uniques: ckUniques(2)}
+	if err := WriteCheckpoint(&bytes.Buffer{}, Checkpoint{
+		Seed: 1, Dist: &DistState{ChunkSize: 0, Chunks: []CkptChunk{{}}},
+	}); err == nil {
+		t.Error("zero chunk size accepted on write")
+	}
+	if err := WriteCheckpoint(&bytes.Buffer{}, Checkpoint{
+		Seed: 1, Dist: &DistState{ChunkSize: 64, Chunks: []CkptChunk{{Status: 7}}},
+	}); err == nil {
+		t.Error("invalid chunk status accepted on write")
+	}
+	// Garbage where the dist magic would be.
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, base); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("NOTDIST1")
+	if _, err := ReadCheckpoint(&buf); err == nil {
+		t.Error("bogus trailer magic accepted")
+	}
+	// Dist section truncated mid-chunk.
+	buf.Reset()
+	ck := base
+	ck.Dist = &DistState{ChunkSize: 64, Chunks: []CkptChunk{
+		{Status: ChunkDone, Iterations: 64}, {Status: ChunkPending},
+	}}
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadCheckpoint(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated dist section accepted")
+	}
+}
+
 func TestMergeUniques(t *testing.T) {
 	a := ckUniques(1, 3, 5)
 	b := ckUniques(2, 3, 6)

@@ -1,0 +1,101 @@
+package mtracecheck
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+)
+
+// Report summaries shared by the CLIs: cmd/mtracecheck and the distributed
+// server print campaign outcomes through these, so a campaign fanned out to
+// remote workers summarizes byte-identically to a local one.
+
+// WriteCheckSummary prints the selected backend's effort line — each
+// backend populates different Result counters, so the line names the
+// backend and shows the counters it actually filled.
+func WriteCheckSummary(w io.Writer, report *Report, checker Checker) {
+	cs := report.CheckStats
+	if cs == nil {
+		return
+	}
+	switch checker {
+	case CheckerVectorClock:
+		fmt.Fprintf(w, "vector-clock checking: %d graphs (%d clock updates)\n",
+			cs.Total, cs.ClockUpdates)
+	case CheckerConventional:
+		fmt.Fprintf(w, "conventional checking: %d graphs (%d vertices sorted)\n",
+			cs.Total, cs.SortedVertices)
+	default:
+		// Collective and incremental both maintain an order and record
+		// per-graph validation kinds.
+		c, nr, inc := cs.Counts()
+		if c+nr+inc == 0 {
+			return
+		}
+		fmt.Fprintf(w, "collective checking:  %d complete, %d no-resort, %d incremental (%d vertices sorted)\n",
+			c, nr, inc, cs.SortedVertices)
+	}
+}
+
+// WriteDegradation summarizes fault tolerance outcomes: resumed progress,
+// injected faults, quarantined signatures, and lost shards.
+func WriteDegradation(w io.Writer, report *Report) {
+	if report.ResumedIterations > 0 {
+		fmt.Fprintf(w, "resumed:              %d iterations from checkpoint\n", report.ResumedIterations)
+	}
+	if n := len(report.InjectedFaults); n > 0 {
+		fmt.Fprintf(w, "injected faults:     ")
+		// Sorted so the line is stable across runs (map order is not).
+		for _, kind := range sortedCountKeys(report.InjectedFaults) {
+			fmt.Fprintf(w, " %v=%d", kind, report.InjectedFaults[kind])
+		}
+		fmt.Fprintln(w)
+	}
+	if counts := report.QuarantineCounts(); counts != nil {
+		fmt.Fprintf(w, "quarantined:          %d signatures (", len(report.Quarantined))
+		for i, kind := range sortedCountKeys(counts) {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%d %v", counts[kind], kind)
+		}
+		fmt.Fprintln(w, ")")
+	}
+	if report.Partial() {
+		fmt.Fprintf(w, "PARTIAL: %d execution shards lost after retries:\n", len(report.ShardFailures))
+		for _, sf := range report.ShardFailures {
+			fmt.Fprintf(w, "  iterations [%d,%d): %d executed over %d attempts: %v\n",
+				sf.Start, sf.Start+sf.Count, sf.Executed, sf.Attempts, sf.Err)
+		}
+	}
+}
+
+// WriteResultSummary prints the headline stats and PASS/FAIL verdict for a
+// completed campaign, returning whether the report is a finding.
+func WriteResultSummary(w io.Writer, report *Report, checker Checker) bool {
+	fmt.Fprintf(w, "unique interleavings: %d / %d iterations (%.1f%%)\n",
+		report.UniqueSignatures, report.Iterations,
+		100*float64(report.UniqueSignatures)/float64(report.Iterations))
+	fmt.Fprintf(w, "execution signature:  %d bytes\n", report.SignatureBytes)
+	fmt.Fprintf(w, "simulated cycles:     %d total\n", report.TotalCycles)
+	WriteCheckSummary(w, report, checker)
+	WriteDegradation(w, report)
+	if report.Failed() {
+		fmt.Fprintf(w, "RESULT: FAIL — %d graph violations, %d assertion failures\n",
+			len(report.Violations), len(report.AssertionFailures))
+		return true
+	}
+	fmt.Fprintln(w, "RESULT: PASS — all observed interleavings consistent with the model")
+	return false
+}
+
+// sortedCountKeys returns m's keys sorted by their rendered names.
+func sortedCountKeys[K comparable](m map[K]int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b K) int { return strings.Compare(fmt.Sprint(a), fmt.Sprint(b)) })
+	return keys
+}
