@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke dist-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke dist-smoke corpus-smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ fuzz-short:
 	$(GO) test ./internal/sig -run '^$$' -fuzz '^FuzzReadSet$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzChunkUpload$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/corpus -run '^$$' -fuzz '^FuzzCorpusLoad$$' -fuzztime $(FUZZTIME)
 
 # Observability smoke: the same campaign run bare and with all three
 # observers attached must print a bit-identical report (the observers'
@@ -130,8 +131,37 @@ dist-smoke:
 		|| { echo "dist-smoke: distributed signatures differ from the in-process run"; cat $$dir/report; exit 1; }; \
 	echo "dist-smoke: OK (signatures bit-identical to in-process despite a killed worker and a corrupting worker)"
 
+# Signature-corpus smoke: the same campaign runs cold (empty corpus) and
+# warm (corpus grown by the cold run). The signature files must compare
+# byte-equal, the reports must match modulo the corpus/effort lines that
+# differ by design, and the warm run must check zero graphs while scoring
+# a corpus hit for every unique — the warm-cache perf contract, end to
+# end through the CLI.
+corpus-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf $$dir' EXIT; \
+	for run in cold warm; do \
+		$(GO) run ./cmd/mtracecheck -threads 4 -ops 40 -words 16 -iters 400 -seed 11 \
+			-corpus $$dir/corpus.mtc -sigs-out $$dir/$$run.sigs -metrics-out $$dir/$$run.metrics \
+			> $$dir/$$run.report || { cat $$dir/$$run.report; exit 1; }; \
+		grep -Ev 'checking:|signature corpus:' $$dir/$$run.report \
+			| sed "s|$$dir/$$run|RUN|g" > $$dir/$$run.verdict; \
+	done; \
+	cmp $$dir/cold.sigs $$dir/warm.sigs \
+		|| { echo "corpus-smoke: signature files differ between cold and warm"; exit 1; }; \
+	cmp $$dir/cold.verdict $$dir/warm.verdict \
+		|| { echo "corpus-smoke: warm verdict differs from cold"; diff $$dir/cold.verdict $$dir/warm.verdict; exit 1; }; \
+	grep -q '^mtracecheck_graphs_checked_total 0$$' $$dir/warm.metrics \
+		|| { echo "corpus-smoke: warm run still checked graphs"; grep graphs_checked $$dir/warm.metrics; exit 1; }; \
+	grep -q '^mtracecheck_corpus_misses_total 0$$' $$dir/warm.metrics \
+		|| { echo "corpus-smoke: warm run missed the corpus"; grep corpus $$dir/warm.metrics; exit 1; }; \
+	hits=$$(grep '^mtracecheck_corpus_hits_total ' $$dir/warm.metrics | cut -d' ' -f2); \
+	checked=$$(grep '^mtracecheck_graphs_checked_total ' $$dir/cold.metrics | cut -d' ' -f2); \
+	[ "$$hits" = "$$checked" ] && [ "$$hits" -gt 0 ] \
+		|| { echo "corpus-smoke: warm hits ($$hits) != cold graphs checked ($$checked)"; exit 1; }; \
+	echo "corpus-smoke: OK (warm rerun bit-identical with $$hits corpus hits and zero graphs checked)"
+
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke dist-smoke
+verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke dist-smoke corpus-smoke
 
 # Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
 # (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed

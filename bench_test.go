@@ -6,6 +6,8 @@ package mtracecheck
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"mtracecheck/internal/check"
@@ -354,6 +356,63 @@ func benchRunProgramWorkers(b *testing.B, workers int) {
 			b.Fatal("clean platform reported violations")
 		}
 		b.ReportMetric(float64(report.UniqueSignatures), "uniques/op")
+	}
+}
+
+// BenchmarkCampaignColdCorpus / WarmCorpus: the signature-corpus pair.
+// Cold runs the full end-to-end campaign against an empty corpus (all
+// uniques decoded, checked, and appended); warm reruns the identical
+// campaign against the corpus the setup grew, so every unique skips
+// decode+check as a hit. The gap between the two is the cross-campaign
+// memoization payoff on repeat interleavings.
+func BenchmarkCampaignColdCorpus(b *testing.B) { benchCampaignCorpus(b, false) }
+
+func BenchmarkCampaignWarmCorpus(b *testing.B) { benchCampaignCorpus(b, true) }
+
+func benchCampaignCorpus(b *testing.B, warm bool) {
+	b.Helper()
+	p, err := testgen.Generate(TestConfig{Threads: 4, OpsPerThread: 50, Words: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "corpus.mtc")
+	opts := Options{Platform: sim.PlatformX86(), Iterations: 2048, Seed: 1}
+	if warm {
+		// Grow the corpus once, outside the measured region.
+		store, err := OpenCorpus(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opts
+		o.Corpus = store
+		if _, err := RunProgram(p, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if !warm {
+			os.Remove(path) // every cold iteration starts from an empty corpus
+		}
+		store, err := OpenCorpus(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opts
+		o.Corpus = store
+		b.StartTimer()
+		report, err := RunProgram(p, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Failed() {
+			b.Fatal("clean platform reported violations")
+		}
+		if warm && report.CorpusHits != report.UniqueSignatures {
+			b.Fatalf("warm run only hit %d of %d uniques", report.CorpusHits, report.UniqueSignatures)
+		}
+		b.ReportMetric(float64(report.CorpusHits), "hits/op")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mtracecheck/internal/check"
+	"mtracecheck/internal/corpus"
 	"mtracecheck/internal/fault"
 	"mtracecheck/internal/graph"
 	"mtracecheck/internal/instrument"
@@ -39,6 +40,13 @@ type Campaign struct {
 	backend check.Backend
 	em      emitter
 	workers int
+
+	// Signature-corpus state (Options.Corpus). corpusOK means the attached
+	// store is usable for this campaign's key; a width mismatch degrades to
+	// a cold run (corpusErr says why) rather than risking a wrong verdict.
+	corpKey   corpus.Key
+	corpusOK  bool
+	corpusErr error
 }
 
 // execChunkSize is the streaming scheduler's work granule: workers pull
@@ -68,11 +76,33 @@ func NewCampaign(p *Program, opts Options) (*Campaign, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mtracecheck: %w", err)
 	}
-	return &Campaign{
+	c := &Campaign{
 		prog: p, opts: opts, meta: meta, inj: inj, backend: backend,
 		em: emitter{o: opts.Observer}, workers: opts.workerCount(),
-	}, nil
+	}
+	if opts.Corpus != nil {
+		if opts.ObservedWS {
+			return nil, errors.New("mtracecheck: the signature corpus requires the static ws mode (cached verdicts are a pure function of the signature)")
+		}
+		if opts.Pruner != nil {
+			return nil, errors.New("mtracecheck: the signature corpus cannot be combined with a pruner (pruning changes the signature encoding the corpus key does not capture)")
+		}
+		c.corpKey = corpus.Key{
+			ProgHash: progHash(p),
+			Platform: opts.Platform.Name,
+			MCM:      opts.Platform.Model.String(),
+		}
+		if w, ok := opts.Corpus.Words(c.corpKey); ok && w != meta.TotalWords() {
+			c.corpusErr = fmt.Errorf("corpus section holds %d-word signatures, campaign produces %d; corpus ignored", w, meta.TotalWords())
+		} else {
+			c.corpusOK = true
+		}
+	}
+	return c, nil
 }
+
+// corpusActive reports whether the warm-cache fast path applies.
+func (c *Campaign) corpusActive() bool { return c.opts.Corpus != nil && c.corpusOK }
 
 // newReport seeds a report with the campaign's identity — the provenance
 // SaveSignatures persists and resume/check-only paths validate.
@@ -188,26 +218,56 @@ func (c *Campaign) SignatureMetadata() SignatureMeta {
 // property no partial stream has.
 func (c *Campaign) decodeAndCheck(ctx context.Context, uniques []Unique,
 	m *merger, report *Report) error {
+	// Warm-cache fast path: partition the merged set against the corpus at
+	// the sort barrier. Hits were proven acyclic by an earlier campaign —
+	// the verdict is a pure function of (program, signature) — so they skip
+	// decode and checking entirely; they still count in UniqueSignatures,
+	// so the Fig. 8 growth curve and the printed verdict are bit-identical
+	// to a cold or corpus-less run. A corpus the campaign refused (load
+	// failure upstream, width mismatch) degrades to that cold run.
+	novel := uniques
+	if c.opts.Corpus != nil {
+		if !c.corpusOK {
+			report.CorpusIgnored = c.corpusErr
+			c.em.corpusEvent(obs.CorpusEvent{
+				Op: obs.CorpusIgnored, Program: c.corpKey.ProgHash,
+				Platform: c.corpKey.Platform, MCM: c.corpKey.MCM, Err: c.corpusErr,
+			})
+		} else {
+			report.CorpusConsulted = true
+			var hits int
+			novel, hits = c.partitionCorpus(uniques)
+			report.CorpusHits = hits
+			c.em.corpusEvent(obs.CorpusEvent{
+				Op: obs.CorpusLookup, Program: c.corpKey.ProgHash,
+				Platform: c.corpKey.Platform, MCM: c.corpKey.MCM,
+				Hits: hits, Misses: len(novel), Known: c.opts.Corpus.Len(c.corpKey),
+			})
+		}
+	}
 	var builder *graph.Builder
 	var items []check.Item
 	var quarantined []Quarantined
 	var err error
 	if m != nil && m.builder != nil {
 		builder = m.builder
-		items, quarantined, err = m.assemble(uniques)
+		items, quarantined, err = m.assemble(novel)
 	} else {
 		builder = c.newBuilder()
 		var wsBySig map[string]graph.WS
 		if m != nil {
 			wsBySig = m.wsBySig
 		}
-		items, quarantined, err = decodeItems(ctx, c.meta, builder, uniques, wsBySig,
+		items, quarantined, err = decodeItems(ctx, c.meta, builder, novel, wsBySig,
 			c.workers, c.opts.Strict, c.em)
 	}
 	if err != nil {
 		return err
 	}
 	report.Quarantined = quarantined
+	// The threshold denominator stays the full unique set: corpus hits are
+	// decodable by construction (they decoded when first proven), so the
+	// quarantined fraction matches the cold run's.
 	if c.opts.QuarantineThreshold > 0 && len(uniques) > 0 {
 		if frac := float64(len(quarantined)) / float64(len(uniques)); frac > c.opts.QuarantineThreshold {
 			return fmt.Errorf("%w: %d of %d unique signatures (%.2f%% > %.2f%%)",
@@ -226,6 +286,64 @@ func (c *Campaign) decodeAndCheck(ctx context.Context, uniques []Unique,
 		return err
 	}
 	report.Violations = report.CheckStats.Violations
+	if c.corpusActive() {
+		if err := c.corpusAppend(report, items); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionCorpus splits the sorted unique set into corpus misses (the
+// returned slice, ascending order preserved) and hits.
+func (c *Campaign) partitionCorpus(uniques []Unique) ([]Unique, int) {
+	novel := make([]Unique, 0, len(uniques))
+	var key []byte
+	hits := 0
+	for _, u := range uniques {
+		key = u.Sig.AppendBinary(key[:0])
+		if c.opts.Corpus.Contains(c.corpKey, key) {
+			hits++
+			continue
+		}
+		novel = append(novel, u)
+	}
+	return novel, hits
+}
+
+// corpusAppend stages every newly checked signature that proved acyclic
+// — violating signatures are never cached — and flushes the corpus
+// atomically. Flush failures are surfaced like checkpoint-write
+// failures: the verdict stands, but the campaign errors rather than
+// silently dropping persistence the caller asked for.
+func (c *Campaign) corpusAppend(report *Report, items []check.Item) error {
+	var bad map[string]bool
+	if len(report.Violations) > 0 {
+		bad = make(map[string]bool, len(report.Violations))
+		for _, v := range report.Violations {
+			bad[v.Sig.Key()] = true
+		}
+	}
+	appended := 0
+	for _, it := range items {
+		if bad[it.Sig.Key()] {
+			continue
+		}
+		if c.opts.Corpus.Add(c.corpKey, it.Sig, c.opts.Seed) {
+			appended++
+		}
+	}
+	report.CorpusAppended = appended
+	bytes, err := c.opts.Corpus.Flush()
+	c.em.corpusEvent(obs.CorpusEvent{
+		Op: obs.CorpusFlush, Program: c.corpKey.ProgHash,
+		Platform: c.corpKey.Platform, MCM: c.corpKey.MCM,
+		Appended: appended, Known: c.opts.Corpus.Len(c.corpKey),
+		Bytes: bytes, Err: err,
+	})
+	if err != nil {
+		return fmt.Errorf("mtracecheck: corpus: %w", err)
+	}
 	return nil
 }
 
@@ -307,6 +425,11 @@ func (m *merger) absorb(out *shardOut) {
 		if m.builder == nil {
 			continue
 		}
+		if m.c.corpusActive() && m.c.opts.Corpus.Contains(m.c.corpKey, m.keyBuf) {
+			// Known good: the barrier partition will drop it before decode
+			// and check, so the streaming decode skips it too.
+			continue
+		}
 		e := m.decodeOne(u.Sig)
 		m.cache[string(m.keyBuf)] = e
 		fresh++
@@ -341,6 +464,9 @@ func (m *merger) absorbResumed(uniques []sig.Unique) {
 			continue
 		}
 		m.keyBuf = u.Sig.AppendBinary(m.keyBuf[:0])
+		if m.c.corpusActive() && m.c.opts.Corpus.Contains(m.c.corpKey, m.keyBuf) {
+			continue
+		}
 		e := m.decodeOne(u.Sig)
 		m.cache[string(m.keyBuf)] = e
 		switch {
@@ -517,6 +643,15 @@ func (c *Campaign) execute(ctx context.Context, report *Report, m *merger) error
 				return fmt.Errorf("mtracecheck: checkpoint: %w", err)
 			}
 			c.em.checkpointOp(obs.CheckpointSaved, opts.CheckpointPath, completed, len(merged), bytes)
+			if c.corpusActive() {
+				// Checkpoint boundaries also persist any staged corpus
+				// entries — a no-op for a lone campaign (verification is
+				// terminal), but a shared store (the dist server's) may hold
+				// appends from jobs that finalized since the last flush.
+				if _, err := c.opts.Corpus.Flush(); err != nil {
+					return fmt.Errorf("mtracecheck: corpus: %w", err)
+				}
+			}
 		}
 	}
 	return nil
@@ -866,6 +1001,14 @@ func (em emitter) checkpointOp(op obs.CheckpointOp, path string, completed, uniq
 		Op: op, Path: path, Completed: completed, Uniques: uniques,
 		Bytes: bytes, Time: time.Now(),
 	})
+}
+
+func (em emitter) corpusEvent(e obs.CorpusEvent) {
+	if em.o == nil {
+		return
+	}
+	e.Time = time.Now()
+	obs.EmitCorpus(em.o, e)
 }
 
 // faultCounts flattens the report's injected-fault map into the event

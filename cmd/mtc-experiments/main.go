@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (platforms, fig6, fig8, fig9, fig10, fig11, fig12, table3, litmus, all)")
+		exp      = flag.String("exp", "all", "experiment to run (platforms, fig6, fig8, fig9, fig10, fig11, fig12, table3, litmus, corpus, all)")
 		iters    = flag.Int("iters", 0, "override iterations per test run")
 		tests    = flag.Int("tests", 0, "override tests per configuration")
 		seed     = flag.Int64("seed", 1, "master seed")
@@ -35,6 +35,7 @@ func main() {
 		checker  = flag.String("checker", "", "checking backend for single-backend experiments (default collective): "+
 			strings.Join(mtracecheck.CheckerNames(), ", "))
 		listCheckers = flag.Bool("list-checkers", false, "print the registered checker backends, one per line, and exit")
+		corpusDir    = flag.String("corpus", "", "directory for the corpus experiment's persistent signature corpora (default: a temporary directory)")
 
 		metricsOut = flag.String("metrics-out", "", "write collection metrics (Prometheus text format) to this file at exit")
 		progress   = flag.Bool("progress", false, "log rate-limited per-collection progress to stderr")
@@ -62,6 +63,7 @@ func main() {
 		cfg.Tests = *tests
 	}
 	cfg.Seed = *seed
+	cfg.CorpusPath = *corpusDir
 	if *checker != "" {
 		// Fail fast on typos instead of erroring mid-experiment.
 		if _, err := mtracecheck.ParseChecker(*checker); err != nil {
@@ -128,10 +130,11 @@ func main() {
 		"atomicity":  one(experiments.Atomicity),
 		"dynprune":   one(experiments.DynPrune),
 		"bias":       one(experiments.Bias),
+		"corpus":     one(experiments.Corpus),
 	}
 
 	order := []string{"platforms", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"table3", "litmus", "ws", "prune", "scaling", "fr", "saturation", "atomicity", "dynprune", "bias"}
+		"table3", "litmus", "ws", "prune", "scaling", "fr", "saturation", "atomicity", "dynprune", "bias", "corpus"}
 	switch {
 	case *exp == "all":
 		for _, name := range order {

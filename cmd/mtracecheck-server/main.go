@@ -56,6 +56,7 @@ func run() int {
 		quarAfter = flag.Int("quarantine-after", 0, "rejected uploads before a worker is quarantined (0 = 3, negative disables)")
 		maxAtt    = flag.Int("max-attempts", 0, "dispatches per chunk before the job fails as undispatchable (0 = 10)")
 		backoff   = flag.Duration("backoff", 0, "base redispatch backoff, doubled per attempt up to 5s (0 = 100ms)")
+		corpusIn  = flag.String("corpus", "", "consult and grow this persistent signature corpus across all jobs: known-good uniques skip decode+check at finalize, newly verified ones are appended")
 
 		oneshot = flag.Bool("oneshot", false, "submit one job from the generation flags, wait for it, print the report, and exit")
 		sigsOut = flag.String("sigs-out", "", "oneshot: write the final unique signatures to this file")
@@ -100,11 +101,19 @@ func run() int {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	var store *mtracecheck.Corpus
+	if *corpusIn != "" {
+		var err error
+		if store, err = mtracecheck.OpenCorpus(*corpusIn); err != nil {
+			fmt.Fprintf(os.Stderr, "mtracecheck-server: %v (running cold)\n", err)
+		}
+	}
 	srv := dist.NewServer(dist.ServerOptions{
 		LeaseTTL:        *leaseTTL,
 		QuarantineAfter: *quarAfter,
 		MaxAttempts:     *maxAtt,
 		BackoffBase:     *backoff,
+		Corpus:          store,
 		Logf:            logf,
 	})
 	defer srv.Close()

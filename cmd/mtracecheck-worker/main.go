@@ -37,6 +37,7 @@ func run() int {
 		id      = flag.String("id", "", "worker ID (default hostname-pid)")
 		poll    = flag.Duration("poll", 100*time.Millisecond, "idle wait between lease attempts")
 		idle    = flag.Bool("exit-when-idle", false, "exit 0 when the server has no undone work instead of polling forever")
+		startup = flag.Duration("startup-timeout", 0, "how long to retry before the server first answers (0 = 60s); fleets may start in any order")
 		verbose = flag.Bool("v", false, "log worker operations to stderr")
 
 		fwCorrupt  = flag.Float64("fault-wire-corrupt", 0, "injected fault rate: flip one bit in an upload payload")
@@ -55,10 +56,11 @@ func run() int {
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	w := &dist.Worker{
-		Server:       *server,
-		ID:           *id,
-		Poll:         *poll,
-		ExitWhenIdle: *idle,
+		Server:         *server,
+		ID:             *id,
+		Poll:           *poll,
+		ExitWhenIdle:   *idle,
+		StartupTimeout: *startup,
 	}
 	if *verbose {
 		w.Logf = func(format string, args ...any) {

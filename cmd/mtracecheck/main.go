@@ -82,6 +82,7 @@ func run() int {
 		ckptPath  = flag.String("checkpoint", "", "periodically persist campaign progress to this file")
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint cadence in iterations (0 = iters/10)")
 		resume    = flag.Bool("resume", false, "resume the campaign from -checkpoint, skipping the iterations it covers")
+		corpusIn  = flag.String("corpus", "", "consult and grow this persistent signature corpus: known-good uniques skip decode+check, newly verified ones are appended (verdicts identical to a cold run)")
 
 		fBitFlip  = flag.Float64("fault-bitflip", 0, "injected fault rate: flip one bit in a signature word")
 		fTruncate = flag.Float64("fault-truncate", 0, "injected fault rate: drop a unique-set entry")
@@ -171,6 +172,15 @@ func run() int {
 	opts.Checker, err = parseChecker(*checker)
 	if err != nil {
 		return infra(err)
+	}
+	if *corpusIn != "" {
+		store, err := mtracecheck.OpenCorpus(*corpusIn)
+		if err != nil {
+			// The store is still usable (empty); the campaign runs cold and
+			// the unreadable original is quarantined at the next flush.
+			fmt.Fprintf(os.Stderr, "mtracecheck: %v (running cold)\n", err)
+		}
+		opts.Corpus = store
 	}
 	finishObs, err := attachObservers(&opts, *metricsOut, *progress, *traceOut)
 	if err != nil {

@@ -1,0 +1,48 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtracecheck/internal/sig"
+)
+
+// FuzzCorpusLoad feeds arbitrary bytes through the full lifecycle: Open
+// must never panic and always return a usable store (possibly empty with
+// an error), and after staging an entry and flushing, the rewritten file
+// must load cleanly — the quarantine-and-rebuild contract under any
+// corruption whatsoever.
+func FuzzCorpusLoad(f *testing.F) {
+	valid := func(build func(*Store)) []byte {
+		s := &Store{sections: make(map[Key]*section)}
+		build(s)
+		return s.encode()
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MTCCORP1"))
+	f.Add(valid(func(s *Store) {}))
+	f.Add(valid(func(s *Store) {
+		s.Add(Key{ProgHash: 7, Platform: "p", MCM: "TSO"}, sig.New([]uint64{1, 2}), 3)
+		s.Add(Key{ProgHash: 7, Platform: "p", MCM: "TSO"}, sig.New([]uint64{4, 5}), 3)
+		s.Add(Key{ProgHash: 8, Platform: "q", MCM: "RMO"}, sig.New([]uint64{6}), 9)
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "c.mtc")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := Open(path)
+		if s == nil {
+			t.Fatal("Open returned a nil store")
+		}
+		k := Key{ProgHash: 0xfeed, Platform: "fuzz", MCM: "SC"}
+		s.Add(k, sig.New([]uint64{42}), 1)
+		if _, err := s.Flush(); err != nil {
+			t.Fatalf("Flush after load: %v", err)
+		}
+		if _, err := Open(path); err != nil {
+			t.Fatalf("flushed corpus does not reload: %v", err)
+		}
+	})
+}

@@ -35,6 +35,11 @@ type ServerOptions struct {
 	// Observer receives campaign and dist events in addition to the
 	// server's own metrics.
 	Observer obs.Observer
+	// Corpus, when set, is the shared signature corpus every job's
+	// campaign consults and grows (mtracecheck.Options.Corpus) — the
+	// server is the warm storage layer across its whole fleet. The store
+	// is safe for the concurrent job finalizers.
+	Corpus *mtracecheck.Corpus
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -265,12 +270,34 @@ func (s *Server) releaseLease(j *job, c int, now time.Time) {
 	cs.eligible = now.Add(s.opts.backoff(cs.attempt))
 }
 
+// corpusTap is the observer the server hands to job campaigns when a
+// shared corpus is attached: job campaigns are otherwise unobserved
+// (workers own execution; the server only merges), but corpus lookups
+// and flushes happen server-side at finalize and belong in /metrics.
+// Every pipeline event is a no-op; only corpus events pass through.
+type corpusTap struct{ o obs.Observer }
+
+func (t corpusTap) CampaignStart(obs.CampaignStart) {}
+func (t corpusTap) CampaignEnd(obs.CampaignEnd)     {}
+func (t corpusTap) ShardStart(obs.ShardStart)       {}
+func (t corpusTap) ShardEnd(obs.ShardEnd)           {}
+func (t corpusTap) MergeDone(obs.MergeDone)         {}
+func (t corpusTap) Checkpoint(obs.Checkpoint)       {}
+func (t corpusTap) CorpusEvent(e obs.CorpusEvent)   { obs.EmitCorpus(t.o, e) }
+
 // Submit registers a job and (when the spec asks) restores it from its
 // checkpoint. It returns the job ID.
 func (s *Server) Submit(spec JobSpec) (string, error) {
 	p, opts, err := Build(spec)
 	if err != nil {
 		return "", err
+	}
+	if s.opts.Corpus != nil {
+		// One corpus across all jobs: each finalize consults it before
+		// decode and appends its newly verified signatures, so later jobs
+		// (and later server runs) start warm.
+		opts.Corpus = s.opts.Corpus
+		opts.Observer = corpusTap{s.obsrv}
 	}
 	campaign, err := mtracecheck.NewCampaign(p, opts)
 	if err != nil {

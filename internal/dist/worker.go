@@ -34,6 +34,12 @@ type Worker struct {
 	// ExitWhenIdle returns from Run when the server reports no undone work
 	// instead of polling forever — the batch-fleet mode.
 	ExitWhenIdle bool
+	// StartupTimeout bounds how long Run keeps retrying before the first
+	// successful server response (0 = 60s). Until first contact,
+	// connection errors retry with capped exponential backoff instead of
+	// counting toward the unreachable cap, so a fleet started before its
+	// server still comes up cleanly; past the deadline Run fails fast.
+	StartupTimeout time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 
@@ -70,6 +76,21 @@ func (w *Worker) poll() time.Duration {
 	return w.Poll
 }
 
+func (w *Worker) startupTimeout() time.Duration {
+	if w.StartupTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return w.StartupTimeout
+}
+
+// startupBackoffCap bounds the pre-contact retry backoff so a late
+// server is noticed within a couple of seconds of coming up. It scales
+// from the poll interval so short-poll configurations (tests, local
+// fleets) retry proportionally faster.
+func (w *Worker) startupBackoffCap() time.Duration {
+	return min(2*time.Second, 32*w.poll())
+}
+
 // Run polls for leases until the context is canceled, the server drains
 // (with ExitWhenIdle), or the server quarantines this worker.
 func (w *Worker) Run(ctx context.Context) error {
@@ -78,12 +99,30 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	w.jobs = make(map[string]*workerJob)
 	unreachable := 0
+	contacted := false
+	deadline := time.Now().Add(w.startupTimeout())
+	backoff := w.poll()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		var lease LeaseResponse
 		if err := w.postJSON(ctx, "/api/v1/lease", LeaseRequest{Worker: w.ID}, &lease); err != nil {
+			if !contacted {
+				// The server has never answered: a fleet may legitimately start
+				// before its server, so retry with capped exponential backoff
+				// until the startup deadline instead of burning the unreachable
+				// budget — then fail fast with a startup-specific error.
+				if time.Now().After(deadline) {
+					return fmt.Errorf("dist: server not up within startup timeout %v: %w", w.startupTimeout(), err)
+				}
+				w.logf("worker %s: waiting for server: %v", w.ID, err)
+				if !w.sleep(ctx, backoff) {
+					return ctx.Err()
+				}
+				backoff = min(backoff*2, w.startupBackoffCap())
+				continue
+			}
 			// The server may be restarting; transient by assumption — but a
 			// batch-fleet worker gives up once the server stays gone, so a
 			// fleet never outlives a oneshot server.
@@ -97,6 +136,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
+		contacted = true
 		unreachable = 0
 		switch lease.Status {
 		case LeaseQuarantined:

@@ -53,6 +53,12 @@ type Config struct {
 	// Empty means collective. Experiments that explicitly race backends
 	// (Fig9And14) always run their fixed roster regardless.
 	Checker string
+
+	// CorpusPath is the directory holding the Corpus experiment's
+	// persistent signature corpora (one file per configuration). Empty
+	// means a temporary directory removed when the experiment finishes;
+	// a real path makes the warm-cache effect persist across invocations.
+	CorpusPath string
 }
 
 // backend resolves cfg.Checker against the checker registry, defaulting to

@@ -48,6 +48,14 @@ type Metrics struct {
 	ckptResumes  atomic.Int64
 	resumedIters atomic.Int64
 
+	// Signature-corpus counters (CorpusObserver events). Hits partition the
+	// determinism-fixed unique set against the corpus content at the sort
+	// barrier, so they are worker-invariant and belong with the totals.
+	corpusHits    atomic.Int64
+	corpusMisses  atomic.Int64
+	corpusAppends atomic.Int64
+	corpusIgnored atomic.Int64
+
 	// Partition-dependent effort.
 	shardAttempts  atomic.Int64
 	shardRetries   atomic.Int64
@@ -78,6 +86,9 @@ type Metrics struct {
 	// Per-worker dist accounting, keyed by worker ID (map writes are rare —
 	// once per worker event, never per iteration).
 	workers map[string]*WorkerCounts
+	// Per-program corpus accounting, keyed by the corpus key coordinates
+	// (one write per campaign, never per iteration).
+	corpusProgs map[string]*CorpusProgram
 }
 
 // WorkerCounts is one worker's per-ID dist accounting.
@@ -85,6 +96,18 @@ type WorkerCounts struct {
 	Strikes     int64 // upload-validation failures
 	Quarantined bool
 	Lost        int64 // lease deadlines missed
+}
+
+// CorpusProgram is one corpus key's accounting: how saturated the corpus
+// is for this (program, platform, MCM) — Hits/(Hits+Misses) is the warm
+// fraction, Known the corpus's known-good count after the last event.
+type CorpusProgram struct {
+	Program  uint64
+	Platform string
+	MCM      string
+	Known    int64
+	Hits     int64
+	Misses   int64
 }
 
 // NewMetrics returns an empty aggregator.
@@ -116,7 +139,15 @@ type Totals struct {
 	CheckpointBytes   int64
 	CheckpointResumes int64
 	ResumedIterations int64
-	Curve             []CurvePoint
+	// Corpus counters: unique signatures that skipped decode+check as
+	// corpus hits, those that proceeded cold, and newly proven-acyclic
+	// signatures appended. CorpusIgnored counts campaigns that refused an
+	// attached corpus (load failure or width mismatch) and ran cold.
+	CorpusHits    int64
+	CorpusMisses  int64
+	CorpusAppends int64
+	CorpusIgnored int64
+	Curve         []CurvePoint
 }
 
 // Effort is the partition-dependent accounting: it varies with Workers
@@ -165,6 +196,9 @@ type Snapshot struct {
 	Totals Totals
 	Effort Effort
 	Dist   Dist
+	// Corpus holds the per-program signature-corpus breakdown, keyed by
+	// "proghash/platform/mcm"; nil when no corpus was attached.
+	Corpus map[string]CorpusProgram
 }
 
 // Snapshot returns a copy of the current aggregates. It is safe to call
@@ -179,6 +213,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		workers = make(map[string]WorkerCounts, len(m.workers))
 		for id, wc := range m.workers {
 			workers[id] = *wc
+		}
+	}
+	var corpus map[string]CorpusProgram
+	if len(m.corpusProgs) > 0 {
+		corpus = make(map[string]CorpusProgram, len(m.corpusProgs))
+		for key, cp := range m.corpusProgs {
+			corpus[key] = *cp
 		}
 	}
 	m.mu.Unlock()
@@ -205,6 +246,10 @@ func (m *Metrics) Snapshot() Snapshot {
 			CheckpointBytes:   m.ckptBytes.Load(),
 			CheckpointResumes: m.ckptResumes.Load(),
 			ResumedIterations: m.resumedIters.Load(),
+			CorpusHits:        m.corpusHits.Load(),
+			CorpusMisses:      m.corpusMisses.Load(),
+			CorpusAppends:     m.corpusAppends.Load(),
+			CorpusIgnored:     m.corpusIgnored.Load(),
 			Curve:             curve,
 		},
 		Effort: Effort{
@@ -234,7 +279,45 @@ func (m *Metrics) Snapshot() Snapshot {
 			UploadRejects:      m.distRejects.Load(),
 			Workers:            workers,
 		},
+		Corpus: corpus,
 	}
+}
+
+// corpusProgram returns the per-key corpus record, creating it if
+// needed. Callers hold m.mu.
+func (m *Metrics) corpusProgram(e CorpusEvent) *CorpusProgram {
+	key := fmt.Sprintf("%016x/%s/%s", e.Program, e.Platform, e.MCM)
+	if m.corpusProgs == nil {
+		m.corpusProgs = make(map[string]*CorpusProgram)
+	}
+	cp, ok := m.corpusProgs[key]
+	if !ok {
+		cp = &CorpusProgram{Program: e.Program, Platform: e.Platform, MCM: e.MCM}
+		m.corpusProgs[key] = cp
+	}
+	return cp
+}
+
+// CorpusEvent implements CorpusObserver.
+func (m *Metrics) CorpusEvent(e CorpusEvent) {
+	switch e.Op {
+	case CorpusLookup:
+		m.corpusHits.Add(int64(e.Hits))
+		m.corpusMisses.Add(int64(e.Misses))
+	case CorpusFlush:
+		m.corpusAppends.Add(int64(e.Appended))
+	case CorpusIgnored:
+		m.corpusIgnored.Add(1)
+		return
+	}
+	m.mu.Lock()
+	cp := m.corpusProgram(e)
+	cp.Known = int64(e.Known)
+	if e.Op == CorpusLookup {
+		cp.Hits += int64(e.Hits)
+		cp.Misses += int64(e.Misses)
+	}
+	m.mu.Unlock()
 }
 
 // workerCounts returns the per-worker record, creating it if needed.
@@ -419,6 +502,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("mtracecheck_checkpoint_bytes_total", "Bytes of checkpoint payload written.", s.Totals.CheckpointBytes)
 	counter("mtracecheck_checkpoint_resumes_total", "Campaigns resumed from a checkpoint.", s.Totals.CheckpointResumes)
 	counter("mtracecheck_resumed_iterations_total", "Iterations restored from checkpoints instead of executed.", s.Totals.ResumedIterations)
+	counter("mtracecheck_corpus_hits_total", "Unique signatures that skipped decode+check as corpus hits.", s.Totals.CorpusHits)
+	counter("mtracecheck_corpus_misses_total", "Unique signatures absent from the corpus, decoded and checked cold.", s.Totals.CorpusMisses)
+	counter("mtracecheck_corpus_appends_total", "Newly proven-acyclic signatures appended to the corpus.", s.Totals.CorpusAppends)
+	counter("mtracecheck_corpus_ignored_total", "Campaigns that refused an attached corpus and ran cold.", s.Totals.CorpusIgnored)
 
 	counter("mtracecheck_shard_attempts_total", "Execution shard attempts, including retries.", s.Effort.ShardAttempts)
 	counter("mtracecheck_shard_retries_total", "Execution shard attempts that failed and were retried.", s.Effort.ShardRetries)
@@ -473,6 +560,31 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 				q = 1
 			}
 			fmt.Fprintf(bw, "mtracecheck_dist_worker_quarantined{worker=%q} %d\n", id, q)
+		}
+	}
+	if len(s.Corpus) > 0 {
+		keys := make([]string, 0, len(s.Corpus))
+		for key := range s.Corpus {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(bw, "# HELP mtracecheck_corpus_known_signatures Known-good signatures in the corpus per (program, platform, MCM).\n")
+		fmt.Fprintf(bw, "# TYPE mtracecheck_corpus_known_signatures gauge\n")
+		for _, key := range keys {
+			cp := s.Corpus[key]
+			fmt.Fprintf(bw, "mtracecheck_corpus_known_signatures{program=\"%016x\",platform=%q,mcm=%q} %d\n",
+				cp.Program, cp.Platform, cp.MCM, cp.Known)
+		}
+		fmt.Fprintf(bw, "# HELP mtracecheck_corpus_saturation Warm fraction of observed uniques per (program, platform, MCM): hits/(hits+misses).\n")
+		fmt.Fprintf(bw, "# TYPE mtracecheck_corpus_saturation gauge\n")
+		for _, key := range keys {
+			cp := s.Corpus[key]
+			sat := 0.0
+			if n := cp.Hits + cp.Misses; n > 0 {
+				sat = float64(cp.Hits) / float64(n)
+			}
+			fmt.Fprintf(bw, "mtracecheck_corpus_saturation{program=\"%016x\",platform=%q,mcm=%q} %.6f\n",
+				cp.Program, cp.Platform, cp.MCM, sat)
 		}
 	}
 	return bw.Flush()

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"mtracecheck/internal/check"
+	"mtracecheck/internal/corpus"
 	"mtracecheck/internal/fault"
 	"mtracecheck/internal/graph"
 	"mtracecheck/internal/instrument"
@@ -91,7 +92,24 @@ type (
 	// of the device-to-host channel (CollectSignatures, SaveSignatures,
 	// LoadSignatures, CheckSignatures).
 	Unique = sig.Unique
+	// Corpus is the persistent cross-campaign signature corpus: an
+	// append-only store of every signature ever proven acyclic, keyed by
+	// (program hash, platform, MCM). Attach one via Options.Corpus so
+	// repeat interleavings skip decode+check (see internal/corpus for the
+	// MTCCORP1 format).
+	Corpus = corpus.Store
+	// CorpusKey identifies one corpus section.
+	CorpusKey = corpus.Key
 )
+
+// OpenCorpus opens (or creates, at first flush) the signature corpus at
+// path. A missing file yields an empty corpus. A file that exists but
+// fails to load (truncation, checksum mismatch, wrong version) also
+// yields a usable empty corpus together with the load error: callers
+// should warn and may still attach the store — campaigns run cold,
+// never with a wrong verdict, and the unreadable original is preserved
+// under a ".quarantined" suffix at the next flush.
+func OpenCorpus(path string) (*Corpus, error) { return corpus.Open(path) }
 
 // Quarantine kinds (see fault.QuarantineKind).
 const (
@@ -320,6 +338,18 @@ type Options struct {
 	// work and zero allocations to the pipeline. See the Observer docs and
 	// the built-ins NewMetrics, NewProgress, and NewTraceJSON.
 	Observer Observer
+	// Corpus, when set, attaches a persistent cross-campaign signature
+	// corpus (see OpenCorpus): unique signatures the corpus has already
+	// proven acyclic for this (program, platform, MCM) skip decode and
+	// checking entirely — while still counting toward UniqueSignatures and
+	// the Fig. 8 growth curve — and newly verified signatures are appended
+	// atomically at checkpoint boundaries and campaign end. Verdicts are
+	// bit-identical to a corpus-less run: only proven-acyclic signatures
+	// are ever cached, violating signatures never are, and a corpus that
+	// fails to load or mismatches the campaign degrades to a cold run.
+	// Requires the static ws mode and no Pruner. One store may be shared
+	// by many campaigns concurrently (the dist server does).
+	Corpus *Corpus
 }
 
 // workerCount resolves Workers (0 = GOMAXPROCS).
@@ -378,6 +408,19 @@ type Report struct {
 	ResumedIterations int
 	// CheckStats carries the checker's effort accounting (Figs. 9 and 14).
 	CheckStats *check.Result
+	// CorpusConsulted reports whether a signature corpus was consulted
+	// (Options.Corpus set and usable for this campaign's key).
+	CorpusConsulted bool
+	// CorpusHits counts unique signatures that skipped decode and checking
+	// because the corpus had already proven them acyclic; they still count
+	// in UniqueSignatures.
+	CorpusHits int
+	// CorpusAppended counts newly proven-acyclic signatures this campaign
+	// added to the corpus.
+	CorpusAppended int
+	// CorpusIgnored is non-nil when an attached corpus was refused (load
+	// failure, signature-width mismatch) and the campaign ran cold.
+	CorpusIgnored error
 	// TotalCycles sums simulated execution time over all iterations
 	// executed this run.
 	TotalCycles int64

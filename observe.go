@@ -55,6 +55,19 @@ type (
 	FaultCounts = obs.FaultCounts
 	// Stage identifies the pipeline stage an event belongs to.
 	Stage = obs.Stage
+
+	// CorpusEvent fires on signature-corpus interactions (lookup at the
+	// sort barrier, atomic flush, degraded-to-cold). Observers receive it
+	// by implementing CorpusObserver; Metrics does.
+	CorpusEvent = obs.CorpusEvent
+	// CorpusOp distinguishes corpus lookups, flushes, and refusals.
+	CorpusOp = obs.CorpusOp
+	// CorpusObserver is the optional Observer extension receiving
+	// signature-corpus events.
+	CorpusObserver = obs.CorpusObserver
+	// CorpusProgram is one corpus key's per-program metrics breakdown
+	// (known-good count, hits, misses) in a MetricsSnapshot.
+	CorpusProgram = obs.CorpusProgram
 )
 
 // Pipeline stages (see Stage).
@@ -70,6 +83,13 @@ const (
 const (
 	CheckpointSaved   = obs.CheckpointSaved
 	CheckpointResumed = obs.CheckpointResumed
+)
+
+// Corpus operations (see CorpusOp).
+const (
+	CorpusLookup  = obs.CorpusLookup
+	CorpusFlush   = obs.CorpusFlush
+	CorpusIgnored = obs.CorpusIgnored
 )
 
 // NewMetrics returns an empty metrics aggregator; read it with

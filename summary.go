@@ -39,10 +39,19 @@ func WriteCheckSummary(w io.Writer, report *Report, checker Checker) {
 }
 
 // WriteDegradation summarizes fault tolerance outcomes: resumed progress,
-// injected faults, quarantined signatures, and lost shards.
+// injected faults, quarantined signatures, lost shards, and the signature
+// corpus (the corpus lines vary between cold and warm runs by design; the
+// verdict lines around them never do).
 func WriteDegradation(w io.Writer, report *Report) {
 	if report.ResumedIterations > 0 {
 		fmt.Fprintf(w, "resumed:              %d iterations from checkpoint\n", report.ResumedIterations)
+	}
+	if report.CorpusConsulted {
+		fmt.Fprintf(w, "signature corpus:     %d known-good hits, %d appended\n",
+			report.CorpusHits, report.CorpusAppended)
+	}
+	if report.CorpusIgnored != nil {
+		fmt.Fprintf(w, "signature corpus:     ignored, ran cold (%v)\n", report.CorpusIgnored)
 	}
 	if n := len(report.InjectedFaults); n > 0 {
 		fmt.Fprintf(w, "injected faults:     ")

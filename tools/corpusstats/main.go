@@ -1,0 +1,91 @@
+// Command corpusstats reports the contents and cross-campaign growth of
+// persistent signature corpora (the MTCCORP1 files grown by `mtracecheck
+// -corpus`, `mtracecheck-server -corpus`, and `mtc-experiments -exp
+// corpus`). For every (program, platform, MCM) key it prints the known
+// signature count, and — because sections keep entries in append order
+// with their first-seen campaign seed — replays the global unique-growth
+// curve across campaigns: each run of consecutive entries with one seed
+// is one campaign's contribution, the corpus-level analogue of the
+// paper's Fig. 8 per-campaign curve.
+//
+// Usage:
+//
+//	corpusstats corpus.mtc [more.mtc ...]
+//	corpusstats -growth corpus.mtc    # include the per-campaign growth replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtracecheck/internal/corpus"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	growth := flag.Bool("growth", false, "replay per-key unique growth campaign by campaign")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: corpusstats [-growth] <corpus.mtc> [more.mtc ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return 2
+	}
+	status := 0
+	for _, path := range flag.Args() {
+		if err := report(path, *growth); err != nil {
+			fmt.Fprintf(os.Stderr, "corpusstats: %v\n", err)
+			status = 1
+		}
+	}
+	return status
+}
+
+func report(path string, growth bool) error {
+	st, err := corpus.Open(path)
+	if err != nil {
+		return err
+	}
+	keys := st.Keys()
+	fmt.Printf("%s: %d keys, %d known-good signatures\n", path, len(keys), st.Total())
+	for _, k := range keys {
+		words, _ := st.Words(k)
+		entries := st.Entries(k)
+		fmt.Printf("  program %016x  platform %-12s mcm %-4s %3d words  %6d signatures  %d campaigns\n",
+			k.ProgHash, k.Platform, k.MCM, words, len(entries), len(campaigns(entries)))
+		if !growth {
+			continue
+		}
+		cum := 0
+		for i, c := range campaigns(entries) {
+			cum += c.appended
+			fmt.Printf("    campaign %3d  seed %-12d  +%6d unique  %6d cumulative\n",
+				i+1, c.seed, c.appended, cum)
+		}
+	}
+	return nil
+}
+
+// campaignRun is one campaign's contribution to a section: entries are
+// appended in batches at campaign end, so a maximal run of consecutive
+// entries sharing a seed is one campaign's newly-discovered uniques.
+type campaignRun struct {
+	seed     int64
+	appended int
+}
+
+func campaigns(entries []corpus.Entry) []campaignRun {
+	var runs []campaignRun
+	for _, e := range entries {
+		if n := len(runs); n > 0 && runs[n-1].seed == e.Seed {
+			runs[n-1].appended++
+			continue
+		}
+		runs = append(runs, campaignRun{seed: e.Seed, appended: 1})
+	}
+	return runs
+}
