@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke dist-smoke corpus-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke dist-smoke corpus-smoke trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ fuzz-short:
 	$(GO) test ./internal/instrument -run '^$$' -fuzz '^FuzzEncodeValues$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sig -run '^$$' -fuzz '^FuzzReadSet$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzTraceParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzChunkUpload$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/corpus -run '^$$' -fuzz '^FuzzCorpusLoad$$' -fuzztime $(FUZZTIME)
 
@@ -68,7 +69,7 @@ scaling-smoke:
 			|| { cat $$dir/$$w/report; exit 1; }; \
 		sed -e 's/^collective checking:.*/collective checking:  <effort line normalized>/' \
 			-e "s|$$dir/$$w|DIR|g" $$dir/$$w/report > $$dir/$$w/report.norm; \
-		grep -Ev 'mtracecheck_(shard_attempts|shard_retries|retried_iterations|sorted_vertices|backward_edges|graphs_by_kind|max_resort_window|stage_seconds|clock_updates|check_shards)' \
+		grep -Ev 'mtracecheck_(shard_attempts|shard_retries|retried_iterations|sorted_vertices|backward_edges|graphs_by_kind|max_resort_window|stage_seconds|clock_updates|propagations|check_shards)' \
 			$$dir/$$w/metrics > $$dir/$$w/totals; \
 	done; \
 	cmp $$dir/1/report.norm $$dir/4/report.norm \
@@ -101,6 +102,31 @@ diff-check-smoke:
 			     diff $$dir/verdict.collective $$dir/verdict.$$c; exit 1; }; \
 	done; \
 	echo "diff-check-smoke: OK (all backends agree: $$($(GO) run ./cmd/mtracecheck -list-checkers | tr '\n' ' '))"
+
+# External-trace smoke: the committed golden traces drive the -trace front
+# door end to end. A violating TSO trace must be a finding (exit 1), a
+# valid one must pass (exit 0), and the serial constraints oracle must print
+# the same verdict summary as the vectorclock backend — only the per-backend
+# effort line ("... checking: ...") may differ and is normalized away, the
+# diff-check-smoke convention.
+trace-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf $$dir' EXIT; \
+	td=internal/trace/testdata; \
+	$(GO) build -o $$dir/mtracecheck ./cmd/mtracecheck \
+		|| { echo "trace-smoke: build failed"; exit 1; }; \
+	$$dir/mtracecheck -trace $$td/tso_violation.trace -mcm tso > $$dir/fail.txt; st=$$?; \
+	[ $$st -eq 1 ] || { echo "trace-smoke: violating trace exited $$st, want 1"; cat $$dir/fail.txt; exit 1; }; \
+	$$dir/mtracecheck -trace $$td/tso_valid.trace -mcm tso > $$dir/pass.txt; st=$$?; \
+	[ $$st -eq 0 ] || { echo "trace-smoke: valid trace exited $$st, want 0"; cat $$dir/pass.txt; exit 1; }; \
+	for c in constraints vectorclock; do \
+		$$dir/mtracecheck -trace $$td/tso_violation.trace -mcm tso -checker $$c -v > $$dir/report.$$c; st=$$?; \
+		[ $$st -eq 1 ] || { echo "trace-smoke: checker $$c exited $$st, want 1"; cat $$dir/report.$$c; exit 1; }; \
+		grep -Ev 'checking:' $$dir/report.$$c > $$dir/verdict.$$c; \
+	done; \
+	cmp $$dir/verdict.constraints $$dir/verdict.vectorclock \
+		|| { echo "trace-smoke: constraints and vectorclock verdicts differ"; \
+		     diff $$dir/verdict.constraints $$dir/verdict.vectorclock; exit 1; }; \
+	echo "trace-smoke: OK (golden TSO traces: finding=1, pass=0, constraints == vectorclock)"
 
 # Distributed-campaign smoke: the same campaign runs in-process and through
 # the dist server with three workers — one honest, one killed mid-campaign,
@@ -161,7 +187,7 @@ corpus-smoke:
 	echo "corpus-smoke: OK (warm rerun bit-identical with $$hits corpus hits and zero graphs checked)"
 
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke dist-smoke corpus-smoke
+verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke trace-smoke dist-smoke corpus-smoke
 
 # Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
 # (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed

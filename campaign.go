@@ -967,6 +967,7 @@ func (em emitter) checkShardEnd(backend string, shard, shards, start, count int,
 		e.BackwardEdges = part.BackwardEdges
 		e.MaxWindow = part.MaxWindow
 		e.ClockUpdates = part.ClockUpdates
+		e.Propagations = part.Propagations
 		e.Violations = len(part.Violations)
 	}
 	em.o.ShardEnd(e)

@@ -11,6 +11,13 @@
 //	mtracecheck -threads 4 -ops 50 -sigs-in sigs.bin       # host side
 //	mtracecheck -iters 65536 -checkpoint run.ckpt          # checkpointed
 //	mtracecheck -iters 65536 -checkpoint run.ckpt -resume  # ...resumed
+//	mtracecheck -trace obs.trace -mcm tso                  # external trace
+//
+// The -trace mode checks an externally observed execution — an Axe-style
+// text trace of per-thread memory requests/responses — against the model
+// named by -mcm (sc, tso, pso, rmo), without invoking the simulator at all;
+// -checker, -workers, the observability flags, and the exit-code contract
+// apply as in a campaign.
 //
 // The -bug flag injects one of the paper's §7 defects (sm-inv, lsq-skip,
 // wb-race) into the platform, switching to the gem5-like preset. The
@@ -25,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -71,7 +79,9 @@ func run() int {
 		sigsOut      = flag.String("sigs-out", "", "write the collected unique signatures to this file")
 		sigsIn       = flag.String("sigs-in", "", "check-only mode: skip execution and check the signatures in this file (pair with -prog or the same generation flags/seed)")
 		dotOut       = flag.String("dot", "", "write the first violation's constraint graph (DOT) to this file")
-		traceTo      = flag.String("trace", "", "write one traced iteration's op timeline (TSV) to this file")
+		traceIn      = flag.String("trace", "", "check this external execution trace (Axe-style text format) against -mcm instead of running the simulator")
+		mcmName      = flag.String("mcm", "sc", "memory consistency model for -trace: sc, tso, pso, or rmo")
+		timelineTo   = flag.String("timeline", "", "write one traced iteration's op timeline (TSV) to this file")
 		progIn       = flag.String("prog", "", "run this saved test program instead of generating one")
 		progOut      = flag.String("dump-prog", "", "write the generated test program (text format) to this file")
 
@@ -104,9 +114,7 @@ func run() int {
 	flag.Parse()
 
 	if *listCheckers {
-		for _, name := range mtracecheck.CheckerNames() {
-			fmt.Println(name)
-		}
+		printCheckers(os.Stdout)
 		return exitPass
 	}
 
@@ -197,6 +205,12 @@ func run() int {
 		Seed:         *seed,
 	}
 
+	// External-trace mode: check an observed execution against -mcm with
+	// the selected backend; the simulator never runs.
+	if *traceIn != "" {
+		return runTraceCheck(*traceIn, *mcmName, opts, *verbose)
+	}
+
 	// Check-only mode: the host side of the device/host split. The program
 	// must be reconstructed exactly — from its saved text or from the same
 	// generation flags and seed the device side used.
@@ -242,11 +256,11 @@ func run() int {
 	fmt.Printf("simulated cycles:     %d total\n", report.TotalCycles)
 	printCheckStats(report, opts.Checker)
 	printDegradation(report)
-	if *traceTo != "" {
-		if err := dumpTrace(*traceTo, report.Program, opts); err != nil {
+	if *timelineTo != "" {
+		if err := dumpTimeline(*timelineTo, report.Program, opts); err != nil {
 			return infra(err)
 		}
-		fmt.Printf("timeline written to %s\n", *traceTo)
+		fmt.Printf("timeline written to %s\n", *timelineTo)
 	}
 	if *sigsOut != "" {
 		if err := dumpSignatures(*sigsOut, report.Program, opts); err != nil {
@@ -371,6 +385,64 @@ func runCheckOnly(path string, p *mtracecheck.Program, opts mtracecheck.Options,
 	return exitPass
 }
 
+// printCheckers lists the registered checker backends one per line, in the
+// registry's sorted order — the same list -checker validates against.
+func printCheckers(w io.Writer) {
+	for _, name := range mtracecheck.CheckerNames() {
+		fmt.Fprintln(w, name)
+	}
+}
+
+// runTraceCheck is the external-trace front door: parse an Axe-style trace,
+// bind it onto the checking machinery, and render the verdict through the
+// same summary lines and exit codes as a campaign. A malformed trace is
+// configuration trouble (exit 2); a cyclic constraint graph or a load that
+// observed a value no store wrote is a finding (exit 1).
+func runTraceCheck(path, model string, opts mtracecheck.Options, verbose bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return infra(err)
+	}
+	tr, err := mtracecheck.ParseTrace(f)
+	f.Close()
+	if err != nil {
+		return infra(err)
+	}
+	fmt.Printf("mtracecheck: checking trace %s (%d ops, %d threads) against %s\n",
+		path, len(tr.Ops), tr.NumThreads(), strings.ToLower(model))
+	report, bind, err := mtracecheck.CheckTrace(tr, model, opts)
+	if err != nil {
+		return infra(err)
+	}
+	printCheckStats(report, opts.Checker)
+	if report.Failed() {
+		fmt.Printf("RESULT: FAIL — %d graph violations, %d assertion failures\n",
+			len(report.Violations), len(report.AssertionFailures))
+		if verbose {
+			printTraceViolations(report, bind)
+		}
+		return exitFinding
+	}
+	fmt.Println("RESULT: PASS — trace consistent with the model")
+	return exitPass
+}
+
+// printTraceViolations renders verdict details in the trace's own terms —
+// original thread IDs, addresses, and source lines — rather than the bound
+// Program's internal encoding.
+func printTraceViolations(report *mtracecheck.Report, bind *mtracecheck.TraceBinding) {
+	for _, v := range report.Violations {
+		fmt.Printf("  violation: cycle through ops %v\n", v.Cycle)
+		for _, opID := range v.Cycle {
+			op := bind.Trace.Ops[bind.Source[opID]]
+			fmt.Printf("    line %d: %s\n", op.Line, op)
+		}
+	}
+	for _, e := range report.AssertionFailures {
+		fmt.Printf("  assert: %v\n", e)
+	}
+}
+
 // attachObservers wires the observability flags into the campaign options.
 // The returned finalizer terminates the trace JSON array and writes the
 // metrics snapshot; run() defers it so the artifacts land even when the
@@ -472,8 +544,8 @@ func dumpSignatures(path string, p *mtracecheck.Program, opts mtracecheck.Option
 	return mtracecheck.SaveSignatures(f, report, uniques)
 }
 
-// dumpTrace runs a single traced iteration and writes its timeline.
-func dumpTrace(path string, p *mtracecheck.Program, opts mtracecheck.Options) error {
+// dumpTimeline runs a single traced iteration and writes its timeline.
+func dumpTimeline(path string, p *mtracecheck.Program, opts mtracecheck.Options) error {
 	runner, err := sim.NewRunner(opts.Platform, p, opts.Seed)
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mtracecheck"
+	"mtracecheck/internal/check"
 	"mtracecheck/internal/testgen"
 )
 
@@ -187,6 +188,68 @@ func TestCheckProgramLoadsOrGenerates(t *testing.T) {
 	}
 	if _, err := checkProgram(filepath.Join(dir, "missing.txt"), cfg); err == nil {
 		t.Error("missing program file accepted")
+	}
+}
+
+// TestPrintCheckersMatchesRegistry pins -list-checkers to the backend
+// registry: one backend per line, in the registry's sorted order, nothing
+// hand-maintained in between.
+func TestPrintCheckersMatchesRegistry(t *testing.T) {
+	var sb strings.Builder
+	printCheckers(&sb)
+	want := strings.Join(check.Backends(), "\n") + "\n"
+	if sb.String() != want {
+		t.Errorf("printCheckers output:\n%qwant:\n%q", sb.String(), want)
+	}
+}
+
+// TestRunTraceCheck pins the external-trace mode's exit-code contract over
+// the golden traces: a model-consistent trace passes (0), a violating one
+// is a finding (1), and configuration trouble — missing file, malformed
+// trace, unknown model — is infrastructure (2). Every checker backend must
+// produce the same verdicts.
+func TestRunTraceCheck(t *testing.T) {
+	golden := filepath.Join("..", "..", "internal", "trace", "testdata")
+	cases := []struct {
+		file, model string
+		want        int
+	}{
+		{"sc_valid.trace", "sc", exitPass},
+		{"sc_violation.trace", "sc", exitFinding},
+		{"tso_valid.trace", "tso", exitPass},
+		{"tso_violation.trace", "tso", exitFinding},
+		{"pso_valid.trace", "pso", exitPass},
+		{"pso_violation.trace", "pso", exitFinding},
+		{"rmo_valid.trace", "rmo", exitPass},
+		{"rmo_violation.trace", "rmo", exitFinding},
+	}
+	for _, name := range mtracecheck.CheckerNames() {
+		ck, err := parseChecker(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := mtracecheck.Options{Checker: ck}
+		for _, c := range cases {
+			got := runTraceCheck(filepath.Join(golden, c.file), c.model, opts, true)
+			if got != c.want {
+				t.Errorf("%s under %s (%s): exit %d, want %d", c.file, c.model, name, got, c.want)
+			}
+		}
+	}
+
+	opts := mtracecheck.Options{}
+	if got := runTraceCheck(filepath.Join(golden, "missing.trace"), "sc", opts, false); got != exitInfra {
+		t.Errorf("missing file: exit %d, want %d", got, exitInfra)
+	}
+	if got := runTraceCheck(filepath.Join(golden, "sc_valid.trace"), "ptx", opts, false); got != exitInfra {
+		t.Errorf("unknown model: exit %d, want %d", got, exitInfra)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("0: M[zz] := 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := runTraceCheck(bad, "sc", opts, false); got != exitInfra {
+		t.Errorf("malformed trace: exit %d, want %d", got, exitInfra)
 	}
 }
 

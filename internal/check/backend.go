@@ -97,6 +97,11 @@ func init() {
 	// cross-graph state the algorithm amortizes.
 	Register(&backendFunc{name: "incremental", parallel: false, check: IncrementalContext})
 	Register(&backendFunc{name: "vectorclock", parallel: true, check: VectorClockContext})
+	// The constraint solver is an oracle, not a contender: it is kept
+	// serial so a differential run exercises exactly one deterministic
+	// solving order, making any disagreement against a fast backend
+	// trivially reproducible.
+	Register(&backendFunc{name: "constraints", parallel: false, check: ConstraintsContext})
 }
 
 // Disagreement reports the first item on which two backends reached

@@ -17,7 +17,7 @@ import (
 )
 
 func TestBackendRegistry(t *testing.T) {
-	want := []string{"collective", "conventional", "incremental", "vectorclock"}
+	want := []string{"collective", "constraints", "conventional", "incremental", "vectorclock"}
 	if got := Backends(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Backends() = %v, want %v", got, want)
 	}
@@ -29,9 +29,10 @@ func TestBackendRegistry(t *testing.T) {
 		if be.Name() != name {
 			t.Errorf("ForName(%q).Name() = %q", name, be.Name())
 		}
-		// Pearce–Kelly maintains one order across the whole sequence; every
-		// other backend shards.
-		if wantPar := name != "incremental"; be.Parallelizable() != wantPar {
+		// Pearce–Kelly maintains one order across the whole sequence, and
+		// the constraint solver is deliberately serial; every other backend
+		// shards.
+		if wantPar := name != "incremental" && name != "constraints"; be.Parallelizable() != wantPar {
 			t.Errorf("%s: Parallelizable() = %t, want %t", name, be.Parallelizable(), wantPar)
 		}
 	}

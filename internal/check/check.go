@@ -78,6 +78,9 @@ type Result struct {
 	// ClockUpdates counts clock joins that changed a clock — the vector-clock
 	// backend's effort metric (zero for the sorting backends).
 	ClockUpdates int64
+	// Propagations counts domain-bound tightenings performed by the
+	// constraint-solver backend — its effort metric (zero elsewhere).
+	Propagations int64
 }
 
 // Complete, NoResort, and Incremental count graphs per validation kind.

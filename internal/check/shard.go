@@ -140,6 +140,7 @@ func MergeResults(offsets []int, parts []*Result) *Result {
 		out.SortedVertices += part.SortedVertices
 		out.BackwardEdges += part.BackwardEdges
 		out.ClockUpdates += part.ClockUpdates
+		out.Propagations += part.Propagations
 		if part.MaxWindow > out.MaxWindow {
 			out.MaxWindow = part.MaxWindow
 		}

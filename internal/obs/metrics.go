@@ -63,6 +63,7 @@ type Metrics struct {
 	sortedVertices atomic.Int64
 	backwardEdges  atomic.Int64
 	clockUpdates   atomic.Int64
+	propagations   atomic.Int64
 	checkShards    atomic.Int64
 	complete       atomic.Int64
 	noResort       atomic.Int64
@@ -162,6 +163,9 @@ type Effort struct {
 	// ClockUpdates counts clock joins that changed a clock — the
 	// vector-clock backend's effort metric; zero for the sorting backends.
 	ClockUpdates int64
+	// Propagations counts domain-bound tightenings — the constraint-solver
+	// backend's effort metric; zero for every other backend.
+	Propagations int64
 	// CheckShards counts checking shard completions. A serial backend
 	// contributes one per campaign regardless of Workers, so the counter
 	// reflects the parallelism that actually happened.
@@ -259,6 +263,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			SortedVertices:    m.sortedVertices.Load(),
 			BackwardEdges:     m.backwardEdges.Load(),
 			ClockUpdates:      m.clockUpdates.Load(),
+			Propagations:      m.propagations.Load(),
 			CheckShards:       m.checkShards.Load(),
 			Complete:          m.complete.Load(),
 			NoResort:          m.noResort.Load(),
@@ -411,6 +416,7 @@ func (m *Metrics) ShardEnd(e ShardEnd) {
 		m.sortedVertices.Add(e.SortedVertices)
 		m.backwardEdges.Add(e.BackwardEdges)
 		m.clockUpdates.Add(e.ClockUpdates)
+		m.propagations.Add(e.Propagations)
 		m.checkShards.Add(1)
 		m.complete.Add(int64(e.Complete))
 		m.noResort.Add(int64(e.NoResort))
@@ -513,6 +519,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("mtracecheck_sorted_vertices_total", "Vertices visited by topological (re)sorts (Fig. 9 effort).", s.Effort.SortedVertices)
 	counter("mtracecheck_backward_edges_total", "Backward edges found against the maintained orders.", s.Effort.BackwardEdges)
 	counter("mtracecheck_clock_updates_total", "Vector-clock joins that changed a clock (vectorclock backend effort).", s.Effort.ClockUpdates)
+	counter("mtracecheck_propagations_total", "Constraint-solver domain-bound tightenings (constraints backend effort).", s.Effort.Propagations)
 	counter("mtracecheck_check_shards_total", "Checking shard completions (1 per campaign for serial backends).", s.Effort.CheckShards)
 	fmt.Fprintf(bw, "# HELP mtracecheck_graphs_by_kind_total Graphs validated per collective-checking kind (Fig. 14).\n")
 	fmt.Fprintf(bw, "# TYPE mtracecheck_graphs_by_kind_total counter\n")

@@ -144,7 +144,8 @@ type ShardEnd struct {
 	// backend populates only the effort counters its algorithm has a notion
 	// of: the sorting backends fill SortedVertices (and the collective and
 	// incremental ones the per-kind graph counts and window fields), the
-	// vector-clock backend fills ClockUpdates.
+	// vector-clock backend fills ClockUpdates, and the constraint solver
+	// fills Propagations.
 	Backend        string
 	Shards         int
 	Graphs         int
@@ -155,6 +156,7 @@ type ShardEnd struct {
 	BackwardEdges  int64
 	MaxWindow      int // largest re-sorted window
 	ClockUpdates   int64
+	Propagations   int64
 	Violations     int
 
 	Err       error

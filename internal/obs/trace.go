@@ -157,6 +157,9 @@ func (t *Trace) ShardEnd(e ShardEnd) {
 		if e.ClockUpdates > 0 {
 			args["clock_updates"] = e.ClockUpdates
 		}
+		if e.Propagations > 0 {
+			args["propagations"] = e.Propagations
+		}
 	}
 	if e.Err != nil {
 		args["error"] = e.Err.Error()

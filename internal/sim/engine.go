@@ -245,24 +245,6 @@ type Runner struct {
 	Trace bool
 }
 
-// SkipIterations advances the runner's master seed stream past n iterations
-// without executing them. Run draws exactly one master value per iteration,
-// so a runner skipped past n behaves, from iteration n on, identically to a
-// same-seeded runner that executed the first n iterations.
-//
-// Deprecated: position-dependent runners couple determinism to the partition
-// shape and pay O(n) seed draws to start at iteration n — the cost that made
-// multi-worker campaigns scale negatively. Draw the campaign's seed sequence
-// once with SeedStream (or SeedTable) and execute iteration i via
-// RunSeeded(seed i) instead; the results are bit-identical because both APIs
-// consume the same one-draw-per-iteration master stream. Kept as a thin
-// wrapper for existing callers such as examples/devicehost.
-func (r *Runner) SkipIterations(n int) {
-	for i := 0; i < n; i++ {
-		r.master.Int63()
-	}
-}
-
 // SeedStream produces the per-iteration seed sequence of a campaign seed:
 // value i is exactly what the i-th Run call on a Runner constructed over the
 // same seed would draw from its master stream. Drawing the stream once and
@@ -447,7 +429,7 @@ func (r *Runner) Run() (*Execution, error) {
 	}
 	defer r.busy.Store(0)
 	// Exactly one master draw per iteration — the seed-table API (SeedStream,
-	// SeedTable) and the deprecated SkipIterations rely on this.
+	// SeedTable) relies on this: stream value i is iteration i's seed.
 	return r.run(r.master.Int63())
 }
 

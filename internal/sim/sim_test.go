@@ -575,11 +575,11 @@ func TestTraceTimeline(t *testing.T) {
 	}
 }
 
-// TestSkipIterationsMatchesSequentialRuns: a runner skipped past n
-// iterations must continue exactly where a same-seeded runner that executed
-// them left off — the invariant behind the sharded pipeline's
-// worker-invariant results.
-func TestSkipIterationsMatchesSequentialRuns(t *testing.T) {
+// TestSeedStreamSkipMatchesSequentialRuns: a seed stream skipped past n
+// iterations must hand out exactly the seed a same-seeded runner's n-th Run
+// call would have drawn — the invariant behind the streaming pipeline's
+// worker-invariant results and checkpoint resume.
+func TestSeedStreamSkipMatchesSequentialRuns(t *testing.T) {
 	p := testgen.MustGenerate(testgen.Config{Threads: 4, OpsPerThread: 20, Words: 8, Seed: 2})
 	plat := PlatformX86()
 	full := mustRun(t, plat, p, 7, 20)
@@ -588,8 +588,12 @@ func TestSkipIterationsMatchesSequentialRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r.SkipIterations(skip)
-		ex, err := r.Run()
+		s := NewSeedStream(7)
+		s.Skip(skip)
+		if s.Pos() != skip {
+			t.Fatalf("skip %d: Pos() = %d", skip, s.Pos())
+		}
+		ex, err := r.RunSeeded(s.Next())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceParse checks three properties on arbitrary input:
+//
+//  1. Parse never panics and either errors or returns a trace;
+//  2. canonical round trip: Format(Parse(x)) re-parses to an Equal trace;
+//  3. Validate and Bind never panic on whatever parses.
+func FuzzTraceParse(f *testing.F) {
+	f.Add("0: M[0x10] := 1\n0: M[0x14] == 0\n1: M[0x14] := 2\n1: M[0x10] == 0\n")
+	f.Add("0: sync\n")
+	f.Add("# comment\n\n3: M[20] == 0x5\n")
+	f.Add("0: M[0] := 0\n")
+	f.Add("65535: M[0xffffffffffffffff] == 18446744073709551615\n")
+	f.Add("0: M[1] := 7\n1: M[1] := 7\n")
+	f.Add("0: M[0x10] == 42\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		again, err := Parse(strings.NewReader(tr.String()))
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse: %v\ncanonical:\n%s", err, tr.String())
+		}
+		if !tr.Equal(again) {
+			t.Fatalf("round trip changed the trace\nin: %q\nfirst:  %+v\nsecond: %+v", in, tr.Ops, again.Ops)
+		}
+		if err := tr.Validate(); err != nil {
+			return
+		}
+		b, err := tr.Bind()
+		if err != nil {
+			t.Fatalf("validated trace failed to bind: %v", err)
+		}
+		if err := b.Prog.Validate(); err != nil {
+			t.Fatalf("bound program invalid: %v", err)
+		}
+		if len(b.Source) != len(tr.Ops) {
+			t.Fatalf("source map has %d entries, want %d", len(b.Source), len(tr.Ops))
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format, one operation per line, in the style of Axe traces:
+//
+//	<tid>: M[<addr>] := <val>     store request
+//	<tid>: M[<addr>] == <val>     load response
+//	<tid>: sync                   full memory barrier
+//
+// `#` starts a comment running to end of line; blank lines are ignored.
+// Numbers are unsigned decimal or 0x-prefixed hexadecimal. File order is
+// per-thread program order; interleaving across threads carries no meaning.
+
+// ParseError reports a malformed trace line with its position.
+type ParseError struct {
+	Line int    // 1-based line number
+	Text string // the offending line, comment stripped and trimmed
+	Msg  string // what was wrong
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trace: line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+// Parse reads a trace in the text format. It stops at the first malformed
+// line, returning a *ParseError. A trace with no operations is valid (and
+// trivially consistent).
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		op, err := parseLine(line)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Text: line, Msg: err.Error()}
+		}
+		op.Line = lineNo
+		t.Ops = append(t.Ops, op)
+		if len(t.Ops) > MaxOps {
+			return nil, &ParseError{Line: lineNo, Text: line, Msg: fmt.Sprintf("more than %d operations", MaxOps)}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return t, nil
+}
+
+// parseLine parses one non-empty, comment-stripped line.
+func parseLine(line string) (Op, error) {
+	head, rest, ok := strings.Cut(line, ":")
+	if !ok {
+		return Op{}, fmt.Errorf("missing thread prefix %q", "<tid>:")
+	}
+	tid, err := parseNum(strings.TrimSpace(head))
+	if err != nil {
+		return Op{}, fmt.Errorf("bad thread ID: %v", err)
+	}
+	if tid >= MaxThreadID {
+		return Op{}, fmt.Errorf("thread ID %d out of range [0, %d)", tid, MaxThreadID)
+	}
+	op := Op{Thread: int(tid)}
+	rest = strings.TrimSpace(rest)
+
+	if rest == "sync" {
+		op.Kind = Fence
+		return op, nil
+	}
+	if !strings.HasPrefix(rest, "M[") {
+		return Op{}, fmt.Errorf("expected %q, %q, or %q after thread ID", "M[<addr>] := <val>", "M[<addr>] == <val>", "sync")
+	}
+	addrTxt, rest, ok := strings.Cut(rest[len("M["):], "]")
+	if !ok {
+		return Op{}, fmt.Errorf("unterminated address: missing %q", "]")
+	}
+	if op.Addr, err = parseNum(strings.TrimSpace(addrTxt)); err != nil {
+		return Op{}, fmt.Errorf("bad address: %v", err)
+	}
+	rest = strings.TrimSpace(rest)
+	var valTxt string
+	switch {
+	case strings.HasPrefix(rest, ":="):
+		op.Kind, valTxt = Store, rest[len(":="):]
+	case strings.HasPrefix(rest, "=="):
+		op.Kind, valTxt = Load, rest[len("=="):]
+	default:
+		return Op{}, fmt.Errorf("expected %q (store) or %q (load response) after address", ":=", "==")
+	}
+	if op.Value, err = parseNum(strings.TrimSpace(valTxt)); err != nil {
+		return Op{}, fmt.Errorf("bad value: %v", err)
+	}
+	return op, nil
+}
+
+// parseNum accepts unsigned decimal or 0x-prefixed hexadecimal. Base 0 with
+// a leading-zero octal/underscore rejection keeps the accepted grammar
+// exactly what Format emits plus plain decimal.
+func parseNum(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	if strings.ContainsAny(s, "_+- ") {
+		return 0, fmt.Errorf("malformed number %q", s)
+	}
+	if len(s) > 1 && s[0] == '0' && s[1] != 'x' && s[1] != 'X' {
+		return 0, fmt.Errorf("leading zeros not allowed in %q", s)
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed number %q", s)
+	}
+	return v, nil
+}
+
+// Format writes the trace in canonical text form: one op per line,
+// addresses hexadecimal, values decimal. Parse(Format(t)) yields a trace
+// Equal to t.
+func Format(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range t.Ops {
+		if op.Kind != Store && op.Kind != Load && op.Kind != Fence {
+			return fmt.Errorf("trace: cannot format op of kind %d", op.Kind)
+		}
+		if _, err := fmt.Fprintln(bw, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the trace in canonical text form.
+func (t *Trace) String() string {
+	var b strings.Builder
+	_ = Format(&b, t)
+	return b.String()
+}

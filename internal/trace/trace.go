@@ -1,0 +1,345 @@
+// Package trace is the neutral representation of externally observed
+// executions: per-thread sequences of top-level memory requests and
+// responses, in the style of the Axe consistency checker's trace files
+// (CTSRD-CHERI/axe). A trace records what some memory subsystem — real
+// silicon, an RTL simulation, another simulator — actually did: the stores
+// each thread issued and the value each load response carried. Checking a
+// trace against a memory consistency model needs nothing else, which is
+// what makes the format the front door for executions this repository's own
+// simulator never produced.
+//
+// A trace maps onto the existing checking machinery by Bind: the per-thread
+// operation sequences become a prog.Program (with the framework's canonical
+// unique store values), and each load's observed value resolves to the
+// store that wrote it — the reads-from relation the constraint-graph
+// builder consumes. The text grammar lives in Parse/Format; the golden
+// files under testdata/ are the committed examples.
+package trace
+
+import (
+	"fmt"
+
+	"mtracecheck/internal/prog"
+)
+
+// Kind classifies one trace operation.
+type Kind uint8
+
+const (
+	// Load is a read request whose response carried Value.
+	Load Kind = iota
+	// Store is a write request of Value.
+	Store
+	// Fence is a full memory barrier ("sync" in the text format).
+	Fence
+)
+
+// String returns the text-format spelling of the kind's operator.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "=="
+	case Store:
+		return ":="
+	case Fence:
+		return "sync"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one observed memory request/response.
+type Op struct {
+	Thread int    // issuing thread ID (non-negative; need not be dense)
+	Kind   Kind   // Load, Store, or Fence
+	Addr   uint64 // byte address; 0 for fences
+	Value  uint64 // store: value written; load: value the response carried
+	Line   int    // 1-based source line in the parsed file; 0 if constructed
+}
+
+// String renders the op as one canonical trace line (without newline),
+// re-parseable by Parse.
+func (o Op) String() string {
+	if o.Kind == Fence {
+		return fmt.Sprintf("%d: sync", o.Thread)
+	}
+	return fmt.Sprintf("%d: M[%#x] %s %d", o.Thread, o.Addr, o.Kind, o.Value)
+}
+
+// Trace is one observed execution: operations in file order, which within
+// each thread is that thread's program order. Order across threads carries
+// no meaning — the trace records what happened, not when.
+type Trace struct {
+	Ops []Op
+}
+
+// InitialValue is the value every address holds before the execution
+// starts, matching both Axe's convention and prog.InitialValue.
+const InitialValue uint64 = 0
+
+// Structural bounds. They exist so hostile or corrupt inputs fail fast with
+// a clear error instead of exhausting memory: op IDs must fit the checker's
+// int32 vertices, and thread IDs size per-thread bookkeeping.
+const (
+	// MaxOps bounds the operation count of one trace.
+	MaxOps = 1 << 20
+	// MaxThreadID bounds thread IDs (IDs need not be dense below it).
+	MaxThreadID = 1 << 16
+)
+
+// NumThreads returns the number of distinct thread IDs observed.
+func (t *Trace) NumThreads() int {
+	seen := make(map[int]bool)
+	for _, op := range t.Ops {
+		seen[op.Thread] = true
+	}
+	return len(seen)
+}
+
+// NumAddrs returns the number of distinct addresses accessed.
+func (t *Trace) NumAddrs() int {
+	seen := make(map[uint64]bool)
+	for _, op := range t.Ops {
+		if op.Kind != Fence {
+			seen[op.Addr] = true
+		}
+	}
+	return len(seen)
+}
+
+// Equal reports whether two traces record the same operations in the same
+// order, ignoring source-line provenance.
+func (t *Trace) Equal(u *Trace) bool {
+	if len(t.Ops) != len(u.Ops) {
+		return false
+	}
+	for i, a := range t.Ops {
+		b := u.Ops[i]
+		if a.Thread != b.Thread || a.Kind != b.Kind || a.Addr != b.Addr || a.Value != b.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// line renders an op's source position for error messages.
+func (o Op) line() string {
+	if o.Line > 0 {
+		return fmt.Sprintf("line %d", o.Line)
+	}
+	return fmt.Sprintf("op %d", o.Thread)
+}
+
+// Validate checks the structural rules that make a trace checkable:
+//
+//   - bounds: at most MaxOps operations, thread IDs in [0, MaxThreadID);
+//   - store distinguishability: for each address, every store value is
+//     distinct and none equals InitialValue, so any load response
+//     identifies exactly one writer (the property MTraceCheck's own test
+//     generator guarantees by construction, here demanded of the input).
+//
+// Load responses carrying a value no store wrote are NOT structural errors:
+// they are findings (an impossible observation under every model) and are
+// surfaced by Bind as value faults, so a checker can report them instead of
+// refusing the trace.
+func (t *Trace) Validate() error {
+	if len(t.Ops) > MaxOps {
+		return fmt.Errorf("trace: %d operations exceed the %d limit", len(t.Ops), MaxOps)
+	}
+	type write struct {
+		addr, val uint64
+	}
+	writers := make(map[write]int) // -> source line of the first writer
+	for _, op := range t.Ops {
+		if op.Thread < 0 || op.Thread >= MaxThreadID {
+			return fmt.Errorf("trace: %s: thread ID %d out of range [0, %d)", op.line(), op.Thread, MaxThreadID)
+		}
+		if op.Kind != Store {
+			continue
+		}
+		if op.Value == InitialValue {
+			return fmt.Errorf("trace: %s: store of the initial value %d to %#x is indistinguishable from no store", op.line(), InitialValue, op.Addr)
+		}
+		key := write{op.Addr, op.Value}
+		if prev, dup := writers[key]; dup {
+			return fmt.Errorf("trace: %s: duplicate store of %d to %#x (first at line %d): load responses would be ambiguous", op.line(), op.Value, op.Addr, prev)
+		}
+		writers[key] = op.Line
+	}
+	return nil
+}
+
+// ValueFault is one load response carrying a value no store to its address
+// ever wrote — impossible under every memory consistency model, and
+// therefore a finding in its own right (the trace-mode analogue of the
+// instrumentation's inline assertion failures).
+type ValueFault struct {
+	Op   Op  // the offending load
+	OpID int // the bound program operation ID
+}
+
+func (f *ValueFault) Error() string {
+	return fmt.Sprintf("trace: %s: thread %d load of %#x observed %d, a value never written to that address", f.Op.line(), f.Op.Thread, f.Op.Addr, f.Op.Value)
+}
+
+// Binding is a trace mapped onto the checking machinery's representation.
+type Binding struct {
+	// Trace is the source trace.
+	Trace *Trace
+	// Prog mirrors the trace's per-thread operation sequences as a test
+	// program: threads in ascending trace-thread-ID order, each thread's
+	// operations in trace order, addresses renumbered to dense shared-word
+	// indices, and stores carrying the framework's canonical values
+	// (ID+1) rather than the trace's observed ones.
+	Prog *prog.Program
+	// RF maps each load's program operation ID to the program operation ID
+	// of the store whose value its response carried, or -1 for a read of
+	// the initial value. Loads with value faults are absent — they
+	// constrain nothing.
+	RF map[int]int
+	// Addrs maps shared-word indices back to the trace's byte addresses.
+	Addrs []uint64
+	// Threads maps program thread indices back to trace thread IDs.
+	Threads []int
+	// Source maps program operation IDs to indices into Trace.Ops.
+	Source []int
+	// ValueFaults lists loads whose response value no store wrote — each
+	// one a finding (see ValueFault).
+	ValueFaults []error
+}
+
+// AddrOfOp returns the trace byte address accessed by a bound program
+// operation ID (fences return 0).
+func (b *Binding) AddrOfOp(id int) uint64 {
+	return b.Trace.Ops[b.Source[id]].Addr
+}
+
+// Bind maps the trace onto the checking machinery: a prog.Program plus the
+// reads-from relation resolved from observed values. The trace must have
+// passed Validate; Bind reports structural inconsistencies it depends on,
+// but its error messages assume validation ran first.
+//
+// The construction is the inverse of what MTraceCheck's signature decoder
+// produces for simulator runs: there the program is known and the rf
+// relation is decoded from the signature; here both are reconstructed from
+// the observed trace. Downstream — graph.Builder.DynamicEdges over
+// (Prog, RF), then any registered checking backend — the two front doors
+// are indistinguishable.
+func (t *Trace) Bind() (*Binding, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Dense renumbering: threads in ascending trace-ID order, addresses in
+	// first-appearance order (keeps word indices stable under reordering
+	// of unrelated threads' lines).
+	threadIDs := make([]int, 0, 8)
+	seenThread := make(map[int]int) // trace thread ID -> program thread index
+	for _, op := range t.Ops {
+		if _, ok := seenThread[op.Thread]; !ok {
+			seenThread[op.Thread] = -1 // mark; index assigned after sorting
+			threadIDs = append(threadIDs, op.Thread)
+		}
+	}
+	sortInts(threadIDs)
+	for i, id := range threadIDs {
+		seenThread[id] = i
+	}
+	var addrs []uint64
+	wordOf := make(map[uint64]int)
+	for _, op := range t.Ops {
+		if op.Kind == Fence {
+			continue
+		}
+		if _, ok := wordOf[op.Addr]; !ok {
+			wordOf[op.Addr] = len(addrs)
+			addrs = append(addrs, op.Addr)
+		}
+	}
+
+	// Assemble the program directly (thread-major IDs, canonical store
+	// values) rather than via prog.Builder — one pass, no quadratic ID
+	// recounting on large traces.
+	perThread := make([][]int, len(threadIDs)) // program thread -> trace op indices
+	for i, op := range t.Ops {
+		ti := seenThread[op.Thread]
+		perThread[ti] = append(perThread[ti], i)
+	}
+	p := &prog.Program{
+		Name:     "external-trace",
+		NumWords: len(addrs),
+		Layout:   prog.DefaultLayout(),
+		Threads:  make([]prog.Thread, len(threadIDs)),
+	}
+	source := make([]int, 0, len(t.Ops))
+	id := 0
+	for ti, idxs := range perThread {
+		ops := make([]prog.Op, 0, len(idxs))
+		for oi, i := range idxs {
+			top := t.Ops[i]
+			op := prog.Op{ID: id, Thread: ti, Index: oi}
+			switch top.Kind {
+			case Load:
+				op.Kind, op.Word = prog.Load, wordOf[top.Addr]
+			case Store:
+				op.Kind, op.Word = prog.Store, wordOf[top.Addr]
+				op.Value = uint32(id) + 1
+			case Fence:
+				op.Kind, op.Word = prog.Fence, -1
+			default:
+				return nil, fmt.Errorf("trace: %s: unknown op kind %d", top.line(), top.Kind)
+			}
+			ops = append(ops, op)
+			source = append(source, i)
+			id++
+		}
+		p.Threads[ti] = prog.Thread{Ops: ops}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: bound program invalid: %w", err)
+	}
+
+	// Resolve reads-from: a load's observed value identifies its writer by
+	// the store-distinguishability rule Validate enforced.
+	type write struct {
+		addr, val uint64
+	}
+	storeID := make(map[write]int, len(t.Ops)/2)
+	for opID, srcIdx := range source {
+		top := t.Ops[srcIdx]
+		if top.Kind == Store {
+			storeID[write{top.Addr, top.Value}] = opID
+		}
+	}
+	b := &Binding{
+		Trace: t, Prog: p, RF: make(map[int]int),
+		Addrs: addrs, Threads: threadIDs, Source: source,
+	}
+	for opID, srcIdx := range source {
+		top := t.Ops[srcIdx]
+		if top.Kind != Load {
+			continue
+		}
+		if top.Value == InitialValue {
+			b.RF[opID] = -1
+			continue
+		}
+		st, ok := storeID[write{top.Addr, top.Value}]
+		if !ok {
+			b.ValueFaults = append(b.ValueFaults, &ValueFault{Op: top, OpID: opID})
+			continue
+		}
+		b.RF[opID] = st
+	}
+	return b, nil
+}
+
+// sortInts is a tiny insertion sort — thread ID lists are short, and using
+// it keeps the package free of a sort import its hot paths don't need.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mtracecheck/internal/prog"
+)
+
+func parseString(t *testing.T, s string) *Trace {
+	t.Helper()
+	tr, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tr
+}
+
+func TestParseBasic(t *testing.T) {
+	tr := parseString(t, `
+# comment line
+0: M[0x10] := 1   # trailing comment
+0: M[0x14] == 0
+1: sync
+3: M[0x20] == 0x5
+`)
+	want := []Op{
+		{Thread: 0, Kind: Store, Addr: 0x10, Value: 1, Line: 3},
+		{Thread: 0, Kind: Load, Addr: 0x14, Value: 0, Line: 4},
+		{Thread: 1, Kind: Fence, Line: 5},
+		{Thread: 3, Kind: Load, Addr: 0x20, Value: 5, Line: 6},
+	}
+	if len(tr.Ops) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(tr.Ops), len(want))
+	}
+	for i, op := range tr.Ops {
+		if op != want[i] {
+			t.Errorf("op %d: got %+v, want %+v", i, op, want[i])
+		}
+	}
+	if got := tr.NumThreads(); got != 3 {
+		t.Errorf("NumThreads = %d, want 3", got)
+	}
+	if got := tr.NumAddrs(); got != 3 {
+		t.Errorf("NumAddrs = %d, want 3", got)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	tr := parseString(t, "\n# only comments\n\n")
+	if len(tr.Ops) != 0 {
+		t.Fatalf("got %d ops, want 0", len(tr.Ops))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty trace should validate: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		// Without an explicit separator the ":" of ":=" is taken as the
+		// thread delimiter, so the diagnosis lands on the thread ID.
+		{"no colon", "0 M[1] := 2", "thread ID"},
+		{"bad tid", "x: sync", "thread ID"},
+		{"negative tid", "-1: sync", "thread ID"},
+		{"huge tid", "99999999: sync", "out of range"},
+		{"bad keyword", "0: load 5", `"sync"`},
+		{"unterminated addr", "0: M[0x10 := 1", "unterminated"},
+		{"bad addr", "0: M[zz] := 1", "bad address"},
+		{"bad op", "0: M[1] <- 2", `":="`},
+		{"bad value", "0: M[1] := ", "bad value"},
+		{"octalish", "0: M[010] := 1", "leading zeros"},
+		{"underscore", "0: M[1_0] := 1", "bad address"},
+		{"signed value", "0: M[1] := +2", "bad value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Parse(%q) error %q does not mention %q", tc.in, err, tc.wantSub)
+			}
+			var pe *ParseError
+			if !asParseError(err, &pe) {
+				t.Errorf("Parse(%q) error is %T, want *ParseError", tc.in, err)
+			} else if pe.Line != 1 {
+				t.Errorf("Parse(%q) error line = %d, want 1", tc.in, pe.Line)
+			}
+		})
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*out = pe
+	}
+	return ok
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"store of zero", "0: M[1] := 0", "initial value"},
+		{"duplicate store value", "0: M[1] := 7\n1: M[1] := 7", "duplicate store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := parseString(t, tc.in)
+			err := tr.Validate()
+			if err == nil {
+				t.Fatalf("Validate succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Validate error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	// Same value to different addresses is fine.
+	tr := parseString(t, "0: M[1] := 7\n1: M[2] := 7")
+	if err := tr.Validate(); err != nil {
+		t.Errorf("distinct-address same-value stores should validate: %v", err)
+	}
+}
+
+func TestRoundTripGoldenFiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.trace"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden traces found: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := Parse(strings.NewReader(string(data)))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if len(tr.Ops) == 0 {
+				t.Fatal("golden trace has no operations")
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			again, err := Parse(strings.NewReader(tr.String()))
+			if err != nil {
+				t.Fatalf("re-Parse of canonical form: %v", err)
+			}
+			if !tr.Equal(again) {
+				t.Errorf("round trip changed the trace:\noriginal: %+v\nreparsed: %+v", tr.Ops, again.Ops)
+			}
+			if _, err := tr.Bind(); err != nil {
+				t.Errorf("Bind: %v", err)
+			}
+		})
+	}
+}
+
+func TestBindSB(t *testing.T) {
+	// Store buffering with sparse thread IDs and hex/decimal mixing: checks
+	// thread compaction, address renumbering, and rf resolution.
+	tr := parseString(t, `
+5: M[0x10] := 3
+5: M[0x14] == 0
+2: M[0x14] := 9
+2: M[16] == 3
+`)
+	b, err := tr.Bind()
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if got, want := b.Prog.NumThreads(), 2; got != want {
+		t.Fatalf("threads = %d, want %d", got, want)
+	}
+	// Thread IDs compact ascending: trace thread 2 -> program thread 0.
+	if b.Threads[0] != 2 || b.Threads[1] != 5 {
+		t.Fatalf("thread map = %v, want [2 5]", b.Threads)
+	}
+	if err := b.Prog.Validate(); err != nil {
+		t.Fatalf("bound program invalid: %v", err)
+	}
+	if b.Prog.NumWords != 2 {
+		t.Fatalf("NumWords = %d, want 2", b.Prog.NumWords)
+	}
+	// Program thread 0 = trace thread 2 = ops {st 0x14:=9, ld 0x10==3}:
+	// IDs 0,1. Program thread 1 = trace thread 5 = {st 0x10:=3,
+	// ld 0x14==0}: IDs 2,3.
+	if op := b.Prog.OpByID(0); op.Kind != prog.Store {
+		t.Errorf("op 0 kind = %v, want store", op.Kind)
+	}
+	// Load 1 (M[16]==3, decimal 16 == 0x10) read thread 5's store (ID 2).
+	if got, want := b.RF[1], 2; got != want {
+		t.Errorf("RF[1] = %d, want %d", got, want)
+	}
+	// Load 3 (M[0x14]==0) read the initial value.
+	if got, want := b.RF[3], -1; got != want {
+		t.Errorf("RF[3] = %d, want %d", got, want)
+	}
+	if len(b.ValueFaults) != 0 {
+		t.Errorf("unexpected value faults: %v", b.ValueFaults)
+	}
+	// Addresses map back.
+	if b.AddrOfOp(1) != 0x10 || b.AddrOfOp(0) != 0x14 {
+		t.Errorf("AddrOfOp mapping wrong: op1=%#x op0=%#x", b.AddrOfOp(1), b.AddrOfOp(0))
+	}
+}
+
+func TestBindValueFault(t *testing.T) {
+	tr := parseString(t, `
+0: M[0x10] := 1
+1: M[0x10] == 42
+`)
+	b, err := tr.Bind()
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if len(b.ValueFaults) != 1 {
+		t.Fatalf("got %d value faults, want 1: %v", len(b.ValueFaults), b.ValueFaults)
+	}
+	if !strings.Contains(b.ValueFaults[0].Error(), "never written") {
+		t.Errorf("fault message %q lacks explanation", b.ValueFaults[0])
+	}
+	// The faulted load must not constrain the graph.
+	if _, ok := b.RF[1]; ok {
+		t.Errorf("faulted load has an RF entry")
+	}
+}
+
+func TestBindFence(t *testing.T) {
+	tr := parseString(t, `
+0: M[0x10] := 1
+0: sync
+0: M[0x14] == 0
+`)
+	b, err := tr.Bind()
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if op := b.Prog.OpByID(1); op.Kind != prog.Fence || op.Word != -1 {
+		t.Errorf("op 1 = %+v, want fence with word -1", op)
+	}
+}
+
+func TestBindTooManyOps(t *testing.T) {
+	tr := &Trace{Ops: make([]Op, MaxOps+1)}
+	for i := range tr.Ops {
+		tr.Ops[i] = Op{Thread: 0, Kind: Load, Addr: 0x10}
+	}
+	if _, err := tr.Bind(); err == nil {
+		t.Fatal("Bind accepted an oversized trace")
+	}
+}

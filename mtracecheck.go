@@ -214,6 +214,13 @@ const (
 	// by iterative vector-clock closure (Roy et al.'s TSOtool algorithm,
 	// adapted to predecessor-bitset clocks), an extension beyond the paper.
 	CheckerVectorClock
+	// CheckerConstraints solves each graph's acyclicity as a constraint
+	// system (one position variable per operation, pos[u] < pos[v] per
+	// edge) by exhaustive propagation and backtracking, after Akgün et al.
+	// It is a deliberately slow, obviously-correct oracle for differential
+	// testing of the fast checkers and for external-trace verdicts; like
+	// the incremental checker it is serial, so Workers does not shard it.
+	CheckerConstraints
 )
 
 // checkers maps every Checker constant to its backend name; ParseChecker
@@ -223,6 +230,7 @@ var checkers = map[Checker]string{
 	CheckerConventional: "conventional",
 	CheckerIncremental:  "incremental",
 	CheckerVectorClock:  "vectorclock",
+	CheckerConstraints:  "constraints",
 }
 
 // String returns the checker's backend registry name — the value the CLIs

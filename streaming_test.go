@@ -124,8 +124,10 @@ func TestLegacyCheckpointResume(t *testing.T) {
 	plat := PlatformX86()
 	const resumeAt, total = 60, 120
 
-	// Legacy device side: two contiguous shard blocks, the second positioned
-	// with the deprecated SkipIterations — exactly the old pipeline's scheme.
+	// Legacy device side: two contiguous shard blocks, each positioned by
+	// skipping the campaign seed stream to its start — the old pipeline's
+	// contiguous-block scheme expressed through the seed-stream identity
+	// (stream value i is iteration i's seed).
 	meta, err := instrument.Analyze(p, plat.RegWidthBits, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -136,10 +138,11 @@ func TestLegacyCheckpointResume(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r.SkipIterations(skip)
+		s := sim.NewSeedStream(7)
+		s.Skip(skip)
 		var sigBuf []uint64
 		for i := 0; i < count; i++ {
-			ex, err := r.Run()
+			ex, err := r.RunSeeded(s.Next())
 			if err != nil {
 				t.Fatal(err)
 			}

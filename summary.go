@@ -23,6 +23,9 @@ func WriteCheckSummary(w io.Writer, report *Report, checker Checker) {
 	case CheckerVectorClock:
 		fmt.Fprintf(w, "vector-clock checking: %d graphs (%d clock updates)\n",
 			cs.Total, cs.ClockUpdates)
+	case CheckerConstraints:
+		fmt.Fprintf(w, "constraint checking:  %d graphs (%d propagations)\n",
+			cs.Total, cs.Propagations)
 	case CheckerConventional:
 		fmt.Fprintf(w, "conventional checking: %d graphs (%d vertices sorted)\n",
 			cs.Total, cs.SortedVertices)
