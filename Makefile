@@ -3,7 +3,7 @@ GO ?= go
 # `make verify` PR-sized while still exercising the mutated-signature corpus.
 FUZZTIME ?= 3s
 
-.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke dist-smoke corpus-smoke trace-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-diff fuzz-short obs-smoke scaling-smoke diff-check-smoke dist-smoke corpus-smoke trace-smoke sim-alloc-smoke verify
 
 build:
 	$(GO) build ./...
@@ -186,8 +186,23 @@ corpus-smoke:
 		|| { echo "corpus-smoke: warm hits ($$hits) != cold graphs checked ($$checked)"; exit 1; }; \
 	echo "corpus-smoke: OK (warm rerun bit-identical with $$hits corpus hits and zero graphs checked)"
 
+# Simulator allocation gate: the alloc-budget tests plus a short
+# -benchmem pass over the SimIteration benchmarks. The typed-event engine
+# holds the execute loop at zero steady-state allocations; this fails the
+# build if allocs/op creeps above the budget.
+SIM_ALLOC_BUDGET ?= 50
+sim-alloc-smoke:
+	@$(GO) test -run 'AllocBudget' -count 1 . || exit 1; \
+	out=$$($(GO) test -run '^$$' -bench 'SimIteration' -benchmem -benchtime 2s . ) \
+		|| { echo "$$out"; exit 1; }; \
+	echo "$$out" | grep 'BenchmarkSimIteration' | while read -r name _ _ _ _ _ allocs _; do \
+		[ "$$allocs" -le $(SIM_ALLOC_BUDGET) ] \
+			|| { echo "sim-alloc-smoke: $$name at $$allocs allocs/op exceeds budget $(SIM_ALLOC_BUDGET)"; exit 1; }; \
+	done || exit 1; \
+	echo "sim-alloc-smoke: OK (SimIteration allocs/op within budget $(SIM_ALLOC_BUDGET))"
+
 # Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race fuzz-short bench-smoke obs-smoke scaling-smoke diff-check-smoke trace-smoke dist-smoke corpus-smoke
+verify: build vet test race fuzz-short bench-smoke sim-alloc-smoke obs-smoke scaling-smoke diff-check-smoke trace-smoke dist-smoke corpus-smoke
 
 # Full benchmark sweep, snapshotted as the next free BENCH_<n>.json
 # (name → ns/op, B/op, allocs/op). BENCH_0.json is the committed

@@ -11,12 +11,12 @@ import (
 
 // Allocation budgets for the hot loop (DESIGN.md "Performance"): the
 // execute → encode → dedup path must not allocate proportionally to
-// iterations. Encode-into and Set.AddWords are allocation-free at steady
-// state; Runner.Run's remaining allocations are the per-event closures the
-// discrete-event simulator schedules, bounded well below the cost of
-// rebuilding the platform per iteration.
+// iterations. Since the typed-event engine replaced per-event closures
+// (every deferred action is an inline eventq.Event dispatched by kind, and
+// the memory system's messages, buffers, MSHRs, and replays are pooled),
+// every stage of the path is allocation-free at steady state.
 const (
-	runAllocBudget = 2500 // event closures for the 4×40 probe program
+	runAllocBudget = 0 // the typed-event engine schedules no closures
 	encAllocBudget = 0
 	addAllocBudget = 0
 )
@@ -50,6 +50,29 @@ func TestRunnerRunAllocBudget(t *testing.T) {
 	})
 	if allocs > runAllocBudget {
 		t.Errorf("Runner.Run steady state: %.0f allocs/run, budget %d", allocs, runAllocBudget)
+	}
+}
+
+// TestRunSeededAllocBudget pins the streaming pipeline's entry point to the
+// same zero-allocation steady state: a warm Runner executing an explicit
+// per-iteration seed must not allocate at all.
+func TestRunSeededAllocBudget(t *testing.T) {
+	r, _ := allocProbeSetup(t)
+	seeds := sim.SeedTable(7, 24)
+	for _, s := range seeds[:4] { // warm the reusable workspaces
+		if _, err := r.RunSeeded(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 4
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.RunSeeded(seeds[i%len(seeds)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > runAllocBudget {
+		t.Errorf("Runner.RunSeeded steady state: %.0f allocs/run, budget %d", allocs, runAllocBudget)
 	}
 }
 

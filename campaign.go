@@ -47,6 +47,11 @@ type Campaign struct {
 	corpKey   corpus.Key
 	corpusOK  bool
 	corpusErr error
+
+	// keyBuf is the binary-key scratch for corpus lookups on the warm-hit
+	// path: one buffer per campaign instead of one growth series per
+	// partition pass.
+	keyBuf []byte
 }
 
 // execChunkSize is the streaming scheduler's work granule: workers pull
@@ -298,11 +303,10 @@ func (c *Campaign) decodeAndCheck(ctx context.Context, uniques []Unique,
 // returned slice, ascending order preserved) and hits.
 func (c *Campaign) partitionCorpus(uniques []Unique) ([]Unique, int) {
 	novel := make([]Unique, 0, len(uniques))
-	var key []byte
 	hits := 0
 	for _, u := range uniques {
-		key = u.Sig.AppendBinary(key[:0])
-		if c.opts.Corpus.Contains(c.corpKey, key) {
+		c.keyBuf = u.Sig.AppendBinary(c.keyBuf[:0])
+		if c.opts.Corpus.Contains(c.corpKey, c.keyBuf) {
 			hits++
 			continue
 		}
@@ -326,7 +330,8 @@ func (c *Campaign) corpusAppend(report *Report, items []check.Item) error {
 	}
 	appended := 0
 	for _, it := range items {
-		if bad[it.Sig.Key()] {
+		// Key() allocates; skip it entirely on the usual no-violations path.
+		if bad != nil && bad[it.Sig.Key()] {
 			continue
 		}
 		if c.opts.Corpus.Add(c.corpKey, it.Sig, c.opts.Seed) {

@@ -1,42 +1,76 @@
 // Package eventq provides the discrete-event scheduler underlying the
-// simulated validation platform: a time-ordered queue of callbacks with a
-// monotonic clock. Events at equal times run in scheduling order (FIFO), so
-// simulations are fully deterministic for a given seed.
+// simulated validation platform: a time-ordered queue of typed event records
+// with a monotonic clock. Events at equal times run in scheduling order
+// (FIFO), so simulations are fully deterministic for a given seed.
+//
+// Events are plain value records (Event) dispatched through a handler set
+// with SetHandler — no per-event closure allocation on the hot path. A thin
+// At/After compatibility shim boxes a func() as one reserved event kind
+// (KindFunc) for tests and tools that don't need the typed path; both paths
+// share the same clock and scheduling sequence, so interleaving them
+// preserves FIFO tie-break order.
 package eventq
 
 // Time is a simulation timestamp in abstract cycles.
 type Time int64
 
+// KindFunc is the reserved event kind used by the At/After closure shim.
+// Handlers never see it: the queue invokes the boxed func() directly.
+// Typed-event producers must not use this kind.
+const KindFunc uint8 = 255
+
+// Event is a typed event record. Kind selects the dispatch arm in the
+// handler's jump table; Core, Op, and Arg are payload fields whose meaning
+// is private to the producer of each kind. At is filled in by the queue.
+type Event struct {
+	At   Time
+	Kind uint8
+	Core int32
+	Op   int32
+	Arg  int64
+}
+
 // Queue is a discrete-event scheduler. The zero value is not ready for use;
 // call New.
 //
-// The heap is hand-rolled over a flat []event rather than container/heap:
+// The heap is hand-rolled over a flat []entry rather than container/heap:
 // the standard interface boxes every pushed and popped element in an
 // interface value, which costs one allocation per event — far too much for a
 // scheduler that runs hundreds of events per simulated iteration. The
 // ordering (time, then scheduling sequence) is identical, so event execution
 // order is unchanged.
 type Queue struct {
-	h   []event
-	now Time
-	seq int64
+	h       []entry
+	now     Time
+	seq     int64
+	handler func(Event)
+	// Closure shim storage: boxed funcs live in fns, indexed by Event.Arg.
+	// Freed slots are recycled through fnFree so the shim reaches a steady
+	// state too (it still allocates the closure itself, which is why the
+	// hot paths use typed events).
+	fns    []func()
+	fnFree []int32
 }
 
 // New returns an empty queue with the clock at zero.
 func New() *Queue { return &Queue{} }
 
-type event struct {
-	at  Time
+type entry struct {
+	ev  Event
 	seq int64
-	fn  func()
 }
 
-func (a event) before(b event) bool {
-	if a.at != b.at {
-		return a.at < b.at
+func (a entry) before(b entry) bool {
+	if a.ev.At != b.ev.At {
+		return a.ev.At < b.ev.At
 	}
 	return a.seq < b.seq
 }
+
+// SetHandler installs the dispatch function invoked for every typed event.
+// It survives Reset, so a Runner installs it once at construction. Stepping
+// a queue holding typed events with no handler installed panics.
+func (q *Queue) SetHandler(h func(Event)) { q.handler = h }
 
 // Now returns the current simulation time.
 func (q *Queue) Now() Time { return q.now }
@@ -45,27 +79,56 @@ func (q *Queue) Now() Time { return q.now }
 func (q *Queue) Len() int { return len(q.h) }
 
 // Reset discards all pending events and rewinds the clock and scheduling
-// sequence to zero, keeping the underlying storage for reuse. A reset queue
-// behaves exactly like a freshly New'd one.
+// sequence to zero, keeping the underlying storage (and the handler) for
+// reuse. A reset queue behaves exactly like a freshly New'd one.
 func (q *Queue) Reset() {
 	for i := range q.h {
-		q.h[i].fn = nil // release callback closures for GC
+		q.h[i] = entry{}
 	}
 	q.h = q.h[:0]
+	for i := range q.fns {
+		q.fns[i] = nil // release boxed closures for GC
+	}
+	q.fns = q.fns[:0]
+	q.fnFree = q.fnFree[:0]
 	q.now = 0
 	q.seq = 0
 }
 
-// At schedules fn to run at the absolute time at. Scheduling in the past
-// (before Now) runs the event at the current time instead; time never moves
-// backwards.
-func (q *Queue) At(at Time, fn func()) {
-	if at < q.now {
-		at = q.now
+// Push schedules a typed event at the absolute time ev.At. Scheduling in
+// the past (before Now) runs the event at the current time instead; time
+// never moves backwards.
+func (q *Queue) Push(ev Event) {
+	if ev.At < q.now {
+		ev.At = q.now
 	}
 	q.seq++
-	q.h = append(q.h, event{at: at, seq: q.seq, fn: fn})
+	q.h = append(q.h, entry{ev: ev, seq: q.seq})
 	q.siftUp(len(q.h) - 1)
+}
+
+// PushAfter schedules a typed event delay cycles from now.
+func (q *Queue) PushAfter(delay Time, ev Event) {
+	ev.At = q.now + delay
+	q.Push(ev)
+}
+
+// At schedules fn to run at the absolute time at. This is the closure
+// compatibility shim: the func is boxed as a KindFunc event sharing the same
+// clock and sequence counter as typed events, so mixing both paths keeps
+// FIFO tie-break order. Scheduling in the past (before Now) runs the event
+// at the current time instead.
+func (q *Queue) At(at Time, fn func()) {
+	var slot int32
+	if n := len(q.fnFree); n > 0 {
+		slot = q.fnFree[n-1]
+		q.fnFree = q.fnFree[:n-1]
+		q.fns[slot] = fn
+	} else {
+		slot = int32(len(q.fns))
+		q.fns = append(q.fns, fn)
+	}
+	q.Push(Event{At: at, Kind: KindFunc, Arg: int64(slot)})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -110,13 +173,21 @@ func (q *Queue) Step() bool {
 	e := q.h[0]
 	n := len(q.h) - 1
 	q.h[0] = q.h[n]
-	q.h[n] = event{} // release callback for GC
+	q.h[n] = entry{}
 	q.h = q.h[:n]
 	if n > 0 {
 		q.siftDown(0)
 	}
-	q.now = e.at
-	e.fn()
+	q.now = e.ev.At
+	if e.ev.Kind == KindFunc {
+		slot := int32(e.ev.Arg)
+		fn := q.fns[slot]
+		q.fns[slot] = nil
+		q.fnFree = append(q.fnFree, slot)
+		fn()
+	} else {
+		q.handler(e.ev)
+	}
 	return true
 }
 

@@ -110,6 +110,96 @@ func TestRandomizedOrdering(t *testing.T) {
 	}
 }
 
+// TestMixedPathFIFOAtEqualTimes pins the tie-break contract across both
+// scheduling paths: typed events (Push) and boxed closures (At) share one
+// scheduling-sequence counter, so events at equal timestamps fire in exactly
+// the order they were scheduled regardless of which path each one used.
+func TestMixedPathFIFOAtEqualTimes(t *testing.T) {
+	q := New()
+	var got []int
+	q.SetHandler(func(ev Event) { got = append(got, int(ev.Arg)) })
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			q.Push(Event{At: 5, Kind: 1, Arg: int64(i)})
+		} else {
+			i := i
+			q.At(5, func() { got = append(got, i) })
+		}
+	}
+	q.Drain(0)
+	if len(got) != 12 || !sort.IntsAreSorted(got) {
+		t.Errorf("mixed-path equal-time events out of scheduling order: %v", got)
+	}
+}
+
+// TestTypedEventOrdering covers the typed path alone: time-major order,
+// past-scheduling clamped to now, PushAfter relative to the current time.
+func TestTypedEventOrdering(t *testing.T) {
+	q := New()
+	var got []int
+	var at []Time
+	q.SetHandler(func(ev Event) {
+		got = append(got, int(ev.Arg))
+		at = append(at, q.Now())
+		if ev.Arg == 1 {
+			q.PushAfter(7, Event{Kind: 1, Arg: 9})
+			q.Push(Event{At: 2, Kind: 1, Arg: 8}) // in the past: clamps to now
+		}
+	})
+	q.Push(Event{At: 30, Kind: 1, Arg: 3})
+	q.Push(Event{At: 10, Kind: 1, Arg: 1})
+	q.Push(Event{At: 20, Kind: 1, Arg: 2})
+	q.Drain(0)
+	want := []int{1, 8, 9, 2, 3}
+	wantAt := []Time{10, 10, 17, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] || at[i] != wantAt[i] {
+			t.Fatalf("fired %v at %v; want %v at %v", got, at, want, wantAt)
+		}
+	}
+}
+
+// TestHandlerSurvivesReset: Reset clears events and rewinds the clock but
+// keeps the installed handler, so a Runner wires it exactly once.
+func TestHandlerSurvivesReset(t *testing.T) {
+	q := New()
+	fired := 0
+	q.SetHandler(func(Event) { fired++ })
+	q.Push(Event{At: 1, Kind: 1})
+	q.Reset()
+	if q.Len() != 0 || q.Now() != 0 {
+		t.Fatalf("Reset left Len=%d Now=%d", q.Len(), q.Now())
+	}
+	q.Push(Event{At: 1, Kind: 1})
+	q.Drain(0)
+	if fired != 1 {
+		t.Errorf("fired %d events after reset, want 1", fired)
+	}
+}
+
+// TestTypedPathAllocFree: pushing and dispatching typed events through a
+// warm queue allocates nothing — the engine's hot loop depends on this.
+func TestTypedPathAllocFree(t *testing.T) {
+	q := New()
+	q.SetHandler(func(Event) {})
+	for i := 0; i < 64; i++ {
+		q.Push(Event{At: Time(i), Kind: 1})
+	}
+	q.Drain(0)
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(Event{At: Time(i), Kind: 1})
+		}
+		q.Drain(0)
+	})
+	if allocs != 0 {
+		t.Errorf("typed path allocated %.1f per run, want 0", allocs)
+	}
+}
+
 func TestCascadingEvents(t *testing.T) {
 	q := New()
 	depth := 0

@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"mtracecheck/internal/eventq"
+)
 
 // lineState is a cache line's MESI stable state.
 type lineState uint8
@@ -36,16 +40,18 @@ type cacheLine struct {
 	pending bool  // reserved by an outstanding mshr
 }
 
-// memReq is one load or store presented to the cache.
+// memReq is one load or store presented to the cache. tok is the caller's
+// completion token, handed back through the System's completion hook.
 type memReq struct {
 	isWrite bool
 	addr    uint64
 	val     uint32
-	done    func(uint32) // loads: value; stores: called with 0
+	tok     int64
 }
 
 // mshr tracks one outstanding miss or upgrade for a line, including every
 // request that arrived for the line while the transaction was in flight.
+// MSHRs are pooled per cache; queued keeps its capacity across reuse.
 type mshr struct {
 	base     uint64
 	set, way int
@@ -55,13 +61,15 @@ type mshr struct {
 
 // cache is one core's private L1 controller.
 type cache struct {
-	sys     *System
-	id      int
-	sets    [][]cacheLine
-	mshrs   map[uint64]*mshr
-	wb      map[uint64][]uint32 // writeback buffer: PutM sent, WBAck pending
-	stalled []memReq            // requests waiting for a free way
-	useCtr  int64
+	sys        *System
+	id         int
+	sets       [][]cacheLine
+	mshrs      map[uint64]*mshr
+	mshrFree   []*mshr
+	wb         map[uint64][]uint32 // writeback buffer: PutM sent, WBAck pending
+	stalled    []memReq            // requests waiting for a free way
+	stalledAlt []memReq            // double buffer for retryStalled
+	useCtr     int64
 }
 
 func newCache(s *System, id int) *cache {
@@ -81,10 +89,35 @@ func (c *cache) reset() {
 			*ln = cacheLine{data: ln.data[:0]}
 		}
 	}
-	clear(c.mshrs)
-	clear(c.wb)
+	for base, m := range c.mshrs {
+		c.freeMSHR(m)
+		delete(c.mshrs, base)
+	}
+	for base, buf := range c.wb {
+		c.sys.putLineBuf(buf)
+		delete(c.wb, base)
+	}
 	c.stalled = c.stalled[:0]
 	c.useCtr = 0
+}
+
+// newMSHR claims an MSHR from the pool.
+func (c *cache) newMSHR(base uint64, set, way int, wantM bool) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+	} else {
+		m = &mshr{}
+	}
+	m.base, m.set, m.way, m.wantM = base, set, way, wantM
+	m.queued = m.queued[:0]
+	return m
+}
+
+func (c *cache) freeMSHR(m *mshr) {
+	m.queued = m.queued[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 func (c *cache) setIndex(base uint64) int {
@@ -110,7 +143,6 @@ func (c *cache) touch(ln *cacheLine) {
 // access presents a load or store to the cache.
 func (c *cache) access(req memReq) {
 	base := c.sys.lineBase(req.addr)
-	idx := c.sys.wordIndex(req.addr)
 
 	// Coalesce into an existing transaction for the line.
 	if m, ok := c.mshrs[base]; ok {
@@ -127,38 +159,26 @@ func (c *cache) access(req memReq) {
 	if ln != nil && ln.state != stateI {
 		c.touch(ln)
 		if !req.isWrite {
-			// Load hit.
+			// Load hit: data returns after tag latency, with a re-check at
+			// return time (see replayLoadHit).
 			c.sys.stats.Hits++
-			c.sys.q.After(c.sys.cfg.TagLat, func() {
-				// Re-check: the line may have been invalidated between tag
-				// access and data return; real hardware replays the access.
-				if cur := c.lookup(base); cur != nil && cur.state != stateI && cur.base == base {
-					req.done(cur.data[idx])
-				} else {
-					c.access(req)
-				}
-			})
+			c.sys.q.PushAfter(c.sys.cfg.TagLat, eventq.Event{
+				Kind: kindLoadHit, Core: int32(c.id), Op: c.sys.newPend(req)})
 			return
 		}
 		switch ln.state {
 		case stateE, stateM:
-			// Store hit with write permission (silent E→M upgrade).
+			// Store hit with write permission (silent E→M upgrade at
+			// replay time, see replayStoreHit).
 			c.sys.stats.Hits++
-			c.sys.q.After(c.sys.cfg.TagLat, func() {
-				if cur := c.lookup(base); cur != nil && (cur.state == stateE || cur.state == stateM) {
-					cur.state = stateM
-					cur.data[idx] = req.val
-					req.done(0)
-				} else {
-					c.access(req)
-				}
-			})
+			c.sys.q.PushAfter(c.sys.cfg.TagLat, eventq.Event{
+				Kind: kindStoreHit, Core: int32(c.id), Op: c.sys.newPend(req)})
 			return
 		case stateS:
 			// Upgrade: keep the Shared data resident, request M.
 			c.sys.stats.Misses++
-			m := &mshr{base: base, set: c.setIndex(base), way: c.wayOf(ln), wantM: true,
-				queued: []memReq{req}}
+			m := c.newMSHR(base, c.setIndex(base), c.wayOf(ln), true)
+			m.queued = append(m.queued, req)
 			ln.pending = true
 			c.mshrs[base] = m
 			c.sys.send(-1, message{typ: msgGetM, from: c.id, base: base})
@@ -179,13 +199,41 @@ func (c *cache) access(req memReq) {
 	ln = &c.sets[set][way]
 	*ln = cacheLine{base: base, state: stateI, pending: true, data: ln.data[:0]}
 	c.touch(ln)
-	m := &mshr{base: base, set: set, way: way, wantM: req.isWrite, queued: []memReq{req}}
+	m := c.newMSHR(base, set, way, req.isWrite)
+	m.queued = append(m.queued, req)
 	c.mshrs[base] = m
 	typ := msgGetS
 	if req.isWrite {
 		typ = msgGetM
 	}
 	c.sys.send(-1, message{typ: typ, from: c.id, base: base})
+}
+
+// replayLoadHit completes a load hit after tag latency. The line may have
+// been invalidated between tag access and data return; real hardware replays
+// the access, and so do we.
+func (c *cache) replayLoadHit(pslot int32) {
+	req := c.sys.takePend(pslot)
+	base := c.sys.lineBase(req.addr)
+	if cur := c.lookup(base); cur != nil && cur.state != stateI && cur.base == base {
+		c.sys.finish(false, req.tok, cur.data[c.sys.wordIndex(req.addr)])
+	} else {
+		c.access(req)
+	}
+}
+
+// replayStoreHit completes a store hit after tag latency, re-checking that
+// write permission survived and upgrading E→M silently.
+func (c *cache) replayStoreHit(pslot int32) {
+	req := c.sys.takePend(pslot)
+	base := c.sys.lineBase(req.addr)
+	if cur := c.lookup(base); cur != nil && (cur.state == stateE || cur.state == stateM) {
+		cur.state = stateM
+		cur.data[c.sys.wordIndex(req.addr)] = req.val
+		c.sys.finish(true, req.tok, 0)
+	} else {
+		c.access(req)
+	}
 }
 
 func (c *cache) wayOf(ln *cacheLine) int {
@@ -222,8 +270,7 @@ func (c *cache) pickVictim(set int) int {
 func (c *cache) evict(set, way int) {
 	ln := &c.sets[set][way]
 	if ln.state == stateM {
-		data := make([]uint32, len(ln.data))
-		copy(data, ln.data)
+		data := append(c.sys.getLineBuf(), ln.data...)
 		c.wb[ln.base] = data
 		c.sys.stats.Writebacks++
 		c.sys.send(-1, message{typ: msgPutM, from: c.id, base: ln.base, data: data, dirty: true})
@@ -232,13 +279,14 @@ func (c *cache) evict(set, way int) {
 	ln.data = ln.data[:0]
 }
 
-// retryStalled re-presents stalled requests after a way freed up.
+// retryStalled re-presents stalled requests after a way freed up. The two
+// stalled buffers ping-pong so re-stalled requests land in the other one.
 func (c *cache) retryStalled() {
 	if len(c.stalled) == 0 {
 		return
 	}
 	reqs := c.stalled
-	c.stalled = nil
+	c.stalled, c.stalledAlt = c.stalledAlt[:0], reqs
 	for _, r := range reqs {
 		c.access(r)
 	}
@@ -257,7 +305,10 @@ func (c *cache) receive(m message) {
 	case msgFwdGetM:
 		c.forward(m.base, true)
 	case msgWBAck:
-		delete(c.wb, m.base)
+		if buf, ok := c.wb[m.base]; ok {
+			c.sys.putLineBuf(buf)
+			delete(c.wb, m.base)
+		}
 	default:
 		panic(fmt.Sprintf("mem: cache %d received %v", c.id, m))
 	}
@@ -288,20 +339,23 @@ func (c *cache) invalidate(base uint64, mayBeSMTransient bool) {
 // the live copy or the writeback buffer.
 func (c *cache) forward(base uint64, isGetM bool) {
 	if ln := c.lookup(base); ln != nil && (ln.state == stateE || ln.state == stateM) {
-		data := make([]uint32, len(ln.data))
-		copy(data, ln.data)
 		dirty := ln.state == stateM
 		if isGetM {
+			// Compose the response (copying the line data into the message
+			// slot) before invalidating, but post it after the squash hook
+			// runs, preserving hook-before-send ordering.
+			slot := c.sys.newMsg(message{typ: msgOwnerData, from: c.id, base: base,
+				data: ln.data, dirty: dirty})
 			ln.state = stateI
 			ln.data = ln.data[:0]
 			c.sys.stats.Invalidations++
 			if c.sys.invalHook != nil {
 				c.sys.invalHook(c.id, base)
 			}
-			c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: data, dirty: dirty})
+			c.sys.post(-1, slot)
 		} else {
 			ln.state = stateS
-			c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: data,
+			c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: ln.data,
 				dirty: dirty, keepsCopy: true})
 		}
 		return
@@ -312,9 +366,7 @@ func (c *cache) forward(base uint64, isGetM bool) {
 			// writeback; the directory waits forever.
 			return
 		}
-		out := make([]uint32, len(data))
-		copy(out, data)
-		c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: out, dirty: true})
+		c.sys.send(-1, message{typ: msgOwnerData, from: c.id, base: base, data: data, dirty: true})
 		return
 	}
 	// Silently dropped clean line (E→I): memory is up to date.
@@ -365,15 +417,20 @@ func (c *cache) fill(m message) {
 			ln.state = stateM
 			ln.data[idx] = req.val
 		}
-		tx.queued = tx.queued[1:]
+		// Pop by copy-down so the queue keeps its backing array for reuse.
+		n := copy(tx.queued, tx.queued[1:])
+		tx.queued = tx.queued[:n]
 		v := ln.data[idx]
-		done := req.done
+		isWrite := int32(0)
 		if req.isWrite {
 			v = 0
+			isWrite = 1
 		}
-		c.sys.q.After(c.sys.cfg.TagLat, func() { done(v) })
+		c.sys.q.PushAfter(c.sys.cfg.TagLat, eventq.Event{
+			Kind: kindComplete, Core: isWrite, Op: int32(v), Arg: req.tok})
 	}
 	ln.pending = false
+	c.freeMSHR(tx)
 	delete(c.mshrs, m.base)
 	c.retryStalled()
 }

@@ -96,6 +96,12 @@ func (d *directory) receive(m message) {
 	switch m.typ {
 	case msgGetS, msgGetM, msgPutM:
 		if l.busy {
+			// The message's data lives in a message slot that is recycled
+			// once delivery returns; a queued message outlives that, so it
+			// gets its own pooled copy (returned in unblock).
+			if m.data != nil {
+				m.data = append(d.sys.getLineBuf(), m.data...)
+			}
 			l.queue = append(l.queue, m)
 			return
 		}
@@ -149,13 +155,14 @@ func (d *directory) receive(m message) {
 }
 
 // grant sends a fill carrying the current memory copy of the line, after
-// the directory occupancy plus any extra (memory) latency.
+// the directory occupancy plus any extra (memory) latency. The memory data
+// is snapshotted into the message slot now; the message-count bump and the
+// network jitter draw happen when the kindGrant event fires (the moment the
+// grant actually leaves the directory), matching the hop's send semantics.
 func (d *directory) grant(to int, typ msgType, base uint64, extra int) {
-	data := make([]uint32, d.sys.wordsPerLine())
-	copy(data, d.sys.memLine(base))
-	msg := message{typ: typ, from: -1, base: base, data: data}
+	slot := d.sys.newMsg(message{typ: typ, from: -1, base: base, data: d.sys.memLine(base)})
 	delay := d.sys.cfg.DirLat + eventq.Time(extra)
-	d.sys.q.After(delay, func() { d.sys.send(to, msg) })
+	d.sys.q.PushAfter(delay, eventq.Event{Kind: kindGrant, Core: int32(to), Op: slot})
 }
 
 // service handles one request on an idle line. GetS/GetM always leave the
@@ -242,7 +249,15 @@ func (d *directory) unblock(l *dirLine) {
 	l.acksNeeded = 0
 	for !l.busy && len(l.queue) > 0 {
 		m := l.queue[0]
-		l.queue = l.queue[1:]
+		// Pop by copy-down so the queue keeps its backing array for reuse.
+		n := copy(l.queue, l.queue[1:])
+		l.queue = l.queue[:n]
 		d.service(l, m)
+		if m.data != nil {
+			// Return the pooled copy taken when the message was queued:
+			// service consumes data synchronously (PutM copies it into the
+			// backing store) and never retains it.
+			d.sys.putLineBuf(m.data)
+		}
 	}
 }

@@ -24,6 +24,14 @@
 // Timing variability — hit vs. miss vs. line ping-pong — is what produces
 // the non-deterministic interleavings the paper measures, so latencies are
 // deliberately coarse but state-dependent.
+//
+// Scheduling is closure-free: every deferred action is a typed eventq.Event
+// whose kind lives in the package's reserved kind space (KindBase and up),
+// routed back in through Dispatch by the engine's jump table. Requests carry
+// a caller-chosen completion token instead of a callback; the system reports
+// completions synchronously through the hook set with SetCompleteHook.
+// Messages, their line-data buffers, MSHRs, and pending-replay records are
+// all pooled, so a steady-state iteration allocates nothing.
 package mem
 
 import (
@@ -31,6 +39,32 @@ import (
 	"math/rand"
 
 	"mtracecheck/internal/eventq"
+)
+
+// KindBase is the first event kind owned by package mem. The engine's
+// dispatch routes every event with Kind >= KindBase (below eventq.KindFunc)
+// to System.Dispatch; kinds below KindBase belong to the engine.
+const KindBase uint8 = 0x80
+
+// Event kinds scheduled by the memory system. Payload layout is private to
+// this package: events are produced here and consumed by Dispatch.
+const (
+	// kindDeliver delivers message slot Op to cache Core (or the directory
+	// when Core is negative) — the network hop.
+	kindDeliver = KindBase + iota
+	// kindGrant moves a directory grant (message slot Op, destination Core)
+	// from directory occupancy onto the network: the deferred send draws its
+	// jitter when this event fires, not when the grant was composed.
+	kindGrant
+	// kindLoadHit replays a load hit on cache Core after tag latency;
+	// Op indexes the pending-request pool.
+	kindLoadHit
+	// kindStoreHit replays a store hit on cache Core after tag latency;
+	// Op indexes the pending-request pool.
+	kindStoreHit
+	// kindComplete finishes a fill-satisfied request after tag latency:
+	// Arg is the completion token, Op the value, Core 1 for writes.
+	kindComplete
 )
 
 // Bugs selects injectable protocol defects (paper §7).
@@ -104,7 +138,7 @@ type Stats struct {
 }
 
 // System is the coherent memory system. It is single-goroutine: all methods
-// must be called from event callbacks of the owning queue or between runs.
+// must be called from event dispatch of the owning queue or between runs.
 type System struct {
 	cfg    Config
 	q      *eventq.Queue
@@ -116,10 +150,30 @@ type System struct {
 
 	outstanding int // incomplete Read/Write operations
 
+	// Message slots: in-flight protocol messages live in msgs, addressed by
+	// the slot index riding in the event. Each slot owns a reusable line
+	// buffer (msgBufs) that message data is copied into, so freeing a slot
+	// keeps its buffer for the next message.
+	msgs    []message
+	msgBufs [][]uint32
+	msgFree []int32
+
+	// Pending-request slots for tag-latency hit replays.
+	pend     []memReq
+	pendFree []int32
+
+	// lineBufs pools line-sized scratch buffers (writeback copies, queued
+	// directory message data).
+	lineBufs [][]uint32
+
 	// invalHook, when set, is called whenever a cache loses read permission
 	// on a line it had granted loads from (Inv or FwdGetM). The execution
 	// engine uses it to squash speculatively performed loads.
 	invalHook func(core int, base uint64)
+
+	// completeHook receives every finished Read/Write: the request's token
+	// and, for reads, the loaded value. Called synchronously from dispatch.
+	completeHook func(tok int64, v uint32)
 }
 
 // NewSystem builds a memory system scheduling on q and drawing jitter from
@@ -138,6 +192,10 @@ func NewSystem(q *eventq.Queue, cfg Config, rng *rand.Rand) (*System, error) {
 
 // SetInvalHook registers the invalidation callback (see System doc).
 func (s *System) SetInvalHook(fn func(core int, base uint64)) { s.invalHook = fn }
+
+// SetCompleteHook registers the completion callback invoked for every
+// finished Read/Write. It must be set before issuing requests.
+func (s *System) SetCompleteHook(fn func(tok int64, v uint32)) { s.completeHook = fn }
 
 // Stats returns a snapshot of activity counters.
 func (s *System) Stats() Stats { return s.stats }
@@ -175,40 +233,135 @@ func (s *System) netDelay() eventq.Time {
 	return d
 }
 
-// send delivers m to the directory (to == -1) or to cache to after the
-// network delay.
-func (s *System) send(to int, m message) {
+// newMsg claims a message slot and copies m into it, including its data
+// (into the slot's own buffer), so the caller's view of the data may be
+// mutated or recycled immediately after.
+func (s *System) newMsg(m message) int32 {
+	var slot int32
+	if n := len(s.msgFree); n > 0 {
+		slot = s.msgFree[n-1]
+		s.msgFree = s.msgFree[:n-1]
+	} else {
+		slot = int32(len(s.msgs))
+		s.msgs = append(s.msgs, message{})
+		s.msgBufs = append(s.msgBufs, nil)
+	}
+	if m.data != nil {
+		buf := s.msgBufs[slot]
+		if cap(buf) < len(m.data) {
+			buf = make([]uint32, len(m.data))
+		} else {
+			buf = buf[:len(m.data)]
+		}
+		copy(buf, m.data)
+		s.msgBufs[slot] = buf
+		m.data = buf
+	}
+	s.msgs[slot] = m
+	return slot
+}
+
+func (s *System) freeMsg(slot int32) {
+	s.msgs[slot] = message{}
+	s.msgFree = append(s.msgFree, slot)
+}
+
+// newPend claims a pending-request slot for a tag-latency replay.
+func (s *System) newPend(req memReq) int32 {
+	var slot int32
+	if n := len(s.pendFree); n > 0 {
+		slot = s.pendFree[n-1]
+		s.pendFree = s.pendFree[:n-1]
+	} else {
+		slot = int32(len(s.pend))
+		s.pend = append(s.pend, memReq{})
+	}
+	s.pend[slot] = req
+	return slot
+}
+
+func (s *System) takePend(slot int32) memReq {
+	req := s.pend[slot]
+	s.pend[slot] = memReq{}
+	s.pendFree = append(s.pendFree, slot)
+	return req
+}
+
+// getLineBuf pops a pooled line-sized buffer (length 0, capacity one line).
+func (s *System) getLineBuf() []uint32 {
+	if n := len(s.lineBufs); n > 0 {
+		b := s.lineBufs[n-1]
+		s.lineBufs = s.lineBufs[:n-1]
+		return b[:0]
+	}
+	return make([]uint32, 0, s.wordsPerLine())
+}
+
+func (s *System) putLineBuf(b []uint32) { s.lineBufs = append(s.lineBufs, b) }
+
+// post puts a composed message slot on the network to the directory
+// (to == -1) or to cache to: one Messages count and one jitter draw, exactly
+// at the moment the message leaves its sender.
+func (s *System) post(to int, slot int32) {
 	s.stats.Messages++
-	s.q.After(s.netDelay(), func() {
-		if to < 0 {
+	s.q.PushAfter(s.netDelay(), eventq.Event{Kind: kindDeliver, Core: int32(to), Op: slot})
+}
+
+// send composes and posts a message in one step.
+func (s *System) send(to int, m message) { s.post(to, s.newMsg(m)) }
+
+// Dispatch routes a typed event scheduled by this package. The engine's
+// event handler forwards every event with Kind >= KindBase here.
+func (s *System) Dispatch(ev eventq.Event) {
+	switch ev.Kind {
+	case kindDeliver:
+		m := s.msgs[ev.Op]
+		if to := int(ev.Core); to < 0 {
 			s.dir.receive(m)
 		} else {
 			s.caches[to].receive(m)
 		}
-	})
+		// Freed only after receive returns: handlers may read m.data, and
+		// anything they retain past return (the directory's queue) holds its
+		// own copy.
+		s.freeMsg(ev.Op)
+	case kindGrant:
+		s.post(int(ev.Core), ev.Op)
+	case kindLoadHit:
+		s.caches[ev.Core].replayLoadHit(ev.Op)
+	case kindStoreHit:
+		s.caches[ev.Core].replayStoreHit(ev.Op)
+	case kindComplete:
+		s.finish(ev.Core == 1, ev.Arg, uint32(ev.Op))
+	default:
+		panic(fmt.Sprintf("mem: Dispatch of unknown kind %d", ev.Kind))
+	}
 }
 
-// Read issues a load of the word at addr on behalf of core. done is invoked
-// at completion time with the loaded value.
-func (s *System) Read(core int, addr uint64, done func(uint32)) {
-	s.outstanding++
-	s.caches[core].access(memReq{addr: addr, done: func(v uint32) {
-		s.outstanding--
-		s.stats.Loads++
-		done(v)
-	}})
-}
-
-// Write issues a store of val to the word at addr on behalf of core. done is
-// invoked when the store has obtained write permission and updated the line
-// (i.e. the store is globally visible).
-func (s *System) Write(core int, addr uint64, val uint32, done func()) {
-	s.outstanding++
-	s.caches[core].access(memReq{isWrite: true, addr: addr, val: val, done: func(uint32) {
-		s.outstanding--
+// finish retires one completed operation and reports it to the engine.
+func (s *System) finish(isWrite bool, tok int64, v uint32) {
+	s.outstanding--
+	if isWrite {
 		s.stats.Stores++
-		done()
-	}})
+	} else {
+		s.stats.Loads++
+	}
+	s.completeHook(tok, v)
+}
+
+// Read issues a load of the word at addr on behalf of core. The completion
+// hook receives tok and the loaded value when the load performs.
+func (s *System) Read(core int, addr uint64, tok int64) {
+	s.outstanding++
+	s.caches[core].access(memReq{addr: addr, tok: tok})
+}
+
+// Write issues a store of val to the word at addr on behalf of core. The
+// completion hook receives tok (value 0) when the store has obtained write
+// permission and updated the line (i.e. the store is globally visible).
+func (s *System) Write(core int, addr uint64, val uint32, tok int64) {
+	s.outstanding++
+	s.caches[core].access(memReq{isWrite: true, addr: addr, val: val, tok: tok})
 }
 
 // PeekWord returns the globally committed value of the word at addr,
@@ -239,9 +392,9 @@ func (s *System) Quiescent() bool {
 
 // Reset restores the initial state (all memory zero, caches empty) between
 // test iterations. The system must be quiescent. Backing storage (line
-// buffers, directory entries, map capacity) is zeroed in place and kept for
-// reuse, so a reset system behaves identically to a freshly built one
-// without re-paying its construction allocations.
+// buffers, directory entries, pools, map capacity) is zeroed in place and
+// kept for reuse, so a reset system behaves identically to a freshly built
+// one without re-paying its construction allocations.
 func (s *System) Reset() error {
 	if !s.Quiescent() {
 		return fmt.Errorf("mem: Reset while not quiescent (%d outstanding)", s.outstanding)

@@ -136,6 +136,44 @@ type OpEvent struct {
 	Value     uint32
 }
 
+// Engine event kinds, dispatched through the jump table in engine.dispatch.
+// Kinds at or above mem.KindBase belong to the memory system and are routed
+// to mem.System.Dispatch; eventq.KindFunc is the queue's own closure shim.
+const (
+	// evThreadStart releases thread slot Core from the iteration's start
+	// barrier after its random skew.
+	evThreadStart uint8 = 1 + iota
+	// evLoadFwd completes a store-to-load forward: thread slot Core, op
+	// index Op, epoch Arg. The forwarded value is the youngest earlier
+	// same-word store's (static) program value.
+	evLoadFwd
+	// evLoadIssue presents a load to the memory system: thread slot Core,
+	// op index Op, epoch Arg. The issuing core is read at dispatch time —
+	// OS migration may have moved the thread since scheduling.
+	evLoadIssue
+	// evStoreIssue drains a store from the store buffer into the memory
+	// system: thread slot Core, op index Op.
+	evStoreIssue
+	// evQuantum fires an OS scheduling quantum (see os.go).
+	evQuantum
+)
+
+// Completion tokens: a load/store issued to the memory system carries its
+// requester identity packed into an int64, handed back synchronously through
+// the completion hook — (thread slot << 48) | (op index << 32) | epoch.
+// NewRunner rejects programs whose dimensions overflow the fields.
+const (
+	tokSlotShift = 48
+	tokOpShift   = 32
+	tokEpochMask = (1 << 32) - 1
+	maxTokOps    = 1 << 16
+	maxTokSlots  = 1 << 15
+)
+
+func packTok(slot, op, epoch int) int64 {
+	return int64(slot)<<tokSlotShift | int64(op)<<tokOpShift | int64(epoch&tokEpochMask)
+}
+
 // opRec tracks one operation's dynamic state within an iteration.
 type opRec struct {
 	op        prog.Op
@@ -312,6 +350,14 @@ func NewRunner(plat Platform, p *prog.Program, seed int64) (*Runner, error) {
 		return nil, fmt.Errorf("sim: %d threads exceed %d cores without OS scheduling",
 			p.NumThreads(), plat.Cores)
 	}
+	if p.NumThreads() >= maxTokSlots {
+		return nil, fmt.Errorf("sim: %d threads overflow the completion-token slot field", p.NumThreads())
+	}
+	for _, th := range p.Threads {
+		if len(th.Ops) >= maxTokOps {
+			return nil, fmt.Errorf("sim: %d ops per thread overflow the completion-token op field", len(th.Ops))
+		}
+	}
 	r := &Runner{plat: plat, prog: p, master: rand.New(rand.NewSource(seed))}
 	r.static = make([][]opStatic, p.NumThreads())
 	for ti, th := range p.Threads {
@@ -365,6 +411,7 @@ func NewRunner(plat Platform, p *prog.Program, seed int64) (*Runner, error) {
 		r.threads = append(r.threads, t)
 	}
 	r.eng = engine{r: r, threads: r.threads, exec: &r.exec}
+	r.q.SetHandler(r.eng.dispatch)
 	return r, nil
 }
 
@@ -396,6 +443,7 @@ func (r *Runner) prepare() error {
 		}
 		r.ms = ms
 		ms.SetInvalHook(r.eng.onInvalidate)
+		ms.SetCompleteHook(r.eng.onMemComplete)
 		r.dirty = false
 		return nil
 	}
@@ -473,15 +521,11 @@ func (r *Runner) run(seed int64) (*Execution, error) {
 	}
 	// Threads leave the iteration's release barrier with random skew.
 	for _, t := range e.threads {
-		t := t
 		delay := eventq.Time(0)
 		if m := r.plat.StartJitterMax; m > 0 {
 			delay = eventq.Time(r.rng.Intn(m + 1))
 		}
-		r.q.After(delay, func() {
-			t.started = true
-			e.pump()
-		})
+		r.q.PushAfter(delay, eventq.Event{Kind: evThreadStart, Core: int32(t.slot)})
 	}
 	e.pump()
 
@@ -531,6 +575,66 @@ func (r *Runner) RunMany(n int) ([]*Execution, error) {
 		out = append(out, ex.Clone())
 	}
 	return out, nil
+}
+
+// dispatch is the engine's jump table: every typed event the queue pops is
+// decoded here by kind. Memory-system kinds route to mem.System.Dispatch.
+func (e *engine) dispatch(ev eventq.Event) {
+	if ev.Kind >= mem.KindBase {
+		e.ms.Dispatch(ev)
+		return
+	}
+	switch ev.Kind {
+	case evThreadStart:
+		e.threads[ev.Core].started = true
+		e.pump()
+	case evLoadFwd:
+		t := e.threads[ev.Core]
+		i := int(ev.Op)
+		val := t.ops[t.static[i].lastSameWordStore].op.Value
+		e.finishLoad(t, i, int(ev.Arg), val, true)
+	case evLoadIssue:
+		t := e.threads[ev.Core]
+		i := int(ev.Op)
+		o := &t.ops[i]
+		e.ms.Read(t.core, e.addrOf(o.op), packTok(t.slot, i, int(ev.Arg)))
+	case evStoreIssue:
+		t := e.threads[ev.Core]
+		i := int(ev.Op)
+		o := &t.ops[i]
+		e.ms.Write(t.core, e.addrOf(o.op), o.op.Value, packTok(t.slot, i, 0))
+	case evQuantum:
+		if e.done() {
+			return
+		}
+		e.rotate()
+		e.scheduleQuantum()
+	default:
+		panic(fmt.Sprintf("sim: dispatch of unknown event kind %d", ev.Kind))
+	}
+}
+
+// onMemComplete is the memory system's completion hook: it unpacks the
+// requester identity from the token and finishes the load or store. Called
+// synchronously from mem dispatch — not via a fresh event — so completion
+// ordering is exactly the protocol's delivery ordering.
+func (e *engine) onMemComplete(tok int64, v uint32) {
+	t := e.threads[tok>>tokSlotShift]
+	i := int(tok>>tokOpShift) & (maxTokOps - 1)
+	o := &t.ops[i]
+	if o.op.Kind == prog.Load {
+		e.finishLoad(t, i, int(tok&tokEpochMask), v, false)
+		return
+	}
+	o.inFlight = false
+	o.performed = true
+	o.performedAt = e.q.Now()
+	t.sbUsed--
+	t.drainedStores++
+	word := o.op.Word
+	t.drainedByWord[word]++
+	e.exec.WS[word] = append(e.exec.WS[word], o.op.ID)
+	e.pump()
 }
 
 func (e *engine) done() bool {
@@ -673,12 +777,9 @@ func (e *engine) tryLoad(t *thread, i int, model mcm.Model) {
 				return // single-copy: wait for the drain
 			}
 			o.inFlight = true
-			epoch := o.epoch
-			val := last.op.Value
 			delay := 1 + e.coreDelay(t.core)
-			e.q.After(delay, func() {
-				e.finishLoad(t, i, epoch, val, true)
-			})
+			e.q.PushAfter(delay, eventq.Event{Kind: evLoadFwd,
+				Core: int32(t.slot), Op: int32(i), Arg: int64(o.epoch)})
 			return
 		}
 		if t.drainedByWord[o.op.Word] < st.prefixSameWordSt {
@@ -689,8 +790,6 @@ func (e *engine) tryLoad(t *thread, i int, model mcm.Model) {
 	}
 	// Perform against the coherent memory system.
 	o.inFlight = true
-	epoch := o.epoch
-	addr := e.addrOf(o.op)
 	delay := e.coreDelay(t.core)
 	if m := e.r.plat.IssueJitterMax; m > 0 {
 		delay += eventq.Time(e.rng.Intn(m + 1))
@@ -698,11 +797,8 @@ func (e *engine) tryLoad(t *thread, i int, model mcm.Model) {
 	if p := e.r.plat.LateLoadProb; p > 0 && e.rng.Float64() < p {
 		delay += eventq.Time(e.rng.Intn(e.r.plat.LateLoadMax + 1))
 	}
-	e.q.After(delay, func() {
-		e.ms.Read(t.core, addr, func(v uint32) {
-			e.finishLoad(t, i, epoch, v, false)
-		})
-	})
+	e.q.PushAfter(delay, eventq.Event{Kind: evLoadIssue,
+		Core: int32(t.slot), Op: int32(i), Arg: int64(o.epoch)})
 }
 
 // finishLoad binds a load's value unless the load was squashed while the
@@ -739,24 +835,11 @@ func (e *engine) tryDrain(t *thread, i int, model mcm.Model) {
 		return
 	}
 	o.inFlight = true
-	addr := e.addrOf(o.op)
 	delay := e.coreDelay(t.core)
 	if m := e.r.plat.DrainDelayMax; m > 0 {
 		delay += eventq.Time(e.rng.Intn(m + 1))
 	}
-	word, val, id := o.op.Word, o.op.Value, o.op.ID
-	e.q.After(delay, func() {
-		e.ms.Write(t.core, addr, val, func() {
-			o.inFlight = false
-			o.performed = true
-			o.performedAt = e.q.Now()
-			t.sbUsed--
-			t.drainedStores++
-			t.drainedByWord[word]++
-			e.exec.WS[word] = append(e.exec.WS[word], id)
-			e.pump()
-		})
-	})
+	e.q.PushAfter(delay, eventq.Event{Kind: evStoreIssue, Core: int32(t.slot), Op: int32(i)})
 }
 
 // onInvalidate is the load-queue squash hook: performed-but-uncommitted

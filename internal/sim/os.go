@@ -40,13 +40,7 @@ func (e *engine) quantumLen() eventq.Time {
 }
 
 func (e *engine) scheduleQuantum() {
-	e.q.After(e.quantumLen(), func() {
-		if e.done() {
-			return
-		}
-		e.rotate()
-		e.scheduleQuantum()
-	})
+	e.q.PushAfter(e.quantumLen(), eventq.Event{Kind: evQuantum})
 }
 
 // rotate advances the runnable window by one thread and reassigns cores.

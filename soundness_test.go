@@ -1,8 +1,13 @@
 package mtracecheck
 
 import (
+	"bytes"
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"mtracecheck/internal/check"
 	"mtracecheck/internal/graph"
@@ -74,6 +79,91 @@ func TestNoFalsePositivesSweep(t *testing.T) {
 					t.Errorf("%v %s ws=%d: false positives (conv %d, coll %d)",
 						model, tc.Name(), ws, len(conv.Violations), len(coll.Violations))
 				}
+			}
+		}
+	}
+}
+
+// TestEngineGoldenSignatures is the typed-event engine's bit-identity
+// guard: fixed-seed campaigns — clean and fault-injected, on both platform
+// presets, at one and four workers — must reproduce, byte for byte, the
+// signature files and report digests recorded before the closure-based
+// discrete-event engine was replaced (PR 10). Any drift in RNG draw order,
+// event tie-breaking, or completion sequencing shows up here first.
+//
+// Regenerate the goldens with MTC_UPDATE_GOLDENS=1 (only ever legitimate
+// for a change that intentionally alters simulated timing).
+func TestEngineGoldenSignatures(t *testing.T) {
+	update := os.Getenv("MTC_UPDATE_GOLDENS") == "1"
+	dir := filepath.Join("testdata", "engine_goldens")
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := testgen.MustGenerate(TestConfig{Threads: 4, OpsPerThread: 40, Words: 8, Seed: 5})
+	faults := FaultConfig{
+		Seed: 99, BitFlip: 0.05, Truncate: 0.03, Duplicate: 0.05, OutOfRange: 0.03,
+		ShardPanic: 0.1, ShardStall: 0.05, StallFor: time.Millisecond,
+	}
+	cases := []struct {
+		name  string
+		plat  Platform
+		fault FaultConfig
+	}{
+		{"x86_clean", PlatformX86(), FaultConfig{}},
+		{"x86_fault", PlatformX86(), faults},
+		{"arm_clean", PlatformARM(), FaultConfig{}},
+		{"arm_fault", PlatformARM(), faults},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 4} {
+			opts := Options{
+				Platform: c.plat, Iterations: 512, Seed: 31, Workers: workers,
+				ShardRetries: 2, Fault: c.fault,
+			}
+			report, err := RunProgram(p, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.name, workers, err)
+			}
+			uniques, err := CollectSignatures(p, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: collect: %v", c.name, workers, err)
+			}
+			var sigBuf bytes.Buffer
+			if err := SaveSignatures(&sigBuf, report, uniques); err != nil {
+				t.Fatal(err)
+			}
+			digest := fmt.Sprintf(
+				"iters=%d uniques=%d cycles=%d squashes=%d violations=%d quarantined=%d asserts=%d shardfail=%d\n",
+				report.Iterations, report.UniqueSignatures, report.TotalCycles,
+				report.Squashes, len(report.Violations), len(report.Quarantined),
+				len(report.AssertionFailures), len(report.ShardFailures))
+			sigPath := filepath.Join(dir, c.name+".sigs")
+			digPath := filepath.Join(dir, c.name+".digest")
+			if update && workers == 1 {
+				if err := os.WriteFile(sigPath, sigBuf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(digPath, []byte(digest), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantSigs, err := os.ReadFile(sigPath)
+			if err != nil {
+				t.Fatalf("%s: missing golden (run with MTC_UPDATE_GOLDENS=1): %v", c.name, err)
+			}
+			if !bytes.Equal(sigBuf.Bytes(), wantSigs) {
+				t.Errorf("%s workers=%d: signature file differs from pre-engine-swap golden (%d vs %d bytes)",
+					c.name, workers, sigBuf.Len(), len(wantSigs))
+			}
+			wantDig, err := os.ReadFile(digPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if digest != string(wantDig) {
+				t.Errorf("%s workers=%d: report digest differs from golden:\n got %s want %s",
+					c.name, workers, digest, wantDig)
 			}
 		}
 	}
